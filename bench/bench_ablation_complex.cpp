@@ -1,0 +1,70 @@
+// ABL2 — §4.5's complex-arithmetic assumption.
+//
+// The DFT algorithm assumes a tensor unit operating on complex words; the
+// paper notes this costs only a constant on a real unit: "four matrix
+// multiplications and two sums". This ablation measures that constant for
+// tall complex GEMMs: native complex device vs the 4M reduction vs the 3M
+// (Karatsuba) reduction on a real device.
+
+#include <complex>
+
+#include "bench_common.hpp"
+#include "core/complex_gemm.hpp"
+
+namespace {
+
+using Complex = std::complex<double>;
+
+tcu::Matrix<Complex> random_complex(std::size_t r, std::size_t c,
+                                    std::uint64_t seed) {
+  tcu::util::Xoshiro256 rng(seed);
+  tcu::Matrix<Complex> m(r, c);
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < c; ++j) {
+      m(i, j) = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    }
+  }
+  return m;
+}
+
+void BM_ComplexGemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto m = static_cast<std::size_t>(state.range(1));
+  const auto ell = static_cast<std::uint64_t>(state.range(2));
+  const std::size_t s = tcu::exact_sqrt(m);
+  auto a = random_complex(n, s, 2700 + n);
+  auto b = random_complex(s, s, 2800 + n);
+  tcu::Matrix<Complex> c(n, s);
+
+  tcu::Device<Complex> native({.m = m, .latency = ell});
+  tcu::Device<double> real4({.m = m, .latency = ell});
+  tcu::Device<double> real3({.m = m, .latency = ell});
+  for (auto _ : state) {
+    native.reset();
+    real4.reset();
+    real3.reset();
+    native.gemm(a.view(), b.view(), c.view());
+    tcu::complex_gemm_4m(real4, a.view(), b.view(), c.view());
+    tcu::complex_gemm_3m(real3, a.view(), b.view(), c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+  const auto nat = static_cast<double>(native.counters().time());
+  state.counters["native_time"] = nat;
+  state.counters["real4m_time"] =
+      static_cast<double>(real4.counters().time());
+  state.counters["real3m_time"] =
+      static_cast<double>(real3.counters().time());
+  state.counters["slowdown_4m"] =
+      static_cast<double>(real4.counters().time()) / nat;
+  state.counters["slowdown_3m"] =
+      static_cast<double>(real3.counters().time()) / nat;
+}
+
+}  // namespace
+
+BENCHMARK(BM_ComplexGemm)
+    ->ArgsProduct({{256, 1024, 4096}, {256}, {0, 1024}})
+    ->ArgNames({"n", "m", "l"})
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

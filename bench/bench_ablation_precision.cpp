@@ -1,0 +1,50 @@
+// ABL3 — numerical precision (§6 open question).
+//
+// The model ignores precision; real units compute fp16 x fp16 -> fp32.
+// This ablation measures the numerical error (not model time, which is
+// identical by construction) of tall GEMMs and of the Theorem 2 blocked
+// matmul under TC-like (10/23-bit), bf16-like (7/23-bit) and int8-like
+// (7/30-bit wide-accumulator) engines against the exact reference, as a
+// function of the reduction depth.
+
+#include "bench_common.hpp"
+#include "core/precision.hpp"
+#include "linalg/dense.hpp"
+
+namespace {
+
+void BM_PrecisionError(benchmark::State& state) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  const int in_bits = static_cast<int>(state.range(1));
+  const int acc_bits = static_cast<int>(state.range(2));
+  auto a = tcu::bench::random_matrix(d, d, 3000 + d);
+  auto b = tcu::bench::random_matrix(d, d, 3100 + d);
+  tcu::Device<double> exact({.m = 256});
+  tcu::Device<double> quant(
+      {.m = 256}, tcu::limited_precision_engine(
+                      {.input_mantissa = in_bits, .acc_mantissa = acc_bits}));
+  double err = 0;
+  for (auto _ : state) {
+    exact.reset();
+    quant.reset();
+    auto c1 = tcu::linalg::matmul_tcu(exact, a.view(), b.view());
+    auto c2 = tcu::linalg::matmul_tcu(quant, a.view(), b.view());
+    err = tcu::max_abs_diff(c1.view(), c2.view());
+    benchmark::DoNotOptimize(err);
+  }
+  state.counters["max_abs_err"] = err;
+  state.counters["err_per_mac"] = err / static_cast<double>(d);
+  state.counters["model_time_exact"] =
+      static_cast<double>(exact.counters().time());
+  state.counters["model_time_quant"] =
+      static_cast<double>(quant.counters().time());
+}
+
+}  // namespace
+
+BENCHMARK(BM_PrecisionError)
+    ->ArgsProduct({{64, 128, 256}, {7, 10, 23}, {23, 30}})
+    ->ArgNames({"d", "in_bits", "acc_bits"})
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

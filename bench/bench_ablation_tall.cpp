@@ -1,0 +1,87 @@
+// ABL1 — the asymmetric (tall left operand) feature of the model.
+//
+// Property 3 of §3 lets an algorithm stream n rows through resident
+// weights, paying latency once per weight tile; the weak model (§5,
+// NVIDIA-style) pays m + l per square call. For blocked dense MM the
+// latency terms are (n/m) l (tall) vs (n^{3/2}/m^{3/2}) l (weak) — a
+// sqrt(n/m) gap that this ablation measures directly, for dense MM and
+// Gaussian elimination, across l.
+
+#include "bench_common.hpp"
+#include "linalg/dense.hpp"
+#include "linalg/gauss.hpp"
+
+namespace {
+
+void BM_TallVsWeakDense(benchmark::State& state) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  const auto m = static_cast<std::size_t>(state.range(1));
+  const auto ell = static_cast<std::uint64_t>(state.range(2));
+  auto a = tcu::bench::random_matrix(d, d, 2400 + d);
+  auto b = tcu::bench::random_matrix(d, d, 2500 + d);
+  tcu::Device<double> tall({.m = m, .latency = ell});
+  tcu::Device<double> weak({.m = m, .latency = ell, .allow_tall = false});
+  for (auto _ : state) {
+    tall.reset();
+    weak.reset();
+    auto c1 = tcu::linalg::matmul_tcu(tall, a.view(), b.view());
+    auto c2 = tcu::linalg::matmul_tcu(weak, a.view(), b.view());
+    benchmark::DoNotOptimize(c1.data());
+    benchmark::DoNotOptimize(c2.data());
+  }
+  state.counters["tall_time"] = static_cast<double>(tall.counters().time());
+  state.counters["weak_time"] = static_cast<double>(weak.counters().time());
+  state.counters["weak_over_tall"] =
+      static_cast<double>(weak.counters().time()) /
+      static_cast<double>(tall.counters().time());
+  state.counters["tall_latency"] =
+      static_cast<double>(tall.counters().latency_time);
+  state.counters["weak_latency"] =
+      static_cast<double>(weak.counters().latency_time);
+}
+
+void BM_TallVsWeakGauss(benchmark::State& state) {
+  const auto r = static_cast<std::size_t>(state.range(0));
+  const auto m = static_cast<std::size_t>(state.range(1));
+  const auto ell = static_cast<std::uint64_t>(state.range(2));
+  tcu::util::Xoshiro256 rng(2600 + r);
+  tcu::Matrix<double> base(r, r, 0.0);
+  for (std::size_t i = 0; i + 1 < r; ++i) {
+    double row = 0;
+    for (std::size_t j = 0; j < r; ++j) {
+      base(i, j) = rng.uniform(-1, 1);
+      row += std::abs(base(i, j));
+    }
+    base(i, i) = row + 1.0;
+  }
+  tcu::Device<double> tall({.m = m, .latency = ell});
+  tcu::Device<double> weak({.m = m, .latency = ell, .allow_tall = false});
+  for (auto _ : state) {
+    tall.reset();
+    weak.reset();
+    auto w1 = base;
+    auto w2 = base;
+    tcu::linalg::ge_forward_tcu(tall, w1.view());
+    tcu::linalg::ge_forward_tcu(weak, w2.view());
+    benchmark::DoNotOptimize(w1.data());
+    benchmark::DoNotOptimize(w2.data());
+  }
+  state.counters["tall_time"] = static_cast<double>(tall.counters().time());
+  state.counters["weak_time"] = static_cast<double>(weak.counters().time());
+  state.counters["weak_over_tall"] =
+      static_cast<double>(weak.counters().time()) /
+      static_cast<double>(tall.counters().time());
+}
+
+}  // namespace
+
+BENCHMARK(BM_TallVsWeakDense)
+    ->ArgsProduct({{128, 256, 512}, {256}, {0, 256, 16384}})
+    ->ArgNames({"d", "m", "l"})
+    ->Iterations(1);
+BENCHMARK(BM_TallVsWeakGauss)
+    ->ArgsProduct({{128, 256}, {256}, {0, 16384}})
+    ->ArgNames({"r", "m", "l"})
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

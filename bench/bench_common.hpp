@@ -1,0 +1,60 @@
+#pragma once
+// Shared helpers for the benchmark harness.
+//
+// Every bench reports, besides google-benchmark's wall time of the
+// *simulation*, the scientific quantities of the reproduction as custom
+// counters:
+//   sim_time   — Counters::time(), the (m, l)-TCU model running time;
+//   predicted  — the paper's closed-form bound for the configuration;
+//   ratio      — sim_time / predicted, which a faithful reproduction keeps
+//                within a narrow constant band across each sweep (the
+//                Theta/O promise);
+// plus experiment-specific counters (tensor calls, cycles, I/Os, speedup
+// over the RAM baseline, ...). EXPERIMENTS.md records these outputs.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "core/counters.hpp"
+#include "core/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace tcu::bench {
+
+inline Matrix<double> random_matrix(std::size_t r, std::size_t c,
+                                    std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  Matrix<double> m(r, c);
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < c; ++j) m(i, j) = rng.uniform(-1, 1);
+  }
+  return m;
+}
+
+inline Matrix<std::int64_t> random_int_matrix(std::size_t r, std::size_t c,
+                                              std::uint64_t seed,
+                                              std::int64_t lo = -9,
+                                              std::int64_t hi = 9) {
+  util::Xoshiro256 rng(seed);
+  Matrix<std::int64_t> m(r, c);
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < c; ++j) m(i, j) = rng.uniform_int(lo, hi);
+  }
+  return m;
+}
+
+/// Standard counter block: model time vs paper prediction.
+inline void report(benchmark::State& state, const Counters& counters,
+                   double predicted) {
+  const auto sim = static_cast<double>(counters.time());
+  state.counters["sim_time"] = sim;
+  state.counters["predicted"] = predicted;
+  state.counters["ratio"] = predicted > 0 ? sim / predicted : 0.0;
+  state.counters["tensor_calls"] =
+      static_cast<double>(counters.tensor_calls);
+  state.counters["latency_time"] =
+      static_cast<double>(counters.latency_time);
+}
+
+}  // namespace tcu::bench

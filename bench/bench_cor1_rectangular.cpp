@@ -1,0 +1,40 @@
+// COR1 — rectangular products sqrt(n) x r times r x sqrt(n),
+// Theta(r n / sqrt(m) + (r sqrt(n)/m) l).
+//
+// Sweeps the inner dimension r at fixed sqrt(n): model time must grow
+// linearly in r, and the latency term linearly in r as well.
+
+#include "bench_common.hpp"
+#include "core/costs.hpp"
+#include "linalg/dense.hpp"
+
+namespace {
+
+void BM_RectangularTcu(benchmark::State& state) {
+  const auto root_n = static_cast<std::size_t>(state.range(0));
+  const auto r = static_cast<std::size_t>(state.range(1));
+  const auto m = static_cast<std::size_t>(state.range(2));
+  const auto ell = static_cast<std::uint64_t>(state.range(3));
+  auto a = tcu::bench::random_matrix(root_n, r, 500 + root_n + r);
+  auto b = tcu::bench::random_matrix(r, root_n, 600 + root_n + r);
+  tcu::Device<double> dev({.m = m, .latency = ell});
+  for (auto _ : state) {
+    dev.reset();
+    auto c = tcu::linalg::matmul_tcu(dev, a.view(), b.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+  tcu::bench::report(
+      state, dev.counters(),
+      tcu::costs::cor1_rectangular(
+          static_cast<double>(root_n) * root_n, static_cast<double>(r),
+          static_cast<double>(m), static_cast<double>(ell)));
+}
+
+}  // namespace
+
+BENCHMARK(BM_RectangularTcu)
+    ->ArgsProduct({{256}, {16, 64, 256, 1024}, {256}, {0, 2048}})
+    ->ArgNames({"sqrt_n", "r", "m", "l"})
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

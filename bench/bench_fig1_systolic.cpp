@@ -1,0 +1,64 @@
+// FIG1 — the systolic algorithm of Section 2.2 / Figure 1.
+//
+// Reproduces the schedule claims: loading B costs sqrt(m) cycles, the
+// first output appears after Theta(sqrt(m)) cycles, and an n-row stream
+// completes in n + 2 sqrt(m) - 2 cycles, i.e. Theta(n + sqrt(m)) per call
+// while performing n*m MACs — the physical justification for the model's
+// O(n sqrt(m) + l) charge. Counters: cycles, cycles_per_row, macs, and
+// the cycle/model-time ratio.
+
+#include "bench_common.hpp"
+#include "systolic/systolic_array.hpp"
+
+namespace {
+
+void BM_SystolicStream(benchmark::State& state) {
+  const auto s = static_cast<std::size_t>(state.range(0));
+  const auto n = static_cast<std::size_t>(state.range(1));
+  auto a = tcu::bench::random_matrix(n, s, 17 + s + n);
+  auto b = tcu::bench::random_matrix(s, s, 29 + s + n);
+  tcu::Matrix<double> c(n, s, 0.0);
+  tcu::systolic::RunStats stats;
+  for (auto _ : state) {
+    tcu::systolic::SystolicArray<double> array(s);
+    stats = array.multiply(a.view(), b.view(), c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["cycles"] = static_cast<double>(stats.total_cycles());
+  state.counters["load_cycles"] = static_cast<double>(stats.load_cycles);
+  state.counters["first_output"] =
+      static_cast<double>(stats.first_output_step);
+  state.counters["macs"] = static_cast<double>(stats.mac_count);
+  // Model charge for this call is n*s; cycles/(n + 3s - 2) == 1 exactly.
+  state.counters["cycles_vs_schedule"] =
+      static_cast<double>(stats.total_cycles()) /
+      static_cast<double>(n + 3 * s - 2);
+  state.counters["model_time"] = static_cast<double>(n * s);
+}
+
+void BM_OutputStationary(benchmark::State& state) {
+  const auto s = static_cast<std::size_t>(state.range(0));
+  auto a = tcu::bench::random_matrix(s, s, 31 + s);
+  auto b = tcu::bench::random_matrix(s, s, 37 + s);
+  tcu::Matrix<double> c(s, s, 0.0);
+  tcu::systolic::RunStats stats;
+  for (auto _ : state) {
+    tcu::systolic::OutputStationaryArray<double> array(s);
+    stats = array.multiply(a.view(), b.view(), c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["cycles"] = static_cast<double>(stats.total_cycles());
+  state.counters["macs"] = static_cast<double>(stats.mac_count);
+}
+
+}  // namespace
+
+BENCHMARK(BM_SystolicStream)
+    ->ArgsProduct({{4, 8, 16, 32}, {32, 128, 512}})
+    ->ArgNames({"s", "n"})
+    ->Iterations(3);
+BENCHMARK(BM_OutputStationary)->Arg(4)->Arg(8)->Arg(16)->Arg(32)
+    ->ArgNames({"s"})
+    ->Iterations(3);
+
+BENCHMARK_MAIN();

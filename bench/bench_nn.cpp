@@ -1,0 +1,68 @@
+// NN — the motivating workload (§1, §2.1): dense-layer inference and
+// im2col convolution on the device.
+//
+// Reports model time per input as a function of batch size (amortizing to
+// the work term as the batch grows: the §3 asymmetry property) and the
+// conv2d lowering cost against its direct RAM reference.
+
+#include "bench_common.hpp"
+#include "nn/layers.hpp"
+
+namespace {
+
+void BM_DenseLayerBatch(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  const auto width = static_cast<std::size_t>(state.range(1));
+  const auto ell = static_cast<std::uint64_t>(state.range(2));
+  auto w = tcu::bench::random_matrix(width, width, 4000 + width);
+  tcu::nn::DenseLayer layer(w, std::vector<double>(width, 0.1));
+  auto x = tcu::bench::random_matrix(batch, width, 4100 + batch);
+  tcu::Device<double> dev({.m = 256, .latency = ell});
+  for (auto _ : state) {
+    dev.reset();
+    auto y = layer.forward(dev, x.view());
+    benchmark::DoNotOptimize(y.data());
+  }
+  const auto time = static_cast<double>(dev.counters().time());
+  state.counters["sim_time"] = time;
+  state.counters["time_per_input"] = time / static_cast<double>(batch);
+  state.counters["tensor_calls"] =
+      static_cast<double>(dev.counters().tensor_calls);
+  state.counters["latency_time"] =
+      static_cast<double>(dev.counters().latency_time);
+}
+
+void BM_Conv2d(benchmark::State& state) {
+  const auto h = static_cast<std::size_t>(state.range(0));
+  const auto cin = static_cast<std::size_t>(state.range(1));
+  const auto cout = static_cast<std::size_t>(state.range(2));
+  auto input = tcu::bench::random_matrix(cin * h, h, 4200 + h);
+  auto filters = tcu::bench::random_matrix(cout, cin * 9, 4300 + cout);
+  tcu::Device<double> dev({.m = 256, .latency = 64});
+  for (auto _ : state) {
+    dev.reset();
+    auto y = tcu::nn::conv2d_tcu(dev, input.view(), cin, filters.view(), 3,
+                                 3);
+    benchmark::DoNotOptimize(y.data());
+  }
+  tcu::Counters ram;
+  (void)tcu::nn::conv2d_ram(input.view(), cin, filters.view(), 3, 3, ram);
+  state.counters["sim_time"] = static_cast<double>(dev.counters().time());
+  state.counters["ram_time"] = static_cast<double>(ram.time());
+  state.counters["speedup_vs_ram"] =
+      static_cast<double>(ram.time()) /
+      static_cast<double>(dev.counters().time());
+}
+
+}  // namespace
+
+BENCHMARK(BM_DenseLayerBatch)
+    ->ArgsProduct({{16, 256, 4096}, {64, 256}, {0, 4096}})
+    ->ArgNames({"batch", "width", "l"})
+    ->Iterations(1);
+BENCHMARK(BM_Conv2d)
+    ->ArgsProduct({{32, 64, 128}, {3, 16}, {16, 64}})
+    ->ArgNames({"h", "cin", "cout"})
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

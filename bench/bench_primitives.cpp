@@ -1,0 +1,62 @@
+// PRIM — scan and reduction on the tensor unit (the [9]-style kernels
+// the paper cites as prior TCU algorithms).
+//
+// Both are O(n + l log_m n); the interesting column is the latency share:
+// a tall-call formulation pays l per reduction round, not per chunk.
+
+#include "bench_common.hpp"
+#include "primitives/primitives.hpp"
+
+namespace {
+
+void BM_ReduceTcu(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto m = static_cast<std::size_t>(state.range(1));
+  const auto ell = static_cast<std::uint64_t>(state.range(2));
+  tcu::util::Xoshiro256 rng(3400 + n);
+  std::vector<double> data(n);
+  for (auto& v : data) v = rng.uniform(-1, 1);
+  tcu::Device<double> dev({.m = m, .latency = ell});
+  double sum = 0;
+  for (auto _ : state) {
+    dev.reset();
+    sum = tcu::primitives::reduce_tcu(dev, data);
+    benchmark::DoNotOptimize(sum);
+  }
+  tcu::Counters ram;
+  (void)tcu::primitives::reduce_ram(data, ram);
+  tcu::bench::report(state, dev.counters(), static_cast<double>(n));
+  state.counters["ram_time"] = static_cast<double>(ram.time());
+}
+
+void BM_ScanTcu(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto m = static_cast<std::size_t>(state.range(1));
+  const auto ell = static_cast<std::uint64_t>(state.range(2));
+  tcu::util::Xoshiro256 rng(3500 + n);
+  std::vector<double> data(n);
+  for (auto& v : data) v = rng.uniform(-1, 1);
+  tcu::Device<double> dev({.m = m, .latency = ell});
+  for (auto _ : state) {
+    dev.reset();
+    auto out = tcu::primitives::inclusive_scan_tcu(dev, data);
+    benchmark::DoNotOptimize(out.data());
+  }
+  tcu::Counters ram;
+  (void)tcu::primitives::inclusive_scan_ram(data, ram);
+  tcu::bench::report(state, dev.counters(), static_cast<double>(n));
+  state.counters["ram_time"] = static_cast<double>(ram.time());
+}
+
+}  // namespace
+
+BENCHMARK(BM_ReduceTcu)
+    ->ArgsProduct({{4096, 65536, 1048576}, {256}, {0, 1024}})
+    ->ArgNames({"n", "m", "l"})
+    ->Iterations(1);
+BENCHMARK(BM_ScanTcu)
+    ->ArgsProduct({{4096, 65536, 1048576}, {256}, {0, 1024}})
+    ->ArgNames({"n", "m", "l"})
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,45 @@
+// THM10 — Karatsuba with the TCU base case,
+// O((n/(kappa sqrt(m)))^{log2 3} (sqrt(m) + l/sqrt(m))).
+//
+// Sweeps the bit length and compares against the pure Theorem 9 kernel:
+// the recursion wins once n/(kappa sqrt(m)) is large, and the fitted
+// exponent of the sweep is log2 3 ~ 1.585 (vs 2 for schoolbook).
+
+#include "bench_common.hpp"
+#include "core/costs.hpp"
+#include "intmul/mul.hpp"
+
+namespace {
+
+void BM_KaratsubaTcu(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  const auto m = static_cast<std::size_t>(state.range(1));
+  tcu::util::Xoshiro256 rng(1500 + bits + m);
+  const auto a = tcu::intmul::BigInt::random_bits(bits, rng);
+  const auto b = tcu::intmul::BigInt::random_bits(bits, rng);
+  tcu::Device<std::int64_t> dev({.m = m, .latency = 64});
+  for (auto _ : state) {
+    dev.reset();
+    auto c = tcu::intmul::mul_karatsuba_tcu(dev, a, b);
+    benchmark::DoNotOptimize(c.limb_count());
+  }
+  tcu::bench::report(
+      state, dev.counters(),
+      tcu::costs::thm10_karatsuba(static_cast<double>(bits), 64.0,
+                                  static_cast<double>(m), 64.0));
+  tcu::Device<std::int64_t> dev9({.m = m, .latency = 64});
+  (void)tcu::intmul::mul_schoolbook_tcu(dev9, a, b);
+  state.counters["thm9_time"] = static_cast<double>(dev9.counters().time());
+  state.counters["speedup_vs_thm9"] =
+      static_cast<double>(dev9.counters().time()) /
+      static_cast<double>(dev.counters().time());
+}
+
+}  // namespace
+
+BENCHMARK(BM_KaratsubaTcu)
+    ->ArgsProduct({{16384, 65536, 262144}, {64, 256}})
+    ->ArgNames({"bits", "m"})
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,46 @@
+// THM11 — batch polynomial evaluation,
+// O(p n / sqrt(m) + p sqrt(m) + (n/m) l).
+//
+// Sweeps degree and point count; reports the ratio vs the closed form and
+// the speedup over per-point Horner (approaches sqrt(m)).
+
+#include "bench_common.hpp"
+#include "core/costs.hpp"
+#include "poly/poly.hpp"
+
+namespace {
+
+void BM_PolyEvalTcu(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto p = static_cast<std::size_t>(state.range(1));
+  const auto m = static_cast<std::size_t>(state.range(2));
+  tcu::util::Xoshiro256 rng(1600 + n + p);
+  std::vector<double> coeffs(n), points(p);
+  for (auto& c : coeffs) c = rng.uniform(-1, 1);
+  for (auto& x : points) x = rng.uniform(-1, 1);
+  tcu::Device<double> dev({.m = m, .latency = 32});
+  for (auto _ : state) {
+    dev.reset();
+    auto vals = tcu::poly::eval_tcu(dev, coeffs, points);
+    benchmark::DoNotOptimize(vals.data());
+  }
+  tcu::bench::report(
+      state, dev.counters(),
+      tcu::costs::thm11_polyeval(static_cast<double>(n),
+                                 static_cast<double>(p),
+                                 static_cast<double>(m), 32.0));
+  tcu::Counters ram;
+  (void)tcu::poly::eval_horner(coeffs, points, ram);
+  state.counters["speedup_vs_horner"] =
+      static_cast<double>(ram.time()) /
+      static_cast<double>(dev.counters().time());
+}
+
+}  // namespace
+
+BENCHMARK(BM_PolyEvalTcu)
+    ->ArgsProduct({{1024, 8192, 65536}, {64, 512, 4096}, {256}})
+    ->ArgNames({"n", "p", "m"})
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+// THM12 — the external-memory / weak-TCU lower-bound transfer.
+//
+// Three measurements per configuration:
+//   * blocked matmul I/Os at M = 3m, B = 1 (the classical upper bound,
+//     matching the Omega(n^{3/2}/sqrt(M)) lower bound in shape);
+//   * the weak-TCU model time of the same product;
+//   * the I/Os of replaying the weak-TCU trace at M = 3m (the simulation
+//     argument: ~3 I/Os per unit of tensor time).
+// Theorem 12 predicts time >= c * io_lower_bound; the reported
+// time_over_bound column must stay bounded away from zero.
+
+#include "bench_common.hpp"
+#include "core/costs.hpp"
+#include "extmem/extmem.hpp"
+#include "linalg/dense.hpp"
+
+namespace {
+
+void BM_Theorem12(benchmark::State& state) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  const auto m = static_cast<std::size_t>(state.range(1));
+  auto a = tcu::bench::random_matrix(d, d, 1700 + d + m);
+  auto b = tcu::bench::random_matrix(d, d, 1800 + d + m);
+  tcu::Device<double> dev({.m = m, .allow_tall = false});
+  dev.enable_trace();
+  for (auto _ : state) {
+    dev.reset();
+    auto c = tcu::linalg::matmul_tcu(dev, a.view(), b.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+  const double n_area = static_cast<double>(d) * d;
+  const double io_bound =
+      tcu::costs::extmem_mm_lower_bound(n_area, 3.0 * static_cast<double>(m));
+  const auto weak_time = static_cast<double>(dev.counters().time());
+  state.counters["weak_time"] = weak_time;
+  state.counters["io_lower_bound"] = io_bound;
+  state.counters["time_over_bound"] = weak_time / io_bound;
+  state.counters["trace_replay_ios"] =
+      static_cast<double>(tcu::extmem::simulate_trace_io(dev.trace(), m));
+  state.counters["blocked_matmul_ios"] =
+      static_cast<double>(tcu::extmem::matmul_io_blocked(d, 3 * m, 1));
+}
+
+void BM_MatmulIoScaling(benchmark::State& state) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  const auto M = static_cast<std::size_t>(state.range(1));
+  std::uint64_t ios = 0;
+  for (auto _ : state) {
+    ios = tcu::extmem::matmul_io_blocked(d, M, 1);
+    benchmark::DoNotOptimize(ios);
+  }
+  state.counters["ios"] = static_cast<double>(ios);
+  state.counters["lower_bound"] = tcu::costs::extmem_mm_lower_bound(
+      static_cast<double>(d) * d, static_cast<double>(M));
+  state.counters["ratio"] =
+      static_cast<double>(ios) /
+      tcu::costs::extmem_mm_lower_bound(static_cast<double>(d) * d,
+                                        static_cast<double>(M));
+}
+
+}  // namespace
+
+BENCHMARK(BM_Theorem12)
+    ->ArgsProduct({{64, 128, 256}, {16, 64, 256}})
+    ->ArgNames({"d", "m"})
+    ->Iterations(1);
+BENCHMARK(BM_MatmulIoScaling)
+    ->ArgsProduct({{32, 64, 128}, {48, 192, 768}})
+    ->ArgNames({"d", "M"})
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

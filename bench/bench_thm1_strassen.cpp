@@ -1,0 +1,41 @@
+// THM1 — Strassen-like dense multiplication, T(n) = O((n/m)^{w0} (m + l)).
+//
+// Sweeps the matrix dimension for p0 = 7 (Strassen, w0 ~ 1.4037) and
+// p0 = 8 (standard, w0 = 3/2) and reports measured model time against the
+// closed form; the ratio column must stay flat across each sweep and the
+// p0 = 7 rows must undercut the p0 = 8 rows at equal sizes.
+
+#include "bench_common.hpp"
+#include "core/costs.hpp"
+#include "linalg/strassen.hpp"
+
+namespace {
+
+void BM_StrassenTcu(benchmark::State& state) {
+  const int p0 = static_cast<int>(state.range(0));
+  const auto d = static_cast<std::size_t>(state.range(1));
+  const auto m = static_cast<std::size_t>(state.range(2));
+  const auto ell = static_cast<std::uint64_t>(state.range(3));
+  auto a = tcu::bench::random_matrix(d, d, 100 + d);
+  auto b = tcu::bench::random_matrix(d, d, 200 + d);
+  tcu::Device<double> dev({.m = m, .latency = ell});
+  for (auto _ : state) {
+    dev.reset();
+    auto c = tcu::linalg::matmul_strassen_tcu(dev, a.view(), b.view(),
+                                              {.p0 = p0});
+    benchmark::DoNotOptimize(c.data());
+  }
+  const double predicted = tcu::costs::thm1_strassen(
+      static_cast<double>(d) * d, static_cast<double>(m),
+      static_cast<double>(ell), p0, 4);
+  tcu::bench::report(state, dev.counters(), predicted);
+}
+
+}  // namespace
+
+BENCHMARK(BM_StrassenTcu)
+    ->ArgsProduct({{7, 8}, {64, 128, 256, 512}, {256}, {0, 4096}})
+    ->ArgNames({"p0", "d", "m", "l"})
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,42 @@
+// THM2 — blocked dense multiplication, Theta(n^{3/2}/sqrt(m) + (n/m) l),
+// optimal among semiring TCU algorithms.
+//
+// Sweeps dimension, tile area m and latency l; also reports the speedup
+// over the charged RAM baseline (approaches sqrt(m) as l -> 0).
+
+#include "bench_common.hpp"
+#include "core/costs.hpp"
+#include "linalg/dense.hpp"
+
+namespace {
+
+void BM_DenseTcu(benchmark::State& state) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  const auto m = static_cast<std::size_t>(state.range(1));
+  const auto ell = static_cast<std::uint64_t>(state.range(2));
+  auto a = tcu::bench::random_matrix(d, d, 300 + d);
+  auto b = tcu::bench::random_matrix(d, d, 400 + d);
+  tcu::Device<double> dev({.m = m, .latency = ell});
+  for (auto _ : state) {
+    dev.reset();
+    auto c = tcu::linalg::matmul_tcu(dev, a.view(), b.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+  const double n_area = static_cast<double>(d) * d;
+  tcu::bench::report(state, dev.counters(),
+                     tcu::costs::thm2_dense(n_area, static_cast<double>(m),
+                                            static_cast<double>(ell)));
+  // RAM baseline charges exactly d^3 multiply-accumulates.
+  state.counters["speedup_vs_ram"] =
+      n_area * static_cast<double>(d) /
+      static_cast<double>(dev.counters().time());
+}
+
+}  // namespace
+
+BENCHMARK(BM_DenseTcu)
+    ->ArgsProduct({{64, 128, 256, 512}, {64, 256, 1024}, {0, 1024}})
+    ->ArgNames({"d", "m", "l"})
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// THM3 — output-sensitive sparse multiplication,
+// O(sqrt(n/Z) (Z/m)^{w0} (m + l) + I).
+//
+// Balanced workloads by construction: circulant band matrices where the
+// output size Z scales with dim * band. Sweeps dimension and bandwidth;
+// reports I (input nnz), Z (output nnz) and the measured/predicted ratio.
+
+#include "bench_common.hpp"
+#include "core/costs.hpp"
+#include "linalg/sparse.hpp"
+
+namespace {
+
+using tcu::linalg::SparseEntry;
+using tcu::linalg::SparseMatrix;
+
+SparseMatrix<std::int64_t> band_matrix(std::size_t dim, std::size_t band,
+                                       std::uint64_t seed) {
+  tcu::util::Xoshiro256 rng(seed);
+  std::vector<SparseEntry<std::int64_t>> entries;
+  entries.reserve(dim * band);
+  for (std::size_t i = 0; i < dim; ++i) {
+    for (std::size_t d = 0; d < band; ++d) {
+      entries.push_back({i, (i + d * 3) % dim,
+                         static_cast<std::int64_t>(rng.uniform_int(1, 9))});
+    }
+  }
+  return SparseMatrix<std::int64_t>::from_entries(dim, dim,
+                                                  std::move(entries));
+}
+
+void BM_SparseTcu(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  const auto band = static_cast<std::size_t>(state.range(1));
+  const auto m = static_cast<std::size_t>(state.range(2));
+  auto a = band_matrix(dim, band, 700 + dim + band);
+  auto b = band_matrix(dim, band, 800 + dim + band);
+  tcu::Counters ram;
+  const auto expect = tcu::linalg::spmm_naive(a, b, ram);
+  tcu::Device<std::int64_t> dev({.m = m, .latency = 16});
+  std::size_t z = 0;
+  for (auto _ : state) {
+    dev.reset();
+    auto c = tcu::linalg::spmm_tcu(dev, a, b,
+                                   {.z_hint = expect.nnz(), .seed = 97});
+    z = c.nnz();
+    benchmark::DoNotOptimize(z);
+  }
+  const double I = static_cast<double>(a.nnz() + b.nnz());
+  tcu::bench::report(
+      state, dev.counters(),
+      tcu::costs::thm3_sparse(static_cast<double>(dim) * dim,
+                              static_cast<double>(z), I,
+                              static_cast<double>(m), 16.0));
+  state.counters["I"] = I;
+  state.counters["Z"] = static_cast<double>(z);
+  state.counters["naive_time"] = static_cast<double>(ram.time());
+}
+
+}  // namespace
+
+BENCHMARK(BM_SparseTcu)
+    ->ArgsProduct({{128, 256, 512}, {2, 4, 8}, {16, 64}})
+    ->ArgNames({"dim", "band", "m"})
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// THM4 — Gaussian elimination forward phase,
+// Theta(n^{3/2}/sqrt(m) + (n/m) l + n sqrt(m)).
+//
+// Sweeps the system size on diagonally dominant instances and reports the
+// ratio against the closed form plus the speedup over the Figure 2 RAM
+// loop. The n*sqrt(m) kernel-ABC term makes small systems relatively more
+// expensive — the predicted flattening is visible in the ratio column.
+
+#include "bench_common.hpp"
+#include "core/costs.hpp"
+#include "linalg/gauss.hpp"
+
+namespace {
+
+tcu::Matrix<double> random_system(std::size_t r, std::uint64_t seed) {
+  tcu::util::Xoshiro256 rng(seed);
+  tcu::Matrix<double> c(r, r, 0.0);
+  for (std::size_t i = 0; i + 1 < r; ++i) {
+    double row = 0;
+    for (std::size_t j = 0; j < r; ++j) {
+      c(i, j) = rng.uniform(-1, 1);
+      row += std::abs(c(i, j));
+    }
+    c(i, i) = row + 1.0;
+  }
+  return c;
+}
+
+void BM_GaussTcu(benchmark::State& state) {
+  const auto r = static_cast<std::size_t>(state.range(0));
+  const auto m = static_cast<std::size_t>(state.range(1));
+  const auto ell = static_cast<std::uint64_t>(state.range(2));
+  auto base = random_system(r, 900 + r + m);
+  tcu::Device<double> dev({.m = m, .latency = ell});
+  for (auto _ : state) {
+    dev.reset();
+    auto work = base;
+    tcu::linalg::ge_forward_tcu(dev, work.view());
+    benchmark::DoNotOptimize(work.data());
+  }
+  tcu::bench::report(state, dev.counters(),
+                     tcu::costs::thm4_gauss(static_cast<double>(r) * r,
+                                            static_cast<double>(m),
+                                            static_cast<double>(ell)));
+  tcu::Counters ram;
+  auto work = base;
+  tcu::linalg::ge_forward_naive(work.view(), ram);
+  state.counters["speedup_vs_ram"] =
+      static_cast<double>(ram.time()) /
+      static_cast<double>(dev.counters().time());
+}
+
+}  // namespace
+
+BENCHMARK(BM_GaussTcu)
+    ->ArgsProduct({{64, 128, 256, 512}, {64, 256}, {0, 1024}})
+    ->ArgNames({"r", "m", "l"})
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+// THM6 — Seidel all-pairs shortest distances,
+// O((n^2/m)^{w0} (m + l) log n).
+//
+// Connected random graphs; both the standard (w0 = 3/2) and Strassen
+// (w0 ~ 1.4) product kernels. Reports the ratio vs the closed form and
+// the speedup over all-sources BFS (which is output-optimal on sparse
+// graphs — the TCU wins only on dense instances, and the crossover is
+// part of the reproduction).
+
+#include "bench_common.hpp"
+#include "core/costs.hpp"
+#include "graph/apsd.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+void BM_ApsdSeidel(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto m = static_cast<std::size_t>(state.range(1));
+  const bool strassen = state.range(2) != 0;
+  auto adj = tcu::graph::random_connected_graph(n, 0.05, 1100 + n + m);
+  tcu::Device<std::int64_t> dev({.m = m, .latency = 16});
+  for (auto _ : state) {
+    dev.reset();
+    auto d = tcu::graph::apsd_seidel(dev, adj.view(),
+                                     {.use_strassen = strassen});
+    benchmark::DoNotOptimize(d.data());
+  }
+  tcu::bench::report(
+      state, dev.counters(),
+      tcu::costs::thm6_apsd(static_cast<double>(n), static_cast<double>(m),
+                            16.0, strassen ? 7 : 8, 4));
+  tcu::Counters ram;
+  auto d = tcu::graph::apsd_bfs(adj.view(), ram);
+  state.counters["bfs_time"] = static_cast<double>(ram.time());
+  state.counters["speedup_vs_bfs"] =
+      static_cast<double>(ram.time()) /
+      static_cast<double>(dev.counters().time());
+}
+
+}  // namespace
+
+BENCHMARK(BM_ApsdSeidel)
+    ->ArgsProduct({{64, 128, 256}, {64, 256}, {0, 1}})
+    ->ArgNames({"n", "m", "strassen"})
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+// THM7 — DFT, O((n + l) log_m n).
+//
+// Power-of-two and smooth lengths across m and l; reports the ratio vs
+// the closed form, the tensor-call count (latency is paid per recursion
+// level, not per sub-DFT) and the speedup over the radix-2 RAM FFT.
+
+#include "bench_common.hpp"
+#include "core/costs.hpp"
+#include "dft/dft.hpp"
+
+namespace {
+
+using tcu::dft::Complex;
+using tcu::dft::CVec;
+
+CVec random_signal(std::size_t n, std::uint64_t seed) {
+  tcu::util::Xoshiro256 rng(seed);
+  CVec x(n);
+  for (auto& v : x) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  return x;
+}
+
+void BM_DftTcu(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto m = static_cast<std::size_t>(state.range(1));
+  const auto ell = static_cast<std::uint64_t>(state.range(2));
+  auto x = random_signal(n, 1200 + n + m);
+  tcu::Device<Complex> dev({.m = m, .latency = ell});
+  for (auto _ : state) {
+    dev.reset();
+    auto y = tcu::dft::dft_tcu(dev, x);
+    benchmark::DoNotOptimize(y.data());
+  }
+  tcu::bench::report(state, dev.counters(),
+                     tcu::costs::thm7_dft(static_cast<double>(n),
+                                          static_cast<double>(m),
+                                          static_cast<double>(ell)));
+  if ((n & (n - 1)) == 0) {
+    tcu::Counters ram;
+    (void)tcu::dft::fft_ram(x, ram);
+    state.counters["fft_ram_time"] = static_cast<double>(ram.time());
+    state.counters["speedup_vs_fft"] =
+        static_cast<double>(ram.time()) /
+        static_cast<double>(dev.counters().time());
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_DftTcu)
+    ->ArgsProduct({{1024, 4096, 16384, 65536}, {64, 256}, {0, 4096}})
+    ->ArgNames({"n", "m", "l"})
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// THM8 — linear (n, k)-stencil, O(n log_m k + l log k).
+//
+// Heat-equation workload. Two sweeps: k at fixed grid (the log_m k
+// growth) and grid size at fixed k (linear growth in n). Reports the
+// speedup over direct sweeps, which the convolution pipeline overtakes as
+// k grows — the headline crossover of §4.6.
+
+#include "bench_common.hpp"
+#include "core/costs.hpp"
+#include "stencil/stencil.hpp"
+
+namespace {
+
+using tcu::stencil::Complex;
+
+void BM_StencilTcu(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<std::size_t>(state.range(1));
+  const auto m = static_cast<std::size_t>(state.range(2));
+  auto w = tcu::stencil::heat_kernel(0.125, 0.125);
+  auto grid = tcu::bench::random_matrix(dim, dim, 1300 + dim + k);
+  tcu::Device<Complex> dev({.m = m, .latency = 16});
+  for (auto _ : state) {
+    dev.reset();
+    auto out = tcu::stencil::stencil_tcu(dev, grid.view(), w, k);
+    benchmark::DoNotOptimize(out.data());
+  }
+  tcu::bench::report(
+      state, dev.counters(),
+      tcu::costs::thm8_stencil(static_cast<double>(dim) * dim,
+                               static_cast<double>(k),
+                               static_cast<double>(m), 16.0));
+  // Where the constants live: the Lemma 2 weight-matrix share, and the
+  // ratio against the paper's pre-absorption two-term bound.
+  tcu::Device<Complex> wdev({.m = m, .latency = 16});
+  (void)tcu::stencil::weight_matrix_tcu(wdev, w, k);
+  const auto weight_time = static_cast<double>(wdev.counters().time());
+  state.counters["weight_time"] = weight_time;
+  state.counters["weight_share"] =
+      weight_time / static_cast<double>(dev.counters().time());
+  const double refined = tcu::costs::thm8_stencil_refined(
+      static_cast<double>(dim) * dim, static_cast<double>(k),
+      static_cast<double>(m), 16.0);
+  state.counters["ratio_refined"] =
+      static_cast<double>(dev.counters().time()) / refined;
+  tcu::Counters unroll;
+  (void)tcu::stencil::weight_matrix_unrolled(w, k, unroll);
+  state.counters["weight_unrolled_time"] =
+      static_cast<double>(unroll.time());
+  tcu::Counters ram;
+  (void)tcu::stencil::stencil_direct(grid.view(), w, k, ram);
+  state.counters["direct_time"] = static_cast<double>(ram.time());
+  state.counters["speedup_vs_direct"] =
+      static_cast<double>(ram.time()) /
+      static_cast<double>(dev.counters().time());
+}
+
+}  // namespace
+
+// Sweep k at fixed grid; then grid at fixed k.
+BENCHMARK(BM_StencilTcu)
+    ->ArgsProduct({{64}, {4, 8, 16, 32, 64}, {256}})
+    ->ArgNames({"dim", "k", "m"})
+    ->Iterations(1);
+BENCHMARK(BM_StencilTcu)
+    ->ArgsProduct({{32, 64, 128}, {16}, {256}})
+    ->ArgNames({"dim", "k", "m"})
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,45 @@
+// THM9 — schoolbook integer multiplication on the TCU,
+// O(n^2/(kappa^2 sqrt(m)) + (n/(kappa m)) l), with kappa = 64 (16-bit
+// limbs = kappa/4 per the paper's overflow argument).
+//
+// Sweeps the bit length; reports the ratio vs the closed form and the
+// speedup over the limb-level RAM schoolbook.
+
+#include "bench_common.hpp"
+#include "core/costs.hpp"
+#include "intmul/mul.hpp"
+
+namespace {
+
+void BM_SchoolbookTcu(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  const auto m = static_cast<std::size_t>(state.range(1));
+  const auto ell = static_cast<std::uint64_t>(state.range(2));
+  tcu::util::Xoshiro256 rng(1400 + bits + m);
+  const auto a = tcu::intmul::BigInt::random_bits(bits, rng);
+  const auto b = tcu::intmul::BigInt::random_bits(bits, rng);
+  tcu::Device<std::int64_t> dev({.m = m, .latency = ell});
+  for (auto _ : state) {
+    dev.reset();
+    auto c = tcu::intmul::mul_schoolbook_tcu(dev, a, b);
+    benchmark::DoNotOptimize(c.limb_count());
+  }
+  tcu::bench::report(state, dev.counters(),
+                     tcu::costs::thm9_intmul(static_cast<double>(bits), 64.0,
+                                             static_cast<double>(m),
+                                             static_cast<double>(ell)));
+  tcu::Counters ram;
+  (void)tcu::intmul::mul_schoolbook_ram(a, b, ram);
+  state.counters["speedup_vs_ram"] =
+      static_cast<double>(ram.time()) /
+      static_cast<double>(dev.counters().time());
+}
+
+}  // namespace
+
+BENCHMARK(BM_SchoolbookTcu)
+    ->ArgsProduct({{4096, 16384, 65536}, {256, 1024}, {0, 1024}})
+    ->ArgNames({"bits", "m", "l"})
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

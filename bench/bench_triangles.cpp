@@ -1,0 +1,45 @@
+// TRI — triangle counting via trace(A^3)/6 (the §1.1 fast-MM application
+// transferred to the TCU through Theorems 1/2).
+//
+// Random graphs across densities; reports the count, the model time for
+// the standard and Strassen product kernels, and the speedup over triple
+// enumeration (which wins on very sparse graphs — the crossover matters).
+
+#include "bench_common.hpp"
+#include "graph/generators.hpp"
+#include "graph/triangles.hpp"
+
+namespace {
+
+void BM_TrianglesTcu(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const double density = static_cast<double>(state.range(1)) / 100.0;
+  const bool strassen = state.range(2) != 0;
+  auto g = tcu::graph::random_connected_graph(n, density, 3600 + n);
+  tcu::Device<std::int64_t> dev({.m = 256, .latency = 32});
+  std::uint64_t count = 0;
+  for (auto _ : state) {
+    dev.reset();
+    count = tcu::graph::count_triangles_tcu(dev, g.view(),
+                                            {.use_strassen = strassen});
+    benchmark::DoNotOptimize(count);
+  }
+  tcu::Counters ram;
+  const auto check = tcu::graph::count_triangles_ram(g.view(), ram);
+  state.counters["triangles"] = static_cast<double>(count);
+  state.counters["sim_time"] = static_cast<double>(dev.counters().time());
+  state.counters["enum_time"] = static_cast<double>(ram.time());
+  state.counters["speedup_vs_enum"] =
+      static_cast<double>(ram.time()) /
+      static_cast<double>(dev.counters().time());
+  state.counters["agrees"] = count == check ? 1.0 : 0.0;
+}
+
+}  // namespace
+
+BENCHMARK(BM_TrianglesTcu)
+    ->ArgsProduct({{64, 128, 256}, {5, 20, 60}, {0, 1}})
+    ->ArgNames({"n", "density_pct", "strassen"})
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// External-memory analysis (Section 5 / Theorem 12) as an interactive
+// walkthrough: record a weak-TCU algorithm's trace, replay it on the
+// I/O machine at M = 3m, and compare against the classical matmul I/O
+// bounds.
+//
+//   $ ./io_analysis [d]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/costs.hpp"
+#include "extmem/extmem.hpp"
+#include "linalg/dense.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using tcu::util::fmt;
+  const std::size_t d = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 128;
+  std::cout << "=== Theorem 12 walkthrough (d = " << d << ") ===\n\n";
+
+  tcu::util::Xoshiro256 rng(2026);
+  tcu::Matrix<double> a(d, d), b(d, d);
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      a(i, j) = rng.uniform(-1, 1);
+      b(i, j) = rng.uniform(-1, 1);
+    }
+  }
+
+  tcu::util::Table t({"m", "weak TCU time", "I/O lower bound (M=3m)",
+                      "time/bound", "trace replay I/Os",
+                      "blocked matmul I/Os"});
+  for (std::size_t m : {16u, 64u, 256u}) {
+    tcu::Device<double> dev({.m = m, .allow_tall = false});
+    dev.enable_trace();
+    auto c = tcu::linalg::matmul_tcu(dev, a.view(), b.view());
+    (void)c;
+    const double bound = tcu::costs::extmem_mm_lower_bound(
+        static_cast<double>(d) * d, 3.0 * static_cast<double>(m));
+    const auto replay = tcu::extmem::simulate_trace_io(dev.trace(), m);
+    const auto blocked = tcu::extmem::matmul_io_blocked(d, 3 * m, 1);
+    t.add_row({fmt(static_cast<std::uint64_t>(m)),
+               fmt(dev.counters().time()), fmt(bound, 0),
+               fmt(static_cast<double>(dev.counters().time()) / bound, 3),
+               fmt(replay), fmt(blocked)});
+  }
+  t.print(std::cout);
+  std::cout
+      << "\nReading the table (Section 5 of the paper):\n"
+         "  * every weak-TCU call simulates in Theta(m) I/Os, so the trace\n"
+         "    replay is exactly 3x the tensor time;\n"
+         "  * the weak TCU time exceeds the I/O lower bound by the constant\n"
+         "    sqrt(3) at every m — the Theorem 12 transfer, observed;\n"
+         "  * an actual LRU machine running blocked matmul stays within a\n"
+         "    small constant of the same bound.\n";
+  return 0;
+}

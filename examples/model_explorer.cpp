@@ -1,0 +1,69 @@
+// Model explorer: how the (m, l) parameters shape algorithm cost.
+//
+//   $ ./model_explorer
+//
+// For dense matrix multiplication (Theorem 2) this prints the measured
+// simulated time against the closed form across a grid of m and l, the
+// empirical scaling exponent, and the latency share — the numbers behind
+// the paper's discussion of TPU-like (huge m, huge l) vs TC-like (small
+// m, small l) design points.
+
+#include <iostream>
+
+#include "core/costs.hpp"
+#include "linalg/dense.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using tcu::util::fmt;
+  std::cout << "=== (m, l) design-space explorer: dense MM, d = 256 ===\n\n";
+  const std::size_t d = 256;
+  tcu::util::Xoshiro256 rng(4242);
+  tcu::Matrix<double> a(d, d), b(d, d);
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      a(i, j) = rng.uniform(-1, 1);
+      b(i, j) = rng.uniform(-1, 1);
+    }
+  }
+
+  tcu::util::Table t({"m", "l", "sim time", "predicted", "ratio",
+                      "latency share", "speedup vs RAM"});
+  const double ram_time = static_cast<double>(d) * d * d;
+  for (std::size_t m : {16u, 256u, 4096u, 65536u}) {
+    for (std::uint64_t ell : {0u, 1024u, 65536u}) {
+      if (m > d * d) continue;
+      tcu::Device<double> dev({.m = m, .latency = ell});
+      auto c = tcu::linalg::matmul_tcu(dev, a.view(), b.view());
+      const double sim = static_cast<double>(dev.counters().time());
+      const double pred = tcu::costs::thm2_dense(
+          static_cast<double>(d) * d, static_cast<double>(m),
+          static_cast<double>(ell));
+      t.add_row({fmt(static_cast<std::uint64_t>(m)), fmt(ell), fmt(sim, 0),
+                 fmt(pred, 0), fmt(sim / pred, 2),
+                 fmt(static_cast<double>(dev.counters().latency_time) / sim,
+                     2),
+                 fmt(ram_time / sim, 1)});
+      (void)c;
+    }
+  }
+  t.print(std::cout);
+
+  // Empirical exponent check: time vs dimension at fixed (m, l).
+  std::cout << "\nscaling fit at m = 256, l = 0 (Theorem 2 predicts d^3):\n";
+  std::vector<double> ds, ts;
+  for (std::size_t dim : {64u, 128u, 256u, 512u}) {
+    tcu::Matrix<double> x(dim, dim, 1.0), y(dim, dim, 1.0);
+    tcu::Device<double> dev({.m = 256});
+    auto c = tcu::linalg::matmul_tcu(dev, x.view(), y.view());
+    ds.push_back(static_cast<double>(dim));
+    ts.push_back(static_cast<double>(dev.counters().time()));
+    (void)c;
+  }
+  const auto fit = tcu::util::fit_power_law(ds, ts);
+  std::cout << "  measured exponent " << fit.exponent << " (r^2 = " << fit.r2
+            << ")\n";
+  return 0;
+}

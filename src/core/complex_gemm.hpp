@@ -1,0 +1,40 @@
+#pragma once
+// Complex matrix products on a *real* tensor unit.
+//
+// Section 4.5 of the paper assumes the TCU operates on complex numbers and
+// notes the assumption "can be easily removed with a constant slow down:
+// the multiplication between sqrt(m) x sqrt(m) complex matrices can be
+// computed with four matrix multiplications and two sums of real values."
+// This header implements that reduction (the classic 4M scheme) plus the
+// Karatsuba-style 3M variant, so the DFT/stencil pipelines can run either
+// on a native complex device or on a real device via these wrappers
+// (ablation ABL2 in DESIGN.md).
+
+#include <complex>
+
+#include "core/device.hpp"
+#include "core/matrix.hpp"
+
+namespace tcu {
+
+/// C = A*B (or +=) with complex operands executed as four real GEMMs:
+///   Cr = Ar*Br - Ai*Bi,  Ci = Ar*Bi + Ai*Br.
+/// Charges the real device for the four tensor calls plus the CPU work of
+/// splitting/recombining (4 n s reads + 2 n s adds + 2 n s writes).
+void complex_gemm_4m(Device<double>& dev,
+                     ConstMatrixView<std::complex<double>> A,
+                     ConstMatrixView<std::complex<double>> B,
+                     MatrixView<std::complex<double>> C,
+                     bool accumulate = false);
+
+/// Same contract with three real GEMMs (Karatsuba / 3M scheme):
+///   T1 = Ar*Br, T2 = Ai*Bi, T3 = (Ar+Ai)*(Br+Bi),
+///   Cr = T1 - T2, Ci = T3 - T1 - T2.
+/// Trades one tensor call for O(n sqrt(m)) extra additions.
+void complex_gemm_3m(Device<double>& dev,
+                     ConstMatrixView<std::complex<double>> A,
+                     ConstMatrixView<std::complex<double>> B,
+                     MatrixView<std::complex<double>> C,
+                     bool accumulate = false);
+
+}  // namespace tcu

@@ -1,0 +1,56 @@
+#pragma once
+// Simulated-cost accounting for the (m, l)-TCU model.
+//
+// The model's "running time" (Section 3) is the number of RAM operations
+// performed by the CPU plus n*sqrt(m) + l per tensor-unit call. Every
+// algorithm in this library charges its exact operation counts here, and
+// the benchmark harness compares Counters::time() against the paper's
+// closed-form bounds.
+
+#include <cstdint>
+
+namespace tcu {
+
+struct Counters {
+  // --- tensor unit ---
+  std::uint64_t tensor_calls = 0;     ///< number of tensor-unit invocations
+  std::uint64_t tensor_rows = 0;      ///< sum of left-operand row counts n
+  std::uint64_t tensor_time = 0;      ///< sum of (n*sqrt(m) + l) charges
+  std::uint64_t tensor_macs = 0;      ///< sum of n*m elementary products
+  std::uint64_t latency_time = 0;     ///< latency-only portion (calls * l)
+
+  // --- CPU / RAM ---
+  std::uint64_t cpu_ops = 0;          ///< unit-cost RAM operations
+
+  // --- optional engine detail ---
+  std::uint64_t systolic_cycles = 0;  ///< cycles if the systolic engine ran
+
+  /// Total simulated time in model units.
+  std::uint64_t time() const { return tensor_time + cpu_ops; }
+
+  void charge_cpu(std::uint64_t ops) { cpu_ops += ops; }
+
+  void charge_tensor_call(std::uint64_t n, std::uint64_t sqrt_m,
+                          std::uint64_t latency) {
+    tensor_calls += 1;
+    tensor_rows += n;
+    tensor_time += n * sqrt_m + latency;
+    tensor_macs += n * sqrt_m * sqrt_m;
+    latency_time += latency;
+  }
+
+  void reset() { *this = Counters{}; }
+
+  Counters& operator+=(const Counters& other) {
+    tensor_calls += other.tensor_calls;
+    tensor_rows += other.tensor_rows;
+    tensor_time += other.tensor_time;
+    tensor_macs += other.tensor_macs;
+    latency_time += other.latency_time;
+    cpu_ops += other.cpu_ops;
+    systolic_cycles += other.systolic_cycles;
+    return *this;
+  }
+};
+
+}  // namespace tcu

@@ -1,0 +1,170 @@
+#pragma once
+// The simulated tensor core unit: the heart of the (m, l)-TCU model.
+//
+// Section 3 of the paper defines the model: a RAM machine whose CPU owns a
+// circuit multiplying an n x sqrt(m) left operand by a sqrt(m) x sqrt(m)
+// right operand in time O(n*sqrt(m) + l), where n >= sqrt(m) is chosen per
+// call. `Device<T>` reproduces that contract:
+//
+//   * `gemm` executes the product (bit-exactly for integral T) and charges
+//     exactly n*sqrt(m) + l simulated time units to its `Counters`.
+//   * In *weak* mode (Section 5) tall operands are split into square
+//     sqrt(m) x sqrt(m) calls, each charged m + l, reproducing the weak
+//     TCU model used for the lower-bound transfer of Theorem 12.
+//   * The numeric engine is pluggable: the default reference engine is a
+//     tight triple loop; `tcu::systolic` installs a cycle-level systolic
+//     array (Section 2.2 / Figure 1) that also reports cycle counts.
+//
+// The device does not model limited numerical precision or multiple
+// parallel units; Section 3.1 of the paper explicitly scopes those out.
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "core/counters.hpp"
+#include "core/matrix.hpp"
+#include "core/trace.hpp"
+
+namespace tcu {
+
+/// Integer square root; throws unless v is a perfect square.
+inline std::size_t exact_sqrt(std::size_t v) {
+  const auto root = static_cast<std::size_t>(std::llround(std::sqrt(
+      static_cast<double>(v))));
+  if (root * root != v) {
+    throw std::invalid_argument("exact_sqrt: value is not a perfect square");
+  }
+  return root;
+}
+
+template <typename T>
+class Device {
+ public:
+  /// Numeric engine signature: computes C = A*B (or C += A*B) for an
+  /// n x s left operand and s x s right operand, and may add engine detail
+  /// (e.g. systolic cycles) to the counters. It must NOT charge model time;
+  /// the device does that.
+  using Engine = std::function<void(ConstMatrixView<T>, ConstMatrixView<T>,
+                                    MatrixView<T>, bool, Counters&)>;
+
+  struct Config {
+    std::size_t m = 256;        ///< tile area; sqrt(m) x sqrt(m) right operand
+    std::uint64_t latency = 0;  ///< the model parameter l
+    bool allow_tall = true;     ///< false = weak TCU model (square calls only)
+    std::string name = "tcu";
+  };
+
+  explicit Device(Config cfg) : Device(std::move(cfg), reference_engine()) {}
+
+  Device(Config cfg, Engine engine)
+      : cfg_(std::move(cfg)), engine_(std::move(engine)) {
+    if (cfg_.m == 0) throw std::invalid_argument("Device: m must be >= 1");
+    s_ = exact_sqrt(cfg_.m);
+    if (!engine_) throw std::invalid_argument("Device: null engine");
+  }
+
+  std::size_t m() const { return cfg_.m; }
+  std::size_t tile_dim() const { return s_; }  ///< sqrt(m)
+  std::uint64_t latency() const { return cfg_.latency; }
+  bool allows_tall() const { return cfg_.allow_tall; }
+  const std::string& name() const { return cfg_.name; }
+
+  /// C = A * B (or C += A * B when `accumulate`), with A: n x s, B: s x s,
+  /// C: n x s. Charges n*s + l model time (tall mode) or ceil(n/s)*(m + l)
+  /// (weak mode). Rows are processed even when n < s, but a full tile is
+  /// charged: the hardware pipeline cannot be shortened below its depth.
+  void gemm(ConstMatrixView<T> A, ConstMatrixView<T> B, MatrixView<T> C,
+            bool accumulate = false) {
+    validate_shapes(A, B, C);
+    const std::uint64_t n = A.rows;
+    if (cfg_.allow_tall || n <= s_) {
+      issue(A, B, C, accumulate, std::max<std::uint64_t>(n, s_));
+      return;
+    }
+    // Weak model: split the tall operand into square tiles (Section 5).
+    for (std::size_t r0 = 0; r0 < n; r0 += s_) {
+      const std::size_t rows = std::min(s_, static_cast<std::size_t>(n) - r0);
+      issue(A.row_block(r0, rows), B, C.row_block(r0, rows), accumulate, s_);
+    }
+  }
+
+  /// Convenience wrapper allocating the output.
+  Matrix<T> multiply(const Matrix<T>& A, const Matrix<T>& B) {
+    Matrix<T> C(A.rows(), B.cols());
+    gemm(A.view(), B.view(), C.view(), /*accumulate=*/false);
+    return C;
+  }
+
+  Counters& counters() { return counters_; }
+  const Counters& counters() const { return counters_; }
+  void reset() {
+    counters_.reset();
+    trace_.clear();
+  }
+
+  /// Charge `ops` unit-cost RAM operations (the algorithms' CPU work).
+  void charge_cpu(std::uint64_t ops) { counters_.charge_cpu(ops); }
+
+  void enable_trace(bool on = true) { tracing_ = on; }
+  bool tracing() const { return tracing_; }
+  const Trace& trace() const { return trace_; }
+
+  /// Default numeric engine: straightforward triple loop.
+  static Engine reference_engine() {
+    return [](ConstMatrixView<T> A, ConstMatrixView<T> B, MatrixView<T> C,
+              bool accumulate, Counters&) {
+      const std::size_t n = A.rows;
+      const std::size_t s = B.rows;
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < s; ++j) {
+          T acc = accumulate ? C(i, j) : T{};
+          for (std::size_t k = 0; k < s; ++k) acc += A(i, k) * B(k, j);
+          C(i, j) = acc;
+        }
+      }
+    };
+  }
+
+ private:
+  void validate_shapes(ConstMatrixView<T> A, ConstMatrixView<T> B,
+                       MatrixView<T> C) const {
+    if (B.rows != s_ || B.cols != s_) {
+      throw std::invalid_argument(
+          "Device::gemm: right operand must be sqrt(m) x sqrt(m)");
+    }
+    if (A.cols != s_) {
+      throw std::invalid_argument(
+          "Device::gemm: left operand must have sqrt(m) columns");
+    }
+    if (C.rows != A.rows || C.cols != s_) {
+      throw std::invalid_argument("Device::gemm: output shape mismatch");
+    }
+  }
+
+  void issue(ConstMatrixView<T> A, ConstMatrixView<T> B, MatrixView<T> C,
+             bool accumulate, std::uint64_t charged_rows) {
+    engine_(A, B, C, accumulate, counters_);
+    counters_.charge_tensor_call(charged_rows, s_, cfg_.latency);
+    if (tracing_) trace_.record(charged_rows, s_, accumulate);
+  }
+
+  Config cfg_;
+  Engine engine_;
+  std::size_t s_ = 0;
+  Counters counters_;
+  Trace trace_;
+  bool tracing_ = false;
+};
+
+/// Closed-form model cost of one tall tensor call (for bench predictions).
+inline std::uint64_t tensor_call_cost(std::uint64_t n, std::size_t m,
+                                      std::uint64_t latency) {
+  const auto s = static_cast<std::uint64_t>(exact_sqrt(m));
+  return std::max(n, s) * s + latency;
+}
+
+}  // namespace tcu

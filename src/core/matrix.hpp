@@ -1,0 +1,198 @@
+#pragma once
+// Dense row-major matrix container and non-owning strided views.
+//
+// The whole library works in terms of these types: the simulated tensor
+// unit consumes `ConstMatrixView` operands and writes a `MatrixView`
+// destination, so algorithms can hand sub-blocks of larger matrices to the
+// device without copying (mirroring how real TCU instructions take memory
+// addresses, Section 3 of the paper).
+
+#include <cassert>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace tcu {
+
+template <typename T>
+struct ConstMatrixView;
+
+/// Non-owning mutable view over a row-major block with a row stride.
+template <typename T>
+struct MatrixView {
+  T* data = nullptr;
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::size_t stride = 0;  ///< distance in elements between row starts
+
+  MatrixView() = default;
+  MatrixView(T* d, std::size_t r, std::size_t c, std::size_t s)
+      : data(d), rows(r), cols(c), stride(s) {
+    assert(s >= c);
+  }
+
+  T& operator()(std::size_t i, std::size_t j) const {
+    assert(i < rows && j < cols);
+    return data[i * stride + j];
+  }
+
+  MatrixView subview(std::size_t r0, std::size_t c0, std::size_t nr,
+                     std::size_t nc) const {
+    if (r0 + nr > rows || c0 + nc > cols) {
+      throw std::out_of_range("MatrixView::subview out of range");
+    }
+    return MatrixView(data + r0 * stride + c0, nr, nc, stride);
+  }
+
+  /// Rows [r0, r0+nr) as a full-width view.
+  MatrixView row_block(std::size_t r0, std::size_t nr) const {
+    return subview(r0, 0, nr, cols);
+  }
+
+  void fill(const T& value) const {
+    for (std::size_t i = 0; i < rows; ++i) {
+      for (std::size_t j = 0; j < cols; ++j) (*this)(i, j) = value;
+    }
+  }
+
+  ConstMatrixView<T> as_const() const;
+};
+
+/// Non-owning read-only view; implicitly convertible from MatrixView.
+template <typename T>
+struct ConstMatrixView {
+  const T* data = nullptr;
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::size_t stride = 0;
+
+  ConstMatrixView() = default;
+  ConstMatrixView(const T* d, std::size_t r, std::size_t c, std::size_t s)
+      : data(d), rows(r), cols(c), stride(s) {
+    assert(s >= c);
+  }
+  ConstMatrixView(MatrixView<T> v)  // NOLINT: intentional implicit
+      : data(v.data), rows(v.rows), cols(v.cols), stride(v.stride) {}
+
+  const T& operator()(std::size_t i, std::size_t j) const {
+    assert(i < rows && j < cols);
+    return data[i * stride + j];
+  }
+
+  ConstMatrixView subview(std::size_t r0, std::size_t c0, std::size_t nr,
+                          std::size_t nc) const {
+    if (r0 + nr > rows || c0 + nc > cols) {
+      throw std::out_of_range("ConstMatrixView::subview out of range");
+    }
+    return ConstMatrixView(data + r0 * stride + c0, nr, nc, stride);
+  }
+
+  ConstMatrixView row_block(std::size_t r0, std::size_t nr) const {
+    return subview(r0, 0, nr, cols);
+  }
+};
+
+template <typename T>
+ConstMatrixView<T> MatrixView<T>::as_const() const {
+  return ConstMatrixView<T>(data, rows, cols, stride);
+}
+
+/// Owning dense row-major matrix.
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, const T& init = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, init) {}
+
+  static Matrix identity(std::size_t n) {
+    Matrix eye(n, n, T{});
+    for (std::size_t i = 0; i < n; ++i) eye(i, i) = T{1};
+    return eye;
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  T& operator()(std::size_t i, std::size_t j) {
+    assert(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+  const T& operator()(std::size_t i, std::size_t j) const {
+    assert(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  MatrixView<T> view() {
+    return MatrixView<T>(data_.data(), rows_, cols_, cols_);
+  }
+  ConstMatrixView<T> view() const {
+    return ConstMatrixView<T>(data_.data(), rows_, cols_, cols_);
+  }
+  MatrixView<T> subview(std::size_t r0, std::size_t c0, std::size_t nr,
+                        std::size_t nc) {
+    return view().subview(r0, c0, nr, nc);
+  }
+  ConstMatrixView<T> subview(std::size_t r0, std::size_t c0, std::size_t nr,
+                             std::size_t nc) const {
+    return view().subview(r0, c0, nr, nc);
+  }
+
+  void fill(const T& value) { data_.assign(data_.size(), value); }
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+/// Copy `src` into `dst`; shapes must match.
+template <typename T>
+void copy(ConstMatrixView<T> src, MatrixView<T> dst) {
+  if (src.rows != dst.rows || src.cols != dst.cols) {
+    throw std::invalid_argument("copy: shape mismatch");
+  }
+  for (std::size_t i = 0; i < src.rows; ++i) {
+    for (std::size_t j = 0; j < src.cols; ++j) dst(i, j) = src(i, j);
+  }
+}
+
+/// Materialize a view as an owning matrix.
+template <typename T>
+Matrix<T> materialize(ConstMatrixView<T> src) {
+  Matrix<T> out(src.rows, src.cols);
+  copy(src, out.view());
+  return out;
+}
+
+/// Transpose into a fresh matrix.
+template <typename T>
+Matrix<T> transposed(ConstMatrixView<T> src) {
+  Matrix<T> out(src.cols, src.rows);
+  for (std::size_t i = 0; i < src.rows; ++i) {
+    for (std::size_t j = 0; j < src.cols; ++j) out(j, i) = src(i, j);
+  }
+  return out;
+}
+
+/// Mutable-view overloads (template deduction does not apply the implicit
+/// MatrixView -> ConstMatrixView conversion).
+template <typename T>
+Matrix<T> materialize(MatrixView<T> src) {
+  return materialize(src.as_const());
+}
+template <typename T>
+Matrix<T> transposed(MatrixView<T> src) {
+  return transposed(src.as_const());
+}
+
+}  // namespace tcu

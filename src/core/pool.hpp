@@ -1,0 +1,81 @@
+#pragma once
+// Multiple parallel tensor units.
+//
+// Section 3.1 calls the single-unit assumption the model's main
+// simplification — real boards carry hundreds of tensor cores — and §6
+// asks how parallel units change algorithm design. `DevicePool<T>` is the
+// natural extension: p independent (m, l) units sharing the CPU. A
+// parallel algorithm assigns whole tensor calls to units; the pool's
+// running time (makespan) is the shared CPU time plus the *maximum*
+// tensor time over units, so perfectly balanced work divides the tensor
+// term by p while the latency of each call stays on its unit.
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "core/device.hpp"
+
+namespace tcu {
+
+template <typename T>
+class DevicePool {
+ public:
+  DevicePool(std::size_t units, typename Device<T>::Config cfg) {
+    if (units == 0) throw std::invalid_argument("DevicePool: units >= 1");
+    units_.reserve(units);
+    for (std::size_t i = 0; i < units; ++i) {
+      auto unit_cfg = cfg;
+      unit_cfg.name = cfg.name + "#" + std::to_string(i);
+      units_.emplace_back(std::move(unit_cfg));
+    }
+  }
+
+  std::size_t size() const { return units_.size(); }
+  Device<T>& unit(std::size_t i) { return units_.at(i); }
+  const Device<T>& unit(std::size_t i) const { return units_.at(i); }
+
+  /// Unit with the smallest tensor time so far (greedy list scheduling).
+  Device<T>& least_loaded() {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < units_.size(); ++i) {
+      if (units_[i].counters().tensor_time <
+          units_[best].counters().tensor_time) {
+        best = i;
+      }
+    }
+    return units_[best];
+  }
+
+  /// Shared (sequential) CPU work.
+  void charge_cpu(std::uint64_t ops) { cpu_.charge_cpu(ops); }
+  const Counters& cpu() const { return cpu_; }
+
+  /// Model running time: CPU plus the busiest unit.
+  std::uint64_t makespan() const {
+    std::uint64_t worst = 0;
+    for (const auto& u : units_) {
+      worst = std::max(worst,
+                       u.counters().tensor_time + u.counters().cpu_ops);
+    }
+    return worst + cpu_.cpu_ops;
+  }
+
+  /// Aggregate tensor time across units (the sequential-equivalent work).
+  std::uint64_t total_tensor_time() const {
+    std::uint64_t total = 0;
+    for (const auto& u : units_) total += u.counters().tensor_time;
+    return total;
+  }
+
+  void reset() {
+    for (auto& u : units_) u.reset();
+    cpu_.reset();
+  }
+
+ private:
+  std::vector<Device<T>> units_;
+  Counters cpu_;
+};
+
+}  // namespace tcu

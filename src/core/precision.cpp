@@ -1,0 +1,54 @@
+#include "core/precision.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tcu {
+
+double quantize(double x, int mantissa_bits) {
+  if (mantissa_bits >= 52) return x;
+  if (mantissa_bits < 1) {
+    throw std::invalid_argument("quantize: mantissa_bits must be >= 1");
+  }
+  if (x == 0.0 || !std::isfinite(x)) return x;
+  int exponent = 0;
+  const double significand = std::frexp(x, &exponent);  // in [0.5, 1)
+  const double scale = std::ldexp(1.0, mantissa_bits + 1);
+  const double rounded = std::nearbyint(significand * scale) / scale;
+  return std::ldexp(rounded, exponent);
+}
+
+Device<double>::Engine limited_precision_engine(PrecisionSpec spec) {
+  return [spec](ConstMatrixView<double> A, ConstMatrixView<double> B,
+                MatrixView<double> C, bool accumulate, Counters&) {
+    const std::size_t n = A.rows;
+    const std::size_t s = B.rows;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < s; ++j) {
+        double acc = accumulate ? quantize(C(i, j), spec.acc_mantissa) : 0.0;
+        for (std::size_t k = 0; k < s; ++k) {
+          const double a = quantize(A(i, k), spec.input_mantissa);
+          const double b = quantize(B(k, j), spec.input_mantissa);
+          acc = quantize(acc + quantize(a * b, spec.acc_mantissa),
+                         spec.acc_mantissa);
+        }
+        C(i, j) = acc;
+      }
+    }
+  };
+}
+
+double max_abs_diff(ConstMatrixView<double> a, ConstMatrixView<double> b) {
+  if (a.rows != b.rows || a.cols != b.cols) {
+    throw std::invalid_argument("max_abs_diff: shape mismatch");
+  }
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.rows; ++i) {
+    for (std::size_t j = 0; j < a.cols; ++j) {
+      worst = std::max(worst, std::abs(a(i, j) - b(i, j)));
+    }
+  }
+  return worst;
+}
+
+}  // namespace tcu

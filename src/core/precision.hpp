@@ -1,0 +1,37 @@
+#pragma once
+// Limited-numerical-precision tensor engines.
+//
+// Real tensor units compute in reduced precision: NVIDIA TCs multiply
+// fp16 operands into an fp32 accumulator, TPUv1 uses 8-bit integers. The
+// paper deliberately keeps precision out of the model (§3.1) and lists
+// "how to include low numerical precision" among its open questions (§6).
+// This header provides the experimental apparatus for that question: a
+// Device<double> engine whose inputs are rounded to a configurable
+// mantissa width and whose accumulator rounds after every add, so the
+// numerical behaviour of fp16x/fp32+ (TC-like) or bf16-like hardware can
+// be measured against the exact reference engine (ablation ABL3).
+
+#include "core/device.hpp"
+
+namespace tcu {
+
+/// Round `x` to `mantissa_bits` of significand (IEEE round-to-nearest on
+/// the significand; exponent range is not clamped). mantissa_bits >= 52
+/// returns x unchanged.
+double quantize(double x, int mantissa_bits);
+
+struct PrecisionSpec {
+  int input_mantissa = 10;  ///< fp16 has 10 explicit significand bits
+  int acc_mantissa = 23;    ///< fp32 accumulate, the NVIDIA TC default
+};
+
+/// Engine for Device<double> emulating a limited-precision tensor unit:
+/// both operands are quantized on load; every multiply result and every
+/// accumulator update is rounded to the accumulator width.
+Device<double>::Engine limited_precision_engine(PrecisionSpec spec);
+
+/// Max absolute elementwise difference between two equal-shape matrices —
+/// the error metric used by the precision tests and the ABL3 bench.
+double max_abs_diff(ConstMatrixView<double> a, ConstMatrixView<double> b);
+
+}  // namespace tcu

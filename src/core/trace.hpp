@@ -1,0 +1,39 @@
+#pragma once
+// Execution traces of tensor-unit calls.
+//
+// A trace is the sequence of tensor operations an algorithm issued, with
+// their shapes. The external-memory module (Theorem 12) replays traces on
+// an I/O machine: each call becomes Theta(m) block transfers at M = 3m,
+// B = 1, which is exactly the simulation argument of Section 5.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tcu {
+
+/// One tensor-unit invocation: left operand n x s times right s x s.
+struct TensorOp {
+  std::uint64_t n = 0;         ///< rows of the (possibly tall) left operand
+  std::uint64_t s = 0;         ///< sqrt(m) at the time of the call
+  bool accumulate = false;     ///< C += A*B rather than C = A*B
+};
+
+struct Trace {
+  std::vector<TensorOp> ops;
+
+  void record(std::uint64_t n, std::uint64_t s, bool accumulate) {
+    ops.push_back(TensorOp{n, s, accumulate});
+  }
+  void clear() { ops.clear(); }
+  std::size_t size() const { return ops.size(); }
+
+  /// Total elements moved through the unit: sum of (n*s + s*s + n*s).
+  std::uint64_t words_touched() const {
+    std::uint64_t total = 0;
+    for (const auto& op : ops) total += 2 * op.n * op.s + op.s * op.s;
+    return total;
+  }
+};
+
+}  // namespace tcu

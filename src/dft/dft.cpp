@@ -1,0 +1,346 @@
+#include "dft/dft.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace tcu::dft {
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+Complex unit_root(double num, double den, bool inverse) {
+  const double angle = (inverse ? 2.0 : -2.0) * kPi * num / den;
+  return {std::cos(angle), std::sin(angle)};
+}
+
+/// Largest factor f of len with 2 <= f <= s; 0 if none (len prime > s).
+std::size_t choose_factor(std::size_t len, std::size_t s) {
+  for (std::size_t f = std::min(s, len); f >= 2; --f) {
+    if (len % f == 0) return f;
+  }
+  return 0;
+}
+
+void dft_batch_rec(CplxDevice& dev, MatrixView<Complex> batch);
+
+/// All column DFTs of one Cooley-Tukey level for the whole batch with a
+/// single tall tensor product: gather the (b*n2) x n1 matrix of column
+/// vectors, multiply by W_{n1} zero-padded to the device tile, scatter the
+/// results back twiddled, reshaped so each length-n2 subvector of the next
+/// level is a contiguous row.
+void ct_level(CplxDevice& dev, MatrixView<Complex> batch, std::size_t n1,
+              MatrixView<Complex> next) {
+  const std::size_t b = batch.rows;
+  const std::size_t len = batch.cols;
+  const std::size_t n2 = len / n1;
+  const std::size_t s = dev.tile_dim();
+
+  // Zero-padded Fourier tile for the column transforms.
+  Matrix<Complex> w_tile(s, s, Complex{});
+  for (std::size_t r = 0; r < n1; ++r) {
+    for (std::size_t c = 0; c < n1; ++c) {
+      w_tile(r, c) = unit_root(static_cast<double>((r * c) % n1),
+                               static_cast<double>(n1), false);
+    }
+  }
+  dev.charge_cpu(n1 * n1);
+
+  // Gather: G[r*n2 + c][j1] = batch(r, j1*n2 + c) — the column vectors of
+  // every row's n1 x n2 arrangement, stacked tall.
+  Matrix<Complex> gathered(b * n2, s, Complex{});
+  for (std::size_t r = 0; r < b; ++r) {
+    for (std::size_t c = 0; c < n2; ++c) {
+      for (std::size_t j1 = 0; j1 < n1; ++j1) {
+        gathered(r * n2 + c, j1) = batch(r, j1 * n2 + c);
+      }
+    }
+  }
+  dev.charge_cpu(b * len);
+
+  Matrix<Complex> transformed(b * n2, s, Complex{});
+  dev.gemm(gathered.view(), w_tile.view(), transformed.view());
+
+  // Twiddle + scatter into the next level's contiguous layout:
+  // next(r*n1 + k1, j2) = transformed(r*n2 + j2, k1) * w_len^{k1*j2}.
+  for (std::size_t r = 0; r < b; ++r) {
+    for (std::size_t k1 = 0; k1 < n1; ++k1) {
+      for (std::size_t j2 = 0; j2 < n2; ++j2) {
+        const Complex tw =
+            unit_root(static_cast<double>((k1 * j2) % len),
+                      static_cast<double>(len), false);
+        next(r * n1 + k1, j2) = transformed(r * n2 + j2, k1) * tw;
+      }
+    }
+  }
+  dev.charge_cpu(2 * b * len);
+}
+
+/// Bluestein chirp-z: DFT of prime length len > sqrt(m) via a circular
+/// convolution of power-of-two size N >= 2*len - 1.
+void bluestein(CplxDevice& dev, MatrixView<Complex> batch) {
+  const std::size_t len = batch.cols;
+  const std::size_t b = batch.rows;
+  std::size_t N = 1;
+  while (N < 2 * len - 1) N *= 2;
+
+  // Chirps: a_j = x_j * conj(chirp_j), kernel_j = chirp_j with chirp_j =
+  // exp(pi i j^2 / len); y_k = conj(chirp_k) * (a (*) kernel)_k.
+  std::vector<Complex> chirp(len);
+  for (std::size_t j = 0; j < len; ++j) {
+    const auto j2 = static_cast<double>((j * j) % (2 * len));
+    const double angle = kPi * j2 / static_cast<double>(len);
+    chirp[j] = {std::cos(angle), std::sin(angle)};
+  }
+  dev.charge_cpu(len);
+
+  Matrix<Complex> a(b, N, Complex{});
+  for (std::size_t r = 0; r < b; ++r) {
+    for (std::size_t j = 0; j < len; ++j) {
+      a(r, j) = batch(r, j) * std::conj(chirp[j]);
+    }
+  }
+  Matrix<Complex> kernel(1, N, Complex{});
+  kernel(0, 0) = chirp[0];
+  for (std::size_t j = 1; j < len; ++j) {
+    kernel(0, j) = chirp[j];
+    kernel(0, N - j) = chirp[j];
+  }
+  dev.charge_cpu(b * len + 2 * len);
+
+  dft_batch_rec(dev, a.view());
+  dft_batch_rec(dev, kernel.view());
+  for (std::size_t r = 0; r < b; ++r) {
+    for (std::size_t j = 0; j < N; ++j) {
+      a(r, j) = std::conj(a(r, j) * kernel(0, j));
+    }
+  }
+  dev.charge_cpu(2 * b * N);
+  // Inverse DFT of size N via conjugation around the forward transform.
+  dft_batch_rec(dev, a.view());
+  const double scale = 1.0 / static_cast<double>(N);
+  for (std::size_t r = 0; r < b; ++r) {
+    for (std::size_t k = 0; k < len; ++k) {
+      batch(r, k) = std::conj(a(r, k)) * scale * std::conj(chirp[k]);
+    }
+  }
+  dev.charge_cpu(b * len);
+}
+
+void dft_batch_rec(CplxDevice& dev, MatrixView<Complex> batch) {
+  const std::size_t len = batch.cols;
+  const std::size_t b = batch.rows;
+  const std::size_t s = dev.tile_dim();
+  if (len <= 1) return;
+
+  if (len <= s) {
+    // One tall call transforms the whole batch.
+    Matrix<Complex> w_tile(s, s, Complex{});
+    for (std::size_t r = 0; r < len; ++r) {
+      for (std::size_t c = 0; c < len; ++c) {
+        w_tile(r, c) = unit_root(static_cast<double>((r * c) % len),
+                                 static_cast<double>(len), false);
+      }
+    }
+    Matrix<Complex> padded(b, s, Complex{});
+    for (std::size_t r = 0; r < b; ++r) {
+      for (std::size_t j = 0; j < len; ++j) padded(r, j) = batch(r, j);
+    }
+    Matrix<Complex> out(b, s, Complex{});
+    dev.gemm(padded.view(), w_tile.view(), out.view());
+    for (std::size_t r = 0; r < b; ++r) {
+      for (std::size_t j = 0; j < len; ++j) batch(r, j) = out(r, j);
+    }
+    dev.charge_cpu(len * len + 2 * b * len);
+    return;
+  }
+
+  const std::size_t n1 = choose_factor(len, s);
+  if (n1 == 0) {
+    bluestein(dev, batch);
+    return;
+  }
+  const std::size_t n2 = len / n1;
+
+  Matrix<Complex> next(b * n1, n2, Complex{});
+  ct_level(dev, batch, n1, next.view());
+  dft_batch_rec(dev, next.view());
+
+  // Column-major read-out: y[k1 + n1*k2] = next(r*n1 + k1, k2).
+  for (std::size_t r = 0; r < b; ++r) {
+    for (std::size_t k1 = 0; k1 < n1; ++k1) {
+      for (std::size_t k2 = 0; k2 < n2; ++k2) {
+        batch(r, k1 + n1 * k2) = next(r * n1 + k1, k2);
+      }
+    }
+  }
+  dev.charge_cpu(b * len);
+}
+
+}  // namespace
+
+Matrix<Complex> fourier_matrix(std::size_t n, bool inverse) {
+  Matrix<Complex> w(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      w(r, c) = unit_root(static_cast<double>((r * c) % n),
+                          static_cast<double>(n), inverse);
+    }
+  }
+  return w;
+}
+
+CVec dft_naive(const CVec& x, Counters& counters, bool inverse) {
+  const std::size_t n = x.size();
+  CVec y(n, Complex{});
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t j = 0; j < n; ++j) {
+      y[k] += x[j] * unit_root(static_cast<double>((j * k) % n),
+                               static_cast<double>(n), inverse);
+    }
+  }
+  if (inverse) {
+    for (auto& v : y) v /= static_cast<double>(n);
+  }
+  counters.charge_cpu(n * n + (inverse ? n : 0));
+  return y;
+}
+
+CVec fft_ram(const CVec& x, Counters& counters, bool inverse) {
+  const std::size_t n = x.size();
+  if (n == 0 || (n & (n - 1)) != 0) {
+    throw std::invalid_argument("fft_ram: length must be a power of two");
+  }
+  CVec a = x;
+  std::uint64_t ops = 0;
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+    ++ops;
+  }
+  for (std::size_t half = 1; half < n; half *= 2) {
+    const Complex step =
+        unit_root(1.0, static_cast<double>(2 * half), inverse);
+    for (std::size_t start = 0; start < n; start += 2 * half) {
+      Complex w{1.0, 0.0};
+      for (std::size_t off = 0; off < half; ++off) {
+        const Complex even = a[start + off];
+        const Complex odd = a[start + off + half] * w;
+        a[start + off] = even + odd;
+        a[start + off + half] = even - odd;
+        w *= step;
+        // One complex multiply + two complex adds per butterfly, plus the
+        // twiddle update — charged per complex-word operation, the same
+        // granularity the TCU pipelines charge their glue at.
+        ops += 4;
+      }
+    }
+  }
+  if (inverse) {
+    for (auto& v : a) v /= static_cast<double>(n);
+    ops += n;
+  }
+  counters.charge_cpu(ops);
+  return a;
+}
+
+void dft_batch_tcu(CplxDevice& dev, MatrixView<Complex> batch) {
+  if (dev.tile_dim() < 2) {
+    throw std::invalid_argument("dft_batch_tcu: needs m >= 4");
+  }
+  dft_batch_rec(dev, batch);
+}
+
+void idft_batch_tcu(CplxDevice& dev, MatrixView<Complex> batch) {
+  const std::size_t b = batch.rows, len = batch.cols;
+  for (std::size_t r = 0; r < b; ++r) {
+    for (std::size_t j = 0; j < len; ++j) {
+      batch(r, j) = std::conj(batch(r, j));
+    }
+  }
+  dft_batch_tcu(dev, batch);
+  const double scale = 1.0 / static_cast<double>(len);
+  for (std::size_t r = 0; r < b; ++r) {
+    for (std::size_t j = 0; j < len; ++j) {
+      batch(r, j) = std::conj(batch(r, j)) * scale;
+    }
+  }
+  dev.charge_cpu(2 * b * len);
+}
+
+CVec dft_tcu(CplxDevice& dev, const CVec& x, bool inverse) {
+  if (x.empty()) return {};
+  Matrix<Complex> batch(1, x.size());
+  for (std::size_t j = 0; j < x.size(); ++j) batch(0, j) = x[j];
+  if (inverse) {
+    idft_batch_tcu(dev, batch.view());
+  } else {
+    dft_batch_tcu(dev, batch.view());
+  }
+  dev.charge_cpu(2 * x.size());
+  CVec y(x.size());
+  for (std::size_t j = 0; j < x.size(); ++j) y[j] = batch(0, j);
+  return y;
+}
+
+Matrix<Complex> dft2_tcu(CplxDevice& dev, ConstMatrixView<Complex> x,
+                         bool inverse) {
+  Matrix<Complex> rows = materialize(x);
+  dev.charge_cpu(x.rows * x.cols);
+  if (inverse) {
+    idft_batch_tcu(dev, rows.view());
+  } else {
+    dft_batch_tcu(dev, rows.view());
+  }
+  Matrix<Complex> cols = transposed(rows.view().as_const());
+  dev.charge_cpu(x.rows * x.cols);
+  if (inverse) {
+    idft_batch_tcu(dev, cols.view());
+  } else {
+    dft_batch_tcu(dev, cols.view());
+  }
+  Matrix<Complex> out = transposed(cols.view().as_const());
+  dev.charge_cpu(x.rows * x.cols);
+  return out;
+}
+
+CVec circular_convolve_tcu(CplxDevice& dev, const CVec& a, const CVec& b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("circular_convolve: length mismatch");
+  }
+  if (a.empty()) return {};
+  const std::size_t n = a.size();
+  Matrix<Complex> batch(2, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    batch(0, j) = a[j];
+    batch(1, j) = b[j];
+  }
+  dft_batch_tcu(dev, batch.view());
+  Matrix<Complex> prod(1, n);
+  for (std::size_t j = 0; j < n; ++j) prod(0, j) = batch(0, j) * batch(1, j);
+  dev.charge_cpu(n);
+  idft_batch_tcu(dev, prod.view());
+  CVec out(n);
+  for (std::size_t j = 0; j < n; ++j) out[j] = prod(0, j);
+  return out;
+}
+
+Matrix<Complex> circular_convolve2_tcu(CplxDevice& dev,
+                                       ConstMatrixView<Complex> a,
+                                       ConstMatrixView<Complex> kernel) {
+  if (a.rows != kernel.rows || a.cols != kernel.cols) {
+    throw std::invalid_argument("circular_convolve2: shape mismatch");
+  }
+  Matrix<Complex> fa = dft2_tcu(dev, a, false);
+  Matrix<Complex> fk = dft2_tcu(dev, kernel, false);
+  for (std::size_t i = 0; i < fa.rows(); ++i) {
+    for (std::size_t j = 0; j < fa.cols(); ++j) fa(i, j) *= fk(i, j);
+  }
+  dev.charge_cpu(fa.rows() * fa.cols());
+  return dft2_tcu(dev, fa.view(), true);
+}
+
+}  // namespace tcu::dft

@@ -1,0 +1,74 @@
+#pragma once
+// Discrete Fourier Transform in the (m, l)-TCU model (§4.5, Theorem 7).
+//
+// The Cooley-Tukey recursion is run with n1 = sqrt(m): the input vector is
+// arranged as an n1 x n2 matrix (row-major); all column DFTs of one
+// recursion level are computed by a single *tall* tensor product with the
+// Fourier matrix W_{n1} (latency paid once per level), entries are
+// multiplied by twiddle factors, and the rows are transformed recursively.
+// Total: O((n + l) log_m n).
+//
+// Engineering extensions beyond the paper's statement (documented in
+// DESIGN.md):
+//   * batched transforms — a b x len matrix of b independent vectors is
+//     transformed with the same number of tensor calls as one vector,
+//     which is exactly the "concurrent DFTs via tall left matrices" trick
+//     Lemma 1 (stencils) relies on;
+//   * arbitrary lengths — composite lengths split by the largest factor
+//     <= sqrt(m); prime lengths fall back to Bluestein's chirp-z reduction
+//     onto a power-of-two circular convolution;
+//   * inverse transforms via conjugation, 2-D transforms, and circular
+//     convolution through the convolution theorem (used by §4.6 stencils).
+//
+// The device operates natively on complex words; Section 4.5's remark
+// reduces this to a real device with constant slowdown (see
+// core/complex_gemm.hpp and the ABL2 ablation bench).
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "core/device.hpp"
+#include "core/matrix.hpp"
+
+namespace tcu::dft {
+
+using Complex = std::complex<double>;
+using CVec = std::vector<Complex>;
+using CplxDevice = Device<Complex>;
+
+/// Naive O(n^2) DFT on the RAM model (test oracle and small baseline).
+CVec dft_naive(const CVec& x, Counters& counters, bool inverse = false);
+
+/// Radix-2 iterative FFT on the RAM model; n must be a power of two.
+/// Charges one unit per butterfly. The classical baseline for crossover
+/// benchmarks.
+CVec fft_ram(const CVec& x, Counters& counters, bool inverse = false);
+
+/// Theorem 7: DFT of one vector on the tensor unit (any length >= 1).
+CVec dft_tcu(CplxDevice& dev, const CVec& x, bool inverse = false);
+
+/// Batched forward DFT: every row of `batch` (b x len) is transformed in
+/// place. All rows share each level's tensor calls.
+void dft_batch_tcu(CplxDevice& dev, MatrixView<Complex> batch);
+
+/// Batched inverse DFT (conjugation trick + 1/len scaling), in place.
+void idft_batch_tcu(CplxDevice& dev, MatrixView<Complex> batch);
+
+/// 2-D DFT of an r x c matrix: DFT of every row, then of every column.
+Matrix<Complex> dft2_tcu(CplxDevice& dev, ConstMatrixView<Complex> x,
+                         bool inverse = false);
+
+/// Circular convolution of equal-length vectors via the convolution
+/// theorem (three DFTs + pointwise product).
+CVec circular_convolve_tcu(CplxDevice& dev, const CVec& a, const CVec& b);
+
+/// 2-D circular convolution of equal-shape matrices.
+Matrix<Complex> circular_convolve2_tcu(CplxDevice& dev,
+                                       ConstMatrixView<Complex> a,
+                                       ConstMatrixView<Complex> kernel);
+
+/// The n x n symmetric Fourier matrix W with W[r][c] = exp(-2 pi i rc/n).
+Matrix<Complex> fourier_matrix(std::size_t n, bool inverse = false);
+
+}  // namespace tcu::dft

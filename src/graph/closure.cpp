@@ -1,0 +1,192 @@
+#include "graph/closure.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace tcu::graph {
+
+void closure_naive(MatrixView<Vert> d, Counters& counters) {
+  const std::size_t n = d.rows;
+  if (d.cols != n) throw std::invalid_argument("closure_naive: square input");
+  std::uint64_t updates = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (d(i, k) == 0) {
+        updates += n;  // the inner loop still scans (branch per j)
+        continue;
+      }
+      for (std::size_t j = 0; j < n; ++j) {
+        d(i, j) = d(i, j) | (d(i, k) & d(k, j));
+        ++updates;
+      }
+    }
+  }
+  counters.charge_cpu(updates);
+}
+
+namespace {
+
+/// Kernel A (Figure 7): boolean closure within the diagonal block.
+void kernel_a(Device<Vert>& dev, MatrixView<Vert> X) {
+  const std::size_t s = X.rows;
+  for (std::size_t k = 0; k < s; ++k) {
+    for (std::size_t i = 0; i < s; ++i) {
+      for (std::size_t j = 0; j < s; ++j) {
+        X(i, j) = X(i, j) | (X(i, k) & X(k, j));
+      }
+    }
+  }
+  dev.charge_cpu(static_cast<std::uint64_t>(s) * s * s);
+}
+
+/// Kernel B (Figure 7): X |= Y (diagonal block) times X, boolean.
+void kernel_b(Device<Vert>& dev, MatrixView<Vert> X, ConstMatrixView<Vert> Y) {
+  const std::size_t s = X.rows;
+  for (std::size_t k = 0; k < s; ++k) {
+    for (std::size_t i = 0; i < s; ++i) {
+      for (std::size_t j = 0; j < s; ++j) {
+        X(i, j) = X(i, j) | (Y(i, k) & X(k, j));
+      }
+    }
+  }
+  dev.charge_cpu(static_cast<std::uint64_t>(s) * s * s);
+}
+
+/// Kernel C (Figure 7): X |= X times Y (diagonal block), boolean.
+void kernel_c(Device<Vert>& dev, MatrixView<Vert> X, ConstMatrixView<Vert> Y) {
+  const std::size_t s = X.rows;
+  for (std::size_t k = 0; k < s; ++k) {
+    for (std::size_t i = 0; i < s; ++i) {
+      for (std::size_t j = 0; j < s; ++j) {
+        X(i, j) = X(i, j) | (X(i, k) & Y(k, j));
+      }
+    }
+  }
+  dev.charge_cpu(static_cast<std::uint64_t>(s) * s * s);
+}
+
+/// Clamp a strip back to 0/1 after an arithmetic D update (lines 5-7 of
+/// function D in Figure 7).
+void clamp_block(Device<Vert>& dev, MatrixView<Vert> X) {
+  for (std::size_t i = 0; i < X.rows; ++i) {
+    for (std::size_t j = 0; j < X.cols; ++j) {
+      if (X(i, j) > 1) X(i, j) = 1;
+    }
+  }
+  dev.charge_cpu(static_cast<std::uint64_t>(X.rows) * X.cols);
+}
+
+void closure_tcu_divisible(Device<Vert>& dev, MatrixView<Vert> X) {
+  const std::size_t n = X.rows;
+  const std::size_t s = dev.tile_dim();
+  const std::size_t t = n / s;
+  for (std::size_t kb = 0; kb < t; ++kb) {
+    auto diag = X.subview(kb * s, kb * s, s, s);
+    kernel_a(dev, diag);
+    for (std::size_t jb = 0; jb < t; ++jb) {
+      if (jb != kb) kernel_b(dev, X.subview(kb * s, jb * s, s, s), diag);
+    }
+    for (std::size_t ib = 0; ib < t; ++ib) {
+      if (ib != kb) kernel_c(dev, X.subview(ib * s, kb * s, s, s), diag);
+    }
+    // Kernel D: for each block column j != k, load X_kj as the weight
+    // matrix and stream the column panel X_ik for all i != k. The panel is
+    // contiguous above and below the pivot row — two tall calls.
+    for (std::size_t jb = 0; jb < t; ++jb) {
+      if (jb == kb) continue;
+      auto weight = X.subview(kb * s, jb * s, s, s);
+      if (kb > 0) {
+        dev.gemm(X.subview(0, kb * s, kb * s, s), weight,
+                 X.subview(0, jb * s, kb * s, s), /*accumulate=*/true);
+        clamp_block(dev, X.subview(0, jb * s, kb * s, s));
+      }
+      if (kb + 1 < t) {
+        const std::size_t top = (kb + 1) * s;
+        dev.gemm(X.subview(top, kb * s, n - top, s), weight,
+                 X.subview(top, jb * s, n - top, s), /*accumulate=*/true);
+        clamp_block(dev, X.subview(top, jb * s, n - top, s));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void closure_tcu(Device<Vert>& dev, MatrixView<Vert> d) {
+  const std::size_t n = d.rows;
+  if (d.cols != n) throw std::invalid_argument("closure_tcu: square input");
+  if (n == 0) return;
+  const std::size_t s = dev.tile_dim();
+  if (n % s == 0) {
+    closure_tcu_divisible(dev, d);
+    return;
+  }
+  // Pad with isolated vertices (no edges): they cannot create paths, so
+  // the closure restricted to the original vertices is unchanged.
+  const std::size_t np = ((n + s - 1) / s) * s;
+  AdjMatrix padded(np, np, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) padded(i, j) = d(i, j);
+  }
+  dev.charge_cpu(np * np);
+  closure_tcu_divisible(dev, padded.view());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) d(i, j) = padded(i, j);
+  }
+  dev.charge_cpu(n * n);
+}
+
+AdjMatrix closure_bfs_oracle(ConstMatrixView<Vert> adjacency) {
+  const std::size_t n = adjacency.rows;
+  if (adjacency.cols != n) {
+    throw std::invalid_argument("closure_bfs_oracle: square input");
+  }
+  AdjMatrix out(n, n, 0);
+  std::vector<std::size_t> stack;
+  std::vector<char> seen(n);
+  for (std::size_t src = 0; src < n; ++src) {
+    std::fill(seen.begin(), seen.end(), 0);
+    stack.assign(1, src);
+    seen[src] = 1;
+    while (!stack.empty()) {
+      const std::size_t v = stack.back();
+      stack.pop_back();
+      for (std::size_t w = 0; w < n; ++w) {
+        if (adjacency(v, w) != 0 && !seen[w]) {
+          seen[w] = 1;
+          stack.push_back(w);
+        }
+      }
+    }
+    for (std::size_t w = 0; w < n; ++w) {
+      // Figure 5 semantics: d[i,j] reports reachability including the
+      // trivial i = j case whenever a self-loop or cycle produces it; the
+      // iterative algorithm keeps d[i,i] = 1 only if it was set or lies on
+      // a cycle. BFS marks the source, so mirror that convention: i
+      // reaches j if j is seen via at least one edge, or i == j with the
+      // initial matrix already having d[i,i] = 1.
+      if (w == src) continue;
+      out(src, w) = seen[w];
+    }
+  }
+  // Diagonal: v reaches itself through a cycle (some w with v->w and w->v
+  // reachable) or an explicit self-loop.
+  for (std::size_t v = 0; v < n; ++v) {
+    if (adjacency(v, v) != 0) {
+      out(v, v) = 1;
+      continue;
+    }
+    for (std::size_t w = 0; w < n && out(v, v) == 0; ++w) {
+      if (w != v && adjacency(v, w) != 0 && out(w, v) != 0) out(v, v) = 1;
+    }
+    // Direct back-edge cycle v->w->v.
+    for (std::size_t w = 0; w < n && out(v, v) == 0; ++w) {
+      if (w != v && adjacency(v, w) != 0 && adjacency(w, v) != 0) {
+        out(v, v) = 1;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace tcu::graph

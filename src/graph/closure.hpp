@@ -1,0 +1,42 @@
+#pragma once
+// Graph transitive closure in the (m, l)-TCU model (§4.3, Theorem 5).
+//
+// `closure_naive` is the Figure 5 iterative algorithm (Floyd-Warshall with
+// OR/AND in place of +/x). `closure_tcu` is the Figure 7 blocked version:
+// per outer block iteration k, kernel A closes the diagonal block, kernels
+// B and C update the row/column panels with boolean operations on the CPU,
+// and kernel D updates every trailing block with an ordinary *arithmetic*
+// product on the tensor unit followed by a clamp X[i,j] <- min(X[i,j], 1)
+// — the paper's observation that D touches blocks disjoint from the pivot
+// panels, so plain + and x are safe. Per block column j, X_kj is loaded as
+// the weight matrix and the Theta(n) rows of all X_ik blocks (i != k)
+// stream through the unit, yielding
+// Theta(n^3/sqrt(m) + (n^2/m) l + n^2 sqrt(m)).
+//
+// Vertices use int64 storage (0/1 values) so the tensor products are exact.
+
+#include <cstdint>
+
+#include "core/device.hpp"
+#include "core/matrix.hpp"
+
+namespace tcu::graph {
+
+using Vert = std::int64_t;
+using AdjMatrix = Matrix<Vert>;
+
+/// Figure 5: in-place Theta(n^3) transitive closure on the RAM; charges
+/// one unit per innermost OR/AND update.
+void closure_naive(MatrixView<Vert> d, Counters& counters);
+
+/// Figure 7 / Theorem 5: in-place blocked transitive closure with the
+/// trailing (D) updates on the tensor unit. Any n is accepted: the matrix
+/// is padded with isolated vertices up to a multiple of sqrt(m)
+/// internally.
+void closure_tcu(Device<Vert>& dev, MatrixView<Vert> d);
+
+/// Reference oracle for tests: reachability by BFS from every vertex.
+/// Not cost-charged (it is the ground truth, not a model algorithm).
+AdjMatrix closure_bfs_oracle(ConstMatrixView<Vert> adjacency);
+
+}  // namespace tcu::graph

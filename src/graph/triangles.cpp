@@ -1,0 +1,75 @@
+#include "graph/triangles.hpp"
+
+#include <stdexcept>
+
+#include "linalg/dense.hpp"
+#include "linalg/strassen.hpp"
+
+namespace tcu::graph {
+
+namespace {
+
+void check_simple(ConstMatrixView<std::int64_t> a) {
+  const std::size_t n = a.rows;
+  if (a.cols != n) {
+    throw std::invalid_argument("triangles: adjacency must be square");
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a(i, i) != 0) {
+      throw std::invalid_argument("triangles: no self loops allowed");
+    }
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (a(i, j) != a(j, i) || (a(i, j) != 0 && a(i, j) != 1)) {
+        throw std::invalid_argument(
+            "triangles: adjacency must be symmetric 0/1");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::uint64_t count_triangles_tcu(Device<std::int64_t>& dev,
+                                  ConstMatrixView<std::int64_t> adjacency,
+                                  TriangleOptions opts) {
+  check_simple(adjacency);
+  const std::size_t n = adjacency.rows;
+  if (n < 3) return 0;
+  Matrix<std::int64_t> a = materialize(adjacency);
+  dev.charge_cpu(n * n);
+  Matrix<std::int64_t> a2 =
+      opts.use_strassen
+          ? linalg::matmul_strassen_tcu(dev, a.view(), a.view(), {.p0 = 7})
+          : linalg::matmul_tcu(dev, a.view(), a.view());
+  // trace(A^2 * A) = sum_{i,k} A2[i][k] * A[k][i]: a CPU dot pass.
+  std::int64_t trace = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < n; ++k) trace += a2(i, k) * a(k, i);
+  }
+  dev.charge_cpu(n * n);
+  return static_cast<std::uint64_t>(trace / 6);
+}
+
+std::uint64_t count_triangles_ram(ConstMatrixView<std::int64_t> adjacency,
+                                  Counters& counters) {
+  check_simple(adjacency);
+  const std::size_t n = adjacency.rows;
+  std::uint64_t count = 0;
+  std::uint64_t ops = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (adjacency(i, j) == 0) {
+        ++ops;
+        continue;
+      }
+      for (std::size_t k = j + 1; k < n; ++k) {
+        ++ops;
+        if (adjacency(i, k) != 0 && adjacency(j, k) != 0) ++count;
+      }
+    }
+  }
+  counters.charge_cpu(ops);
+  return count;
+}
+
+}  // namespace tcu::graph

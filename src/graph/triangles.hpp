@@ -1,0 +1,34 @@
+#pragma once
+// Triangle counting via matrix multiplication.
+//
+// The paper's introduction cites triangle listing (Bjorklund et al. [5])
+// as a headline application of fast matrix multiplication that transfers
+// to the TCU model through Theorem 1. This is the counting version: for a
+// simple undirected graph with adjacency matrix A, the number of
+// triangles is trace(A^3)/6. One TCU product computes A^2; the trace of
+// A^2 * A needs only the diagonal, a Theta(n^2) CPU dot-product pass —
+// total O((n^2/m)^{w0}(m + l) + n^2).
+
+#include <cstdint>
+
+#include "core/device.hpp"
+#include "core/matrix.hpp"
+
+namespace tcu::graph {
+
+struct TriangleOptions {
+  bool use_strassen = false;  ///< Theorem 1 (p0 = 7) for the square
+};
+
+/// Number of triangles of a simple undirected graph (symmetric 0/1
+/// adjacency, zero diagonal).
+std::uint64_t count_triangles_tcu(Device<std::int64_t>& dev,
+                                  ConstMatrixView<std::int64_t> adjacency,
+                                  TriangleOptions opts = {});
+
+/// RAM baseline: enumerate ordered vertex triples i < j < k; Theta(n^3)
+/// worst case, charged.
+std::uint64_t count_triangles_ram(ConstMatrixView<std::int64_t> adjacency,
+                                  Counters& counters);
+
+}  // namespace tcu::graph

@@ -1,0 +1,174 @@
+#include "intmul/bigint.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tcu::intmul {
+
+BigInt::BigInt(std::uint64_t value) {
+  while (value != 0) {
+    limbs_.push_back(static_cast<Limb>(value & kLimbMask));
+    value >>= kLimbBits;
+  }
+}
+
+BigInt BigInt::from_limbs(std::vector<Limb> limbs) {
+  BigInt out;
+  out.limbs_ = std::move(limbs);
+  for (Limb l : out.limbs_) {
+    if (l > kLimbMask) {
+      throw std::invalid_argument("BigInt::from_limbs: limb out of range");
+    }
+  }
+  out.normalize();
+  return out;
+}
+
+void BigInt::normalize() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigInt BigInt::from_hex(const std::string& hex) {
+  if (hex.empty()) throw std::invalid_argument("BigInt::from_hex: empty");
+  BigInt out;
+  // Each limb is exactly 4 hex digits; parse from the tail.
+  std::size_t end = hex.size();
+  while (end > 0) {
+    const std::size_t begin = end >= 4 ? end - 4 : 0;
+    Limb limb = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+      const char c = hex[i];
+      limb <<= 4;
+      if (c >= '0' && c <= '9') {
+        limb |= static_cast<Limb>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        limb |= static_cast<Limb>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        limb |= static_cast<Limb>(c - 'A' + 10);
+      } else {
+        throw std::invalid_argument("BigInt::from_hex: bad digit");
+      }
+    }
+    out.limbs_.push_back(limb);
+    end = begin;
+  }
+  out.normalize();
+  return out;
+}
+
+std::string BigInt::to_hex() const {
+  if (limbs_.empty()) return "0";
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  for (std::size_t idx = limbs_.size(); idx-- > 0;) {
+    for (int shift = 12; shift >= 0; shift -= 4) {
+      out.push_back(digits[(limbs_[idx] >> shift) & 0xF]);
+    }
+  }
+  const std::size_t first = out.find_first_not_of('0');
+  return first == std::string::npos ? "0" : out.substr(first);
+}
+
+BigInt BigInt::random_bits(std::size_t bits, util::Xoshiro256& rng) {
+  if (bits == 0) return BigInt{};
+  BigInt out;
+  const std::size_t limbs = (bits + kLimbBits - 1) / kLimbBits;
+  out.limbs_.resize(limbs);
+  for (auto& limb : out.limbs_) {
+    limb = static_cast<Limb>(rng.uniform_int(0, kLimbMask));
+  }
+  // Force exactly `bits` significant bits.
+  const std::size_t top_bits = bits - (limbs - 1) * kLimbBits;
+  Limb& top = out.limbs_.back();
+  top &= static_cast<Limb>((1u << top_bits) - 1);
+  top |= static_cast<Limb>(1u << (top_bits - 1));
+  return out;
+}
+
+std::size_t BigInt::bit_length() const {
+  if (limbs_.empty()) return 0;
+  std::size_t bits = (limbs_.size() - 1) * kLimbBits;
+  Limb top = limbs_.back();
+  while (top != 0) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+std::strong_ordering BigInt::operator<=>(const BigInt& other) const {
+  if (limbs_.size() != other.limbs_.size()) {
+    return limbs_.size() <=> other.limbs_.size();
+  }
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    if (limbs_[i] != other.limbs_[i]) return limbs_[i] <=> other.limbs_[i];
+  }
+  return std::strong_ordering::equal;
+}
+
+BigInt BigInt::operator+(const BigInt& other) const {
+  BigInt out;
+  const std::size_t n = std::max(limbs_.size(), other.limbs_.size());
+  out.limbs_.reserve(n + 1);
+  std::uint32_t carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint32_t sum = carry;
+    if (i < limbs_.size()) sum += limbs_[i];
+    if (i < other.limbs_.size()) sum += other.limbs_[i];
+    out.limbs_.push_back(sum & kLimbMask);
+    carry = sum >> kLimbBits;
+  }
+  if (carry != 0) out.limbs_.push_back(carry);
+  return out;
+}
+
+BigInt BigInt::operator-(const BigInt& other) const {
+  if (*this < other) {
+    throw std::invalid_argument("BigInt: subtraction would underflow");
+  }
+  BigInt out;
+  out.limbs_.reserve(limbs_.size());
+  std::int32_t borrow = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::int32_t diff = static_cast<std::int32_t>(limbs_[i]) - borrow;
+    if (i < other.limbs_.size()) {
+      diff -= static_cast<std::int32_t>(other.limbs_[i]);
+    }
+    if (diff < 0) {
+      diff += 1 << kLimbBits;
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.limbs_.push_back(static_cast<Limb>(diff));
+  }
+  out.normalize();
+  return out;
+}
+
+BigInt BigInt::shifted_limbs(std::size_t count) const {
+  if (limbs_.empty()) return {};
+  BigInt out;
+  out.limbs_.assign(count, 0);
+  out.limbs_.insert(out.limbs_.end(), limbs_.begin(), limbs_.end());
+  return out;
+}
+
+BigInt BigInt::low_limbs(std::size_t count) const {
+  BigInt out;
+  const std::size_t n = std::min(count, limbs_.size());
+  out.limbs_.assign(limbs_.begin(), limbs_.begin() + static_cast<std::ptrdiff_t>(n));
+  out.normalize();
+  return out;
+}
+
+BigInt BigInt::high_limbs(std::size_t count) const {
+  BigInt out;
+  if (count < limbs_.size()) {
+    out.limbs_.assign(limbs_.begin() + static_cast<std::ptrdiff_t>(count),
+                      limbs_.end());
+  }
+  return out;
+}
+
+}  // namespace tcu::intmul

@@ -1,0 +1,62 @@
+#pragma once
+// Arbitrary-precision unsigned integers: the substrate for §4.7.
+//
+// The paper stores long integers as polynomials over base-2^{kappa'}
+// limbs with kappa' = kappa/4, so that limb products summed over n' terms
+// never overflow a kappa-bit tensor word. With the library's 64-bit
+// integer device we use 16-bit limbs: a schoolbook coefficient is at most
+// (2^16-1)^2 * n' < 2^32 * n', exact in int64 for any practical n'.
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace tcu::intmul {
+
+class BigInt {
+ public:
+  static constexpr unsigned kLimbBits = 16;
+  static constexpr std::uint32_t kLimbMask = 0xFFFFu;
+  using Limb = std::uint32_t;  // holds a 16-bit digit
+
+  BigInt() = default;                    ///< zero
+  explicit BigInt(std::uint64_t value);  ///< from a machine word
+
+  /// Parse a (lowercase or uppercase) hexadecimal string, no prefix.
+  static BigInt from_hex(const std::string& hex);
+  std::string to_hex() const;
+
+  /// Uniformly random integer with exactly `bits` significant bits
+  /// (top bit set), or zero when bits == 0.
+  static BigInt random_bits(std::size_t bits, util::Xoshiro256& rng);
+
+  /// Construct from little-endian base-2^16 limbs (normalizes).
+  static BigInt from_limbs(std::vector<Limb> limbs);
+
+  bool is_zero() const { return limbs_.empty(); }
+  std::size_t limb_count() const { return limbs_.size(); }
+  std::size_t bit_length() const;
+  const std::vector<Limb>& limbs() const { return limbs_; }
+
+  friend bool operator==(const BigInt& a, const BigInt& b) = default;
+  std::strong_ordering operator<=>(const BigInt& other) const;
+
+  BigInt operator+(const BigInt& other) const;
+  /// Requires *this >= other; throws std::invalid_argument otherwise.
+  BigInt operator-(const BigInt& other) const;
+  /// Multiply by 2^{16 * count} (limb shift).
+  BigInt shifted_limbs(std::size_t count) const;
+  /// The low `count` limbs (mod 2^{16 * count}).
+  BigInt low_limbs(std::size_t count) const;
+  /// Limbs from `count` upward (floor division by 2^{16 * count}).
+  BigInt high_limbs(std::size_t count) const;
+
+ private:
+  void normalize();
+  std::vector<Limb> limbs_;  // little-endian, no trailing zeros
+};
+
+}  // namespace tcu::intmul

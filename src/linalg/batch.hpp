@@ -1,0 +1,61 @@
+#pragma once
+// Batched products against a shared right operand.
+//
+// The model's asymmetry property (§3, property 3) exists precisely for
+// this workload: "the same model can be applied to k vectors". Multiplying
+// k left operands by one resident B must pay the weight-load latency per
+// *tile*, not per batch item — achieved by stacking the batch into a
+// single tall left operand.
+
+#include <type_traits>
+#include <vector>
+
+#include "linalg/dense.hpp"
+
+namespace tcu::linalg {
+
+/// Multiply each k x s block in `batch` by the shared B. All inputs must
+/// have the same shape (rows x B.rows). Returns one output per input;
+/// the tensor unit sees a single stacked tall operand per weight tile.
+template <typename T>
+std::vector<Matrix<T>> matmul_batch_shared_b(
+    Device<T>& dev, const std::vector<Matrix<T>>& batch,
+    std::type_identity_t<ConstMatrixView<T>> B) {
+  if (batch.empty()) return {};
+  const std::size_t rows = batch.front().rows();
+  const std::size_t inner = batch.front().cols();
+  for (const auto& item : batch) {
+    if (item.rows() != rows || item.cols() != inner) {
+      throw std::invalid_argument(
+          "matmul_batch_shared_b: heterogeneous batch shapes");
+    }
+  }
+  if (inner != B.rows) {
+    throw std::invalid_argument("matmul_batch_shared_b: inner mismatch");
+  }
+  Matrix<T> stacked(batch.size() * rows, inner);
+  for (std::size_t idx = 0; idx < batch.size(); ++idx) {
+    for (std::size_t i = 0; i < rows; ++i) {
+      for (std::size_t j = 0; j < inner; ++j) {
+        stacked(idx * rows + i, j) = batch[idx](i, j);
+      }
+    }
+  }
+  dev.charge_cpu(stacked.rows() * stacked.cols());
+  Matrix<T> product = matmul_tcu(dev, stacked.view(), B);
+  std::vector<Matrix<T>> out;
+  out.reserve(batch.size());
+  for (std::size_t idx = 0; idx < batch.size(); ++idx) {
+    Matrix<T> item(rows, B.cols);
+    for (std::size_t i = 0; i < rows; ++i) {
+      for (std::size_t j = 0; j < B.cols; ++j) {
+        item(i, j) = product(idx * rows + i, j);
+      }
+    }
+    out.push_back(std::move(item));
+  }
+  dev.charge_cpu(product.rows() * product.cols());
+  return out;
+}
+
+}  // namespace tcu::linalg

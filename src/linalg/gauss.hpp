@@ -1,0 +1,201 @@
+#pragma once
+// Gaussian elimination without pivoting in the (m, l)-TCU model (§4.2).
+//
+// The input is the sqrt(n) x sqrt(n) augmented matrix `c` of Figure 2: the
+// first sqrt(n)-1 rows hold a system of sqrt(n)-1 equations (coefficients
+// plus right-hand side in the last column); the last row is all zeros.
+//
+// `ge_forward_naive` is the Theta(r^3) triple loop of Figure 2.
+// `ge_forward_tcu` is the blocked algorithm of Figure 4: the matrix is cut
+// into sqrt(m) x sqrt(m) blocks; per outer iteration k the diagonal block
+// is eliminated in place (kernel A), the row panel is updated and the
+// rescaled strip X' prepared (kernel B), the column panel partially
+// eliminated (kernel C), and the whole trailing submatrix updated by
+// kernel D — the only TCU step: X'_j is loaded as the weight matrix and
+// the entire column panel below the diagonal streams through the unit as
+// one tall call, giving Theta(n^{3/2}/sqrt(m) + (n/m) l + n sqrt(m))
+// (Theorem 4).
+//
+// Only the upper triangle (the row-echelon output consumed by back
+// substitution) is meaningful after the forward phase; below-diagonal
+// storage holds partially-transformed multipliers, exactly as in the
+// paper's pseudocode which never zeroes it.
+
+#include <cstdint>
+#include <type_traits>
+#include <stdexcept>
+#include <vector>
+
+#include "core/device.hpp"
+#include "core/matrix.hpp"
+
+namespace tcu::linalg {
+
+/// Figure 2: unblocked forward elimination, in place; charges one unit per
+/// innermost update to `counters`.
+template <typename T>
+void ge_forward_naive(MatrixView<T> c, Counters& counters) {
+  const std::size_t r = c.rows;
+  if (c.cols != r) throw std::invalid_argument("ge_forward: square input");
+  std::uint64_t updates = 0;
+  for (std::size_t k = 0; k + 2 < r; ++k) {
+    for (std::size_t i = k + 1; i + 1 < r; ++i) {
+      const T factor = -c(i, k) / c(k, k);
+      for (std::size_t j = k + 1; j < r; ++j) {
+        c(i, j) += factor * c(k, j);
+        ++updates;
+      }
+    }
+  }
+  counters.charge_cpu(updates);
+}
+
+namespace ge_detail {
+
+/// Kernel A (Figure 4): eliminate within the diagonal block.
+template <typename T>
+void kernel_a(Device<T>& dev, MatrixView<T> X) {
+  const std::size_t s = X.rows;
+  std::uint64_t updates = 0;
+  for (std::size_t k = 0; k + 1 < s; ++k) {
+    for (std::size_t i = k + 1; i < s; ++i) {
+      for (std::size_t j = k + 1; j < s; ++j) {
+        X(i, j) -= X(i, k) * X(k, j) / X(k, k);
+        ++updates;
+      }
+    }
+  }
+  dev.charge_cpu(updates);
+}
+
+/// Kernel B (Figure 4): update a row-panel block X using the diagonal
+/// block Y, then emit the rescaled strip X' = -X / diag(Y) consumed by
+/// kernel D as the TCU weight matrix.
+template <typename T>
+void kernel_b(Device<T>& dev, MatrixView<T> X,
+              std::type_identity_t<ConstMatrixView<T>> Y,
+              MatrixView<T> Xp) {
+  const std::size_t s = X.rows;
+  std::uint64_t updates = 0;
+  for (std::size_t k = 0; k + 1 < s; ++k) {
+    for (std::size_t i = k + 1; i < s; ++i) {
+      for (std::size_t j = 0; j < s; ++j) {
+        X(i, j) -= Y(i, k) * X(k, j) / Y(k, k);
+        ++updates;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < s; ++i) {
+    for (std::size_t j = 0; j < s; ++j) {
+      Xp(i, j) = -X(i, j) / Y(i, i);
+      ++updates;
+    }
+  }
+  dev.charge_cpu(updates);
+}
+
+/// Kernel C (Figure 4): partially eliminate a column-panel block X using
+/// the diagonal block Y.
+template <typename T>
+void kernel_c(Device<T>& dev, MatrixView<T> X,
+              std::type_identity_t<ConstMatrixView<T>> Y) {
+  const std::size_t s = X.rows;
+  std::uint64_t updates = 0;
+  for (std::size_t k = 0; k < s; ++k) {
+    for (std::size_t i = 0; i < s; ++i) {
+      for (std::size_t j = k + 1; j < s; ++j) {
+        X(i, j) -= X(i, k) * Y(k, j) / Y(k, k);
+        ++updates;
+      }
+    }
+  }
+  dev.charge_cpu(updates);
+}
+
+}  // namespace ge_detail
+
+/// Figure 4 / Theorem 4: blocked forward elimination on the TCU, in place.
+/// Requires the matrix dimension to be a multiple of sqrt(m) (use
+/// `make_augmented` to embed an arbitrary system into such a size).
+template <typename T>
+void ge_forward_tcu(Device<T>& dev, MatrixView<T> X) {
+  const std::size_t r = X.rows;
+  const std::size_t s = dev.tile_dim();
+  if (X.cols != r) throw std::invalid_argument("ge_forward_tcu: square input");
+  if (r % s != 0) {
+    throw std::invalid_argument(
+        "ge_forward_tcu: dimension must be a multiple of sqrt(m)");
+  }
+  const std::size_t t = r / s;
+  Matrix<T> xp(s, r, T{});  // the X' strip of Figure 4
+  for (std::size_t kb = 0; kb < t; ++kb) {
+    ge_detail::kernel_a(dev, X.subview(kb * s, kb * s, s, s));
+    for (std::size_t jb = kb + 1; jb < t; ++jb) {
+      ge_detail::kernel_b(dev, X.subview(kb * s, jb * s, s, s),
+                          X.subview(kb * s, kb * s, s, s),
+                          xp.subview(0, jb * s, s, s));
+    }
+    for (std::size_t ib = kb + 1; ib < t; ++ib) {
+      ge_detail::kernel_c(dev, X.subview(ib * s, kb * s, s, s),
+                          X.subview(kb * s, kb * s, s, s));
+    }
+    if (kb + 1 == t) break;
+    // Kernel D: for each trailing block column j, load X'_j as the weight
+    // matrix and stream the whole column panel below the diagonal through
+    // the tensor unit in one tall call (lines 8-10 of GE-forward).
+    const std::size_t top = (kb + 1) * s;
+    const std::size_t tall_rows = r - top;
+    for (std::size_t jb = kb + 1; jb < t; ++jb) {
+      dev.gemm(X.subview(top, kb * s, tall_rows, s),
+               xp.subview(0, jb * s, s, s),
+               X.subview(top, jb * s, tall_rows, s),
+               /*accumulate=*/true);
+    }
+  }
+}
+
+/// Build the (R x R) augmented matrix of Figure 2 for the system A x = b
+/// (A: d x d, b: d), embedding into dimension R >= d + 1 by appending
+/// trivial equations x_t = 0, so blocked elimination sees a multiple of
+/// sqrt(m). The final row is all zeros per the paper's convention.
+template <typename T>
+Matrix<T> make_augmented(ConstMatrixView<T> A, const std::vector<T>& b,
+                         std::size_t R) {
+  const std::size_t d = A.rows;
+  if (A.cols != d || b.size() != d) {
+    throw std::invalid_argument("make_augmented: A must be d x d, b size d");
+  }
+  if (R < d + 1) throw std::invalid_argument("make_augmented: R too small");
+  Matrix<T> c(R, R, T{});
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = 0; j < d; ++j) c(i, j) = A(i, j);
+    c(i, R - 1) = b[i];
+  }
+  for (std::size_t i = d; i + 1 < R; ++i) c(i, i) = T{1};
+  return c;
+}
+
+/// Second phase (§4.2): back substitution on the row-echelon augmented
+/// matrix; returns the R-1 unknowns. Theta(R^2), charged to `counters`.
+template <typename T>
+std::vector<T> back_substitute(ConstMatrixView<T> c, Counters& counters) {
+  const std::size_t r = c.rows;
+  if (c.cols != r || r < 2) {
+    throw std::invalid_argument("back_substitute: square input, r >= 2");
+  }
+  std::vector<T> x(r - 1, T{});
+  std::uint64_t ops = 0;
+  for (std::size_t ii = r - 1; ii-- > 0;) {
+    T acc = c(ii, r - 1);
+    for (std::size_t j = ii + 1; j + 1 < r; ++j) {
+      acc -= c(ii, j) * x[j];
+      ++ops;
+    }
+    x[ii] = acc / c(ii, ii);
+    ++ops;
+  }
+  counters.charge_cpu(ops);
+  return x;
+}
+
+}  // namespace tcu::linalg

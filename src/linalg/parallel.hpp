@@ -1,0 +1,44 @@
+#pragma once
+// Dense multiplication on multiple tensor units (the §3.1/§6 extension).
+//
+// The Theorem 2 blocked algorithm parallelizes naturally: each output
+// column strip (one weight tile column) is an independent chain of tall
+// calls, so strips are dealt to units greedily by load. With p units and
+// at least p strips the tensor term drops from n^{3/2}/sqrt(m) to
+// n^{3/2}/(p sqrt(m)) while each unit still pays l per resident tile —
+// measured by the ABL4 ablation bench.
+
+#include <type_traits>
+
+#include "core/pool.hpp"
+#include "linalg/dense.hpp"
+
+namespace tcu::linalg {
+
+/// C = A * B across the pool's units; shapes must be multiples of the
+/// tile dimension (use matmul_tcu on a single unit for ragged shapes).
+template <typename T>
+Matrix<T> matmul_tcu_pool(DevicePool<T>& pool,
+                          std::type_identity_t<ConstMatrixView<T>> A,
+                          std::type_identity_t<ConstMatrixView<T>> B) {
+  if (A.cols != B.rows) {
+    throw std::invalid_argument("matmul_tcu_pool: inner dimensions differ");
+  }
+  const std::size_t s = pool.unit(0).tile_dim();
+  if ((A.rows % s) || (A.cols % s) || (B.cols % s)) {
+    throw std::invalid_argument(
+        "matmul_tcu_pool: dimensions must be multiples of sqrt(m)");
+  }
+  Matrix<T> C(A.rows, B.cols, T{});
+  // Deal output strips (independent work) to the least-loaded unit.
+  for (std::size_t jb = 0; jb < B.cols; jb += s) {
+    Device<T>& unit = pool.least_loaded();
+    for (std::size_t kb = 0; kb < A.cols; kb += s) {
+      unit.gemm(A.subview(0, kb, A.rows, s), B.subview(kb, jb, s, s),
+                C.subview(0, jb, A.rows, s), /*accumulate=*/kb != 0);
+    }
+  }
+  return C;
+}
+
+}  // namespace tcu::linalg

@@ -1,0 +1,60 @@
+#pragma once
+// Conveniences built on the §4.2 elimination kernels: linear solve and
+// determinants. Both run the blocked Figure 4 forward phase (Theorem 4
+// cost) and finish with Theta(n) / Theta(n^2) CPU epilogues.
+
+#include <type_traits>
+#include <vector>
+
+#include "linalg/gauss.hpp"
+
+namespace tcu::linalg {
+
+/// Solve A x = b (A: d x d diagonally dominant / no-pivot-safe) on the
+/// device: augmented embedding, blocked forward phase, back substitution.
+template <typename T>
+std::vector<T> solve_tcu(Device<T>& dev,
+                         std::type_identity_t<ConstMatrixView<T>> A,
+                         const std::vector<T>& b) {
+  const std::size_t d = A.rows;
+  if (A.cols != d || b.size() != d) {
+    throw std::invalid_argument("solve_tcu: A must be d x d, b of size d");
+  }
+  const std::size_t s = dev.tile_dim();
+  const std::size_t R = ((d + 1 + s - 1) / s) * s;
+  Matrix<T> c = make_augmented<T>(A, b, R);
+  dev.charge_cpu(R * R);
+  ge_forward_tcu(dev, c.view());
+  auto x = back_substitute<T>(c.view(), dev.counters());
+  x.resize(d);
+  dev.charge_cpu(d);
+  return x;
+}
+
+/// Determinant of a no-pivot-safe matrix: the forward phase leaves the
+/// pivots on the diagonal; the determinant is their product. The matrix
+/// is embedded in an identity-padded multiple of sqrt(m), which leaves
+/// the determinant unchanged.
+template <typename T>
+T determinant_tcu(Device<T>& dev,
+                  std::type_identity_t<ConstMatrixView<T>> A) {
+  const std::size_t d = A.rows;
+  if (A.cols != d || d == 0) {
+    throw std::invalid_argument("determinant_tcu: square non-empty input");
+  }
+  const std::size_t s = dev.tile_dim();
+  const std::size_t R = ((d + s - 1) / s) * s;
+  Matrix<T> work(R, R, T{});
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = 0; j < d; ++j) work(i, j) = A(i, j);
+  }
+  for (std::size_t i = d; i < R; ++i) work(i, i) = T{1};
+  dev.charge_cpu(R * R);
+  ge_forward_tcu(dev, work.view());
+  T det{1};
+  for (std::size_t i = 0; i < d; ++i) det *= work(i, i);
+  dev.charge_cpu(d);
+  return det;
+}
+
+}  // namespace tcu::linalg

@@ -1,0 +1,224 @@
+#pragma once
+// Strassen-like dense multiplication with a TCU base case (Theorem 1).
+//
+// A Strassen-like algorithm (Ballard et al. [4]) with parameters (n0, p0)
+// views a sqrt(n) x sqrt(n) product as an sqrt(n0) x sqrt(n0) product of
+// submatrix blocks, performs p0 recursive block products and O(n) linear
+// work. The paper plugs the tensor unit in at the bottom: recursion stops
+// as soon as a subproblem fits the unit, giving running time
+// O((n/m)^{omega0} (m + l)) with omega0 = log_{n0} p0.
+//
+// Implemented instances, both with n0 = 4 (2x2 block split):
+//   * p0 = 8 — the standard recursive algorithm (omega0 = 3/2);
+//   * p0 = 7 — Strassen (omega0 = log4 7 ~ 1.4037).
+//
+// The base case uses the Theorem 2 blocked kernel once the current block
+// area is at most n0 * m, exactly the recurrence base in the paper's proof.
+
+#include <cstdint>
+#include <type_traits>
+#include <stdexcept>
+
+#include "linalg/dense.hpp"
+
+namespace tcu::linalg {
+
+struct StrassenOptions {
+  int p0 = 7;  ///< 7 = Strassen, 8 = standard recursive
+};
+
+namespace detail {
+
+template <typename T>
+Matrix<T> add_charged(Device<T>& dev, const Matrix<T>& a, const Matrix<T>& b,
+                      T sign = T{1}) {
+  Matrix<T> out(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      out(i, j) = a(i, j) + sign * b(i, j);
+    }
+  }
+  dev.charge_cpu(a.rows() * a.cols());
+  return out;
+}
+
+template <typename T>
+Matrix<T> quadrant(Device<T>& dev, ConstMatrixView<T> X, std::size_t qi,
+                   std::size_t qj) {
+  const std::size_t h = X.rows / 2;
+  Matrix<T> out = materialize(X.subview(qi * h, qj * h, h, h));
+  dev.charge_cpu(h * h);
+  return out;
+}
+
+template <typename T>
+Matrix<T> strassen_rec(Device<T>& dev, const Matrix<T>& A, const Matrix<T>& B,
+                       const StrassenOptions& opts) {
+  const std::size_t d = A.rows();
+  if (d * d <= 4 * dev.m() || d % 2 != 0) {
+    return matmul_tcu(dev, A.view(), B.view());
+  }
+  auto a11 = quadrant(dev, A.view(), 0, 0), a12 = quadrant(dev, A.view(), 0, 1);
+  auto a21 = quadrant(dev, A.view(), 1, 0), a22 = quadrant(dev, A.view(), 1, 1);
+  auto b11 = quadrant(dev, B.view(), 0, 0), b12 = quadrant(dev, B.view(), 0, 1);
+  auto b21 = quadrant(dev, B.view(), 1, 0), b22 = quadrant(dev, B.view(), 1, 1);
+  const std::size_t h = d / 2;
+  Matrix<T> C(d, d);
+  auto place = [&](const Matrix<T>& block, std::size_t qi, std::size_t qj) {
+    for (std::size_t i = 0; i < h; ++i) {
+      for (std::size_t j = 0; j < h; ++j) {
+        C(qi * h + i, qj * h + j) = block(i, j);
+      }
+    }
+    dev.charge_cpu(h * h);
+  };
+
+  if (opts.p0 == 8) {
+    auto c11 = add_charged(dev, strassen_rec(dev, a11, b11, opts),
+                           strassen_rec(dev, a12, b21, opts));
+    auto c12 = add_charged(dev, strassen_rec(dev, a11, b12, opts),
+                           strassen_rec(dev, a12, b22, opts));
+    auto c21 = add_charged(dev, strassen_rec(dev, a21, b11, opts),
+                           strassen_rec(dev, a22, b21, opts));
+    auto c22 = add_charged(dev, strassen_rec(dev, a21, b12, opts),
+                           strassen_rec(dev, a22, b22, opts));
+    place(c11, 0, 0);
+    place(c12, 0, 1);
+    place(c21, 1, 0);
+    place(c22, 1, 1);
+    return C;
+  }
+
+  // Strassen's seven products.
+  auto m1 = strassen_rec(dev, add_charged(dev, a11, a22),
+                         add_charged(dev, b11, b22), opts);
+  auto m2 = strassen_rec(dev, add_charged(dev, a21, a22), b11, opts);
+  auto m3 = strassen_rec(dev, a11, add_charged(dev, b12, b22, T{-1}), opts);
+  auto m4 = strassen_rec(dev, a22, add_charged(dev, b21, b11, T{-1}), opts);
+  auto m5 = strassen_rec(dev, add_charged(dev, a11, a12), b22, opts);
+  auto m6 = strassen_rec(dev, add_charged(dev, a21, a11, T{-1}),
+                         add_charged(dev, b11, b12), opts);
+  auto m7 = strassen_rec(dev, add_charged(dev, a12, a22, T{-1}),
+                         add_charged(dev, b21, b22), opts);
+
+  auto c11 = add_charged(dev, add_charged(dev, m1, m4),
+                         add_charged(dev, m7, m5, T{-1}));
+  auto c12 = add_charged(dev, m3, m5);
+  auto c21 = add_charged(dev, m2, m4);
+  auto c22 = add_charged(dev, add_charged(dev, m1, m2, T{-1}),
+                         add_charged(dev, m3, m6));
+  place(c11, 0, 0);
+  place(c12, 0, 1);
+  place(c21, 1, 0);
+  place(c22, 1, 1);
+  return C;
+}
+
+}  // namespace detail
+
+/// Theorem 1: multiply two square matrices with a Strassen-like recursion
+/// whose leaves are executed by the tensor unit. Inputs of awkward sizes
+/// are zero-padded to the nearest s * 2^k dimension (the paper assumes
+/// divisibility; padding adds only lower-order charged CPU work).
+template <typename T>
+Matrix<T> matmul_strassen_tcu(Device<T>& dev,
+                              std::type_identity_t<ConstMatrixView<T>> A,
+                              std::type_identity_t<ConstMatrixView<T>> B,
+                              StrassenOptions opts = {}) {
+  if (A.cols != B.rows || A.rows != A.cols || B.rows != B.cols) {
+    throw std::invalid_argument("matmul_strassen_tcu: square inputs required");
+  }
+  if (opts.p0 != 7 && opts.p0 != 8) {
+    throw std::invalid_argument("matmul_strassen_tcu: p0 must be 7 or 8");
+  }
+  const std::size_t d = A.rows;
+  const std::size_t s = dev.tile_dim();
+  std::size_t padded = s;
+  while (padded < d) padded *= 2;
+
+  if (padded == d) {
+    Matrix<T> a = materialize(A);
+    Matrix<T> b = materialize(B);
+    dev.charge_cpu(2 * d * d);
+    return detail::strassen_rec(dev, a, b, opts);
+  }
+  Matrix<T> a(padded, padded, T{});
+  Matrix<T> b(padded, padded, T{});
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      a(i, j) = A(i, j);
+      b(i, j) = B(i, j);
+    }
+  }
+  dev.charge_cpu(2 * padded * padded);
+  Matrix<T> cp = detail::strassen_rec(dev, a, b, opts);
+  Matrix<T> C(d, d);
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = 0; j < d; ++j) C(i, j) = cp(i, j);
+  }
+  dev.charge_cpu(d * d);
+  return C;
+}
+
+/// RAM Strassen baseline (no tensor unit): same recursion with a naive
+/// base case, for crossover benchmarks.
+template <typename T>
+Matrix<T> matmul_strassen_ram(ConstMatrixView<T> A, ConstMatrixView<T> B,
+                              Counters& counters,
+                              std::size_t base_dim = 32) {
+  if (A.cols != B.rows || A.rows != A.cols || B.rows != B.cols) {
+    throw std::invalid_argument("matmul_strassen_ram: square inputs required");
+  }
+  const std::size_t d = A.rows;
+  if (d <= base_dim || d % 2 != 0) {
+    return matmul_naive(A, B, counters);
+  }
+  // Reuse the TCU recursion machinery through a throwaway device whose
+  // "tensor unit" is the RAM baseline charged at naive cost: simplest is a
+  // direct recursive implementation here.
+  const std::size_t h = d / 2;
+  auto sub = [&](ConstMatrixView<T> X, std::size_t qi, std::size_t qj) {
+    Matrix<T> out = materialize(X.subview(qi * h, qj * h, h, h));
+    counters.charge_cpu(h * h);
+    return out;
+  };
+  auto add = [&](const Matrix<T>& x, const Matrix<T>& y, T sign = T{1}) {
+    Matrix<T> out(h, h);
+    for (std::size_t i = 0; i < h; ++i) {
+      for (std::size_t j = 0; j < h; ++j) out(i, j) = x(i, j) + sign * y(i, j);
+    }
+    counters.charge_cpu(h * h);
+    return out;
+  };
+  auto rec = [&](const Matrix<T>& x, const Matrix<T>& y) {
+    return matmul_strassen_ram(x.view(), y.view(), counters, base_dim);
+  };
+  auto a11 = sub(A, 0, 0), a12 = sub(A, 0, 1), a21 = sub(A, 1, 0),
+       a22 = sub(A, 1, 1);
+  auto b11 = sub(B, 0, 0), b12 = sub(B, 0, 1), b21 = sub(B, 1, 0),
+       b22 = sub(B, 1, 1);
+  auto m1 = rec(add(a11, a22), add(b11, b22));
+  auto m2 = rec(add(a21, a22), b11);
+  auto m3 = rec(a11, add(b12, b22, T{-1}));
+  auto m4 = rec(a22, add(b21, b11, T{-1}));
+  auto m5 = rec(add(a11, a12), b22);
+  auto m6 = rec(add(a21, a11, T{-1}), add(b11, b12));
+  auto m7 = rec(add(a12, a22, T{-1}), add(b21, b22));
+  Matrix<T> C(d, d);
+  auto c11 = add(add(m1, m4), add(m7, m5, T{-1}));
+  auto c12 = add(m3, m5);
+  auto c21 = add(m2, m4);
+  auto c22 = add(add(m1, m2, T{-1}), add(m3, m6));
+  for (std::size_t i = 0; i < h; ++i) {
+    for (std::size_t j = 0; j < h; ++j) {
+      C(i, j) = c11(i, j);
+      C(i, j + h) = c12(i, j);
+      C(i + h, j) = c21(i, j);
+      C(i + h, j + h) = c22(i, j);
+    }
+  }
+  counters.charge_cpu(d * d);
+  return C;
+}
+
+}  // namespace tcu::linalg

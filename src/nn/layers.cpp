@@ -1,0 +1,154 @@
+#include "nn/layers.hpp"
+
+#include <stdexcept>
+
+#include "linalg/dense.hpp"
+
+namespace tcu::nn {
+
+DenseLayer::DenseLayer(Matrix<double> weights, std::vector<double> bias)
+    : weights_(std::move(weights)), bias_(std::move(bias)) {
+  if (bias_.size() != weights_.cols()) {
+    throw std::invalid_argument("DenseLayer: bias size must match outputs");
+  }
+}
+
+Matrix<double> DenseLayer::forward(Device<double>& dev,
+                                   ConstMatrixView<double> activations,
+                                   bool relu) const {
+  if (activations.cols != weights_.rows()) {
+    throw std::invalid_argument("DenseLayer: activation width mismatch");
+  }
+  Matrix<double> out =
+      linalg::matmul_tcu(dev, activations, weights_.view());
+  for (std::size_t i = 0; i < out.rows(); ++i) {
+    for (std::size_t j = 0; j < out.cols(); ++j) {
+      double v = out(i, j) + bias_[j];
+      if (relu && v < 0.0) v = 0.0;
+      out(i, j) = v;
+    }
+  }
+  dev.charge_cpu(out.rows() * out.cols() * (relu ? 2 : 1));
+  return out;
+}
+
+void Mlp::add_layer(DenseLayer layer) {
+  if (!layers_.empty() &&
+      layers_.back().out_features() != layer.in_features()) {
+    throw std::invalid_argument("Mlp: layer width mismatch");
+  }
+  layers_.push_back(std::move(layer));
+}
+
+Matrix<double> Mlp::forward(Device<double>& dev,
+                            ConstMatrixView<double> batch) const {
+  if (layers_.empty()) throw std::invalid_argument("Mlp: no layers");
+  Matrix<double> cur = materialize(batch);
+  dev.charge_cpu(batch.rows * batch.cols);
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const bool relu = l + 1 < layers_.size();
+    cur = layers_[l].forward(dev, cur.view(), relu);
+  }
+  return cur;
+}
+
+namespace {
+
+void check_conv_shapes(ConstMatrixView<double> input, std::size_t channels,
+                       ConstMatrixView<double> filters, std::size_t kh,
+                       std::size_t kw) {
+  if (channels == 0 || input.rows % channels != 0) {
+    throw std::invalid_argument("conv2d: input rows not divisible by "
+                                "channel count");
+  }
+  const std::size_t h = input.rows / channels;
+  if (filters.cols != channels * kh * kw) {
+    throw std::invalid_argument("conv2d: filter bank width mismatch");
+  }
+  if (kh == 0 || kw == 0 || kh > h || kw > input.cols) {
+    throw std::invalid_argument("conv2d: kernel larger than input");
+  }
+}
+
+}  // namespace
+
+Matrix<double> conv2d_tcu(Device<double>& dev, ConstMatrixView<double> input,
+                          std::size_t channels_in,
+                          ConstMatrixView<double> filters, std::size_t kh,
+                          std::size_t kw) {
+  check_conv_shapes(input, channels_in, filters, kh, kw);
+  const std::size_t h = input.rows / channels_in;
+  const std::size_t w = input.cols;
+  const std::size_t oh = h - kh + 1;
+  const std::size_t ow = w - kw + 1;
+  const std::size_t patch = channels_in * kh * kw;
+
+  // im2col: one row per output position, one column per filter tap.
+  Matrix<double> cols(oh * ow, patch);
+  for (std::size_t oy = 0; oy < oh; ++oy) {
+    for (std::size_t ox = 0; ox < ow; ++ox) {
+      std::size_t t = 0;
+      for (std::size_t c = 0; c < channels_in; ++c) {
+        for (std::size_t dy = 0; dy < kh; ++dy) {
+          for (std::size_t dx = 0; dx < kw; ++dx) {
+            cols(oy * ow + ox, t++) = input(c * h + oy + dy, ox + dx);
+          }
+        }
+      }
+    }
+  }
+  dev.charge_cpu(oh * ow * patch);
+
+  // Tall GEMM: every output position streams past the resident filters.
+  Matrix<double> bank = transposed(filters);  // (patch x channels_out)
+  dev.charge_cpu(filters.rows * filters.cols);
+  Matrix<double> gem = linalg::matmul_tcu(dev, cols.view(), bank.view());
+
+  // Re-layout to (channels_out * oh) x ow.
+  const std::size_t channels_out = filters.rows;
+  Matrix<double> out(channels_out * oh, ow);
+  for (std::size_t c = 0; c < channels_out; ++c) {
+    for (std::size_t oy = 0; oy < oh; ++oy) {
+      for (std::size_t ox = 0; ox < ow; ++ox) {
+        out(c * oh + oy, ox) = gem(oy * ow + ox, c);
+      }
+    }
+  }
+  dev.charge_cpu(channels_out * oh * ow);
+  return out;
+}
+
+Matrix<double> conv2d_ram(ConstMatrixView<double> input,
+                          std::size_t channels_in,
+                          ConstMatrixView<double> filters, std::size_t kh,
+                          std::size_t kw, Counters& counters) {
+  check_conv_shapes(input, channels_in, filters, kh, kw);
+  const std::size_t h = input.rows / channels_in;
+  const std::size_t w = input.cols;
+  const std::size_t oh = h - kh + 1;
+  const std::size_t ow = w - kw + 1;
+  const std::size_t channels_out = filters.rows;
+  Matrix<double> out(channels_out * oh, ow, 0.0);
+  std::uint64_t ops = 0;
+  for (std::size_t c = 0; c < channels_out; ++c) {
+    for (std::size_t oy = 0; oy < oh; ++oy) {
+      for (std::size_t ox = 0; ox < ow; ++ox) {
+        double acc = 0.0;
+        std::size_t t = 0;
+        for (std::size_t ci = 0; ci < channels_in; ++ci) {
+          for (std::size_t dy = 0; dy < kh; ++dy) {
+            for (std::size_t dx = 0; dx < kw; ++dx) {
+              acc += filters(c, t++) * input(ci * h + oy + dy, ox + dx);
+              ++ops;
+            }
+          }
+        }
+        out(c * oh + oy, ox) = acc;
+      }
+    }
+  }
+  counters.charge_cpu(ops);
+  return out;
+}
+
+}  // namespace tcu::nn

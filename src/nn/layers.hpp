@@ -1,0 +1,76 @@
+#pragma once
+// Neural-network inference layers on the (m, l)-TCU model.
+//
+// The paper's opening motivation: tensor units exist because dense layers
+// and convolutions *are* matrix products, with the weight matrix resident
+// (model) and activations streamed (§3, asymmetry property: "the same
+// model can be applied to k vectors"). This module expresses those native
+// workloads against the simulated device, closing the loop between the
+// model's design rationale and its algorithmics:
+//
+//   * `DenseLayer` — y = x W + b for a batch of inputs: the weight tiles
+//     stay resident while the whole batch streams through (one tall call
+//     per weight tile, exactly the TPU workflow of §2.1);
+//   * `conv2d_tcu` — convolutional layer via im2col + tall GEMM, the
+//     standard lowering that TPUs/TCs execute;
+//   * ReLU and bias epilogues charged as CPU work.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/device.hpp"
+#include "core/matrix.hpp"
+
+namespace tcu::nn {
+
+/// Fully connected layer: weights (in x out), bias (out).
+class DenseLayer {
+ public:
+  DenseLayer(Matrix<double> weights, std::vector<double> bias);
+
+  std::size_t in_features() const { return weights_.rows(); }
+  std::size_t out_features() const { return weights_.cols(); }
+
+  /// y = activations x W + b for a (batch x in) input, streamed through
+  /// the device weight-stationarily; optional ReLU epilogue.
+  Matrix<double> forward(Device<double>& dev,
+                         ConstMatrixView<double> activations,
+                         bool relu = true) const;
+
+ private:
+  Matrix<double> weights_;
+  std::vector<double> bias_;
+};
+
+/// A sequential multilayer perceptron.
+class Mlp {
+ public:
+  void add_layer(DenseLayer layer);
+  std::size_t depth() const { return layers_.size(); }
+
+  /// Forward pass of a batch; ReLU between layers, linear final layer.
+  Matrix<double> forward(Device<double>& dev,
+                         ConstMatrixView<double> batch) const;
+
+ private:
+  std::vector<DenseLayer> layers_;
+};
+
+/// 2-D convolution (valid padding, stride 1) of `channels_in` feature
+/// maps with `channels_out` filters of size kh x kw, via im2col + GEMM.
+/// input:  (channels_in) matrices of h x w stacked vertically
+///         ((channels_in * h) x w);
+/// filters: (channels_out) x (channels_in * kh * kw) row-major bank;
+/// output: (channels_out * oh) x ow with oh = h-kh+1, ow = w-kw+1.
+Matrix<double> conv2d_tcu(Device<double>& dev, ConstMatrixView<double> input,
+                          std::size_t channels_in,
+                          ConstMatrixView<double> filters, std::size_t kh,
+                          std::size_t kw);
+
+/// RAM reference for conv2d (direct sliding window), charged.
+Matrix<double> conv2d_ram(ConstMatrixView<double> input,
+                          std::size_t channels_in,
+                          ConstMatrixView<double> filters, std::size_t kh,
+                          std::size_t kw, Counters& counters);
+
+}  // namespace tcu::nn

@@ -1,0 +1,72 @@
+#include "poly/poly.hpp"
+
+#include <stdexcept>
+
+#include "linalg/dense.hpp"
+
+namespace tcu::poly {
+
+std::vector<double> eval_horner(const std::vector<double>& coeffs,
+                                const std::vector<double>& points,
+                                Counters& counters) {
+  if (coeffs.empty()) {
+    throw std::invalid_argument("eval_horner: empty coefficient vector");
+  }
+  std::vector<double> out(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    double acc = 0.0;
+    for (std::size_t c = coeffs.size(); c-- > 0;) {
+      acc = acc * points[i] + coeffs[c];
+    }
+    out[i] = acc;
+  }
+  counters.charge_cpu(points.size() * coeffs.size());
+  return out;
+}
+
+std::vector<double> eval_tcu(Device<double>& dev,
+                             const std::vector<double>& coeffs,
+                             const std::vector<double>& points) {
+  if (coeffs.empty()) {
+    throw std::invalid_argument("eval_tcu: empty coefficient vector");
+  }
+  const std::size_t s = dev.tile_dim();
+  const std::size_t p = points.size();
+  if (p == 0) return {};
+  const std::size_t n = ((coeffs.size() + s - 1) / s) * s;  // pad degree
+
+  // X: powers x^0 .. x^{s-1} per point (the paper's initial
+  // exponentiation, Theta(p sqrt(m)) CPU work).
+  Matrix<double> x(p, s);
+  for (std::size_t i = 0; i < p; ++i) {
+    double pw = 1.0;
+    for (std::size_t j = 0; j < s; ++j) {
+      x(i, j) = pw;
+      pw *= points[i];
+    }
+  }
+  // A: coefficients column-major, A[k][j] = a_{k + js}.
+  Matrix<double> a(s, n / s, 0.0);
+  for (std::size_t idx = 0; idx < coeffs.size(); ++idx) {
+    a(idx % s, idx / s) = coeffs[idx];
+  }
+  dev.charge_cpu(p * s + n);
+
+  Matrix<double> c = linalg::matmul_tcu(dev, x.view(), a.view());
+
+  // Final combination: A(x_i) = sum_j c[i][j] * (x_i^s)^j, evaluated as a
+  // Horner pass over the n/s band sums (the paper's x^{js} powers).
+  std::vector<double> out(p);
+  for (std::size_t i = 0; i < p; ++i) {
+    const double xs = x(i, s - 1) * points[i];  // x_i^s
+    double acc = 0.0;
+    for (std::size_t j = c.cols(); j-- > 0;) {
+      acc = acc * xs + c(i, j);
+    }
+    out[i] = acc;
+  }
+  dev.charge_cpu(p * (n / s) * 2);
+  return out;
+}
+
+}  // namespace tcu::poly

@@ -1,0 +1,29 @@
+#pragma once
+// Batch polynomial evaluation in the (m, l)-TCU model (§4.8, Theorem 11).
+//
+// Evaluating A(x) = sum a_i x^i of degree n-1 at p points: with s =
+// sqrt(m), each point contributes a row [x^0 .. x^{s-1}] of the p x s
+// Vandermonde-slice X, the coefficients are arranged column-major in the
+// s x n/s matrix A (A[i][j] = a_{i+js}), and one tall tensor product
+// C = X A yields per point the partial sums of each degree band; the
+// final value is sum_j C[i][j] (x_i^s)^j, a Horner pass over n/s terms.
+// Cost: O(p n / sqrt(m) + p sqrt(m) + (n/m) l).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/device.hpp"
+
+namespace tcu::poly {
+
+/// RAM baseline: Horner's rule per point, Theta(p n) charged.
+std::vector<double> eval_horner(const std::vector<double>& coeffs,
+                                const std::vector<double>& points,
+                                Counters& counters);
+
+/// Theorem 11: batch evaluation via one Vandermonde-slice tensor product.
+std::vector<double> eval_tcu(Device<double>& dev,
+                             const std::vector<double>& coeffs,
+                             const std::vector<double>& points);
+
+}  // namespace tcu::poly

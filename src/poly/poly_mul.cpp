@@ -1,0 +1,43 @@
+#include "poly/poly_mul.hpp"
+
+#include <stdexcept>
+
+namespace tcu::poly {
+
+std::vector<double> multiply_tcu(Device<dft::Complex>& dev,
+                                 const std::vector<double>& a,
+                                 const std::vector<double>& b) {
+  if (a.empty() || b.empty()) {
+    throw std::invalid_argument("poly multiply: empty operand");
+  }
+  const std::size_t out_len = a.size() + b.size() - 1;
+  std::size_t n = 1;
+  while (n < out_len) n *= 2;
+  dft::CVec fa(n, dft::Complex{}), fb(n, dft::Complex{});
+  for (std::size_t i = 0; i < a.size(); ++i) fa[i] = a[i];
+  for (std::size_t i = 0; i < b.size(); ++i) fb[i] = b[i];
+  dev.charge_cpu(a.size() + b.size());
+  auto conv = dft::circular_convolve_tcu(dev, fa, fb);
+  std::vector<double> out(out_len);
+  for (std::size_t i = 0; i < out_len; ++i) out[i] = conv[i].real();
+  dev.charge_cpu(out_len);
+  return out;
+}
+
+std::vector<double> multiply_ram(const std::vector<double>& a,
+                                 const std::vector<double>& b,
+                                 Counters& counters) {
+  if (a.empty() || b.empty()) {
+    throw std::invalid_argument("poly multiply: empty operand");
+  }
+  std::vector<double> out(a.size() + b.size() - 1, 0.0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      out[i + j] += a[i] * b[j];
+    }
+  }
+  counters.charge_cpu(a.size() * b.size());
+  return out;
+}
+
+}  // namespace tcu::poly

@@ -1,0 +1,25 @@
+#pragma once
+// Polynomial multiplication on the tensor unit via the DFT (Theorem 7 +
+// convolution theorem): the product of degree-(da) and degree-(db)
+// polynomials is their linear convolution, computed as a circular
+// convolution of any length >= da + db + 1 — O((d + l) log_m d).
+
+#include <vector>
+
+#include "core/device.hpp"
+#include "dft/dft.hpp"
+
+namespace tcu::poly {
+
+/// Coefficients of a(x) * b(x); inputs are coefficient vectors in
+/// ascending degree order.
+std::vector<double> multiply_tcu(Device<dft::Complex>& dev,
+                                 const std::vector<double>& a,
+                                 const std::vector<double>& b);
+
+/// RAM baseline: the Theta(da * db) convolution loop, charged.
+std::vector<double> multiply_ram(const std::vector<double>& a,
+                                 const std::vector<double>& b,
+                                 Counters& counters);
+
+}  // namespace tcu::poly

@@ -1,0 +1,105 @@
+#include "primitives/primitives.hpp"
+
+#include <stdexcept>
+
+namespace tcu::primitives {
+
+namespace {
+
+/// One reduction round: collapse chunks of s values into their sums with
+/// a single tall call against a ones tile (only the first output column
+/// is consumed).
+std::vector<double> reduce_round(Device<double>& dev,
+                                 const std::vector<double>& data) {
+  const std::size_t s = dev.tile_dim();
+  const std::size_t rows = (data.size() + s - 1) / s;
+  Matrix<double> x(rows, s, 0.0);
+  for (std::size_t i = 0; i < data.size(); ++i) x(i / s, i % s) = data[i];
+  Matrix<double> ones(s, s, 0.0);
+  for (std::size_t k = 0; k < s; ++k) ones(k, 0) = 1.0;
+  Matrix<double> out(rows, s, 0.0);
+  dev.gemm(x.view(), ones.view(), out.view());
+  std::vector<double> sums(rows);
+  for (std::size_t r = 0; r < rows; ++r) sums[r] = out(r, 0);
+  dev.charge_cpu(data.size() + s + rows);
+  return sums;
+}
+
+}  // namespace
+
+double reduce_tcu(Device<double>& dev, const std::vector<double>& data) {
+  if (data.empty()) return 0.0;
+  std::vector<double> cur = data;
+  while (cur.size() > 1) cur = reduce_round(dev, cur);
+  return cur[0];
+}
+
+double reduce_ram(const std::vector<double>& data, Counters& counters) {
+  double acc = 0.0;
+  for (double v : data) acc += v;
+  counters.charge_cpu(data.size());
+  return acc;
+}
+
+std::vector<double> inclusive_scan_tcu(Device<double>& dev,
+                                       const std::vector<double>& data) {
+  if (data.empty()) return {};
+  const std::size_t s = dev.tile_dim();
+  const std::size_t n = data.size();
+  if (n <= s) {
+    // One padded row against the triangular tile.
+    Matrix<double> x(1, s, 0.0);
+    for (std::size_t i = 0; i < n; ++i) x(0, i) = data[i];
+    Matrix<double> tri(s, s, 0.0);
+    for (std::size_t i = 0; i < s; ++i) {
+      for (std::size_t j = i; j < s; ++j) tri(i, j) = 1.0;
+    }
+    Matrix<double> out(1, s, 0.0);
+    dev.gemm(x.view(), tri.view(), out.view());
+    std::vector<double> result(n);
+    for (std::size_t i = 0; i < n; ++i) result[i] = out(0, i);
+    dev.charge_cpu(2 * n + s * s);
+    return result;
+  }
+
+  // Row-wise prefix sums of the (n/s) x s arrangement in one tall call.
+  const std::size_t rows = (n + s - 1) / s;
+  Matrix<double> x(rows, s, 0.0);
+  for (std::size_t i = 0; i < n; ++i) x(i / s, i % s) = data[i];
+  Matrix<double> tri(s, s, 0.0);
+  for (std::size_t i = 0; i < s; ++i) {
+    for (std::size_t j = i; j < s; ++j) tri(i, j) = 1.0;
+  }
+  Matrix<double> pref(rows, s, 0.0);
+  dev.gemm(x.view(), tri.view(), pref.view());
+  dev.charge_cpu(n + s * s);
+
+  // Scan of the row totals gives per-row offsets (exclusive).
+  std::vector<double> totals(rows);
+  for (std::size_t r = 0; r < rows; ++r) totals[r] = pref(r, s - 1);
+  dev.charge_cpu(rows);
+  std::vector<double> scanned = inclusive_scan_tcu(dev, totals);
+
+  std::vector<double> result(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t r = i / s;
+    const double offset = r == 0 ? 0.0 : scanned[r - 1];
+    result[i] = pref(r, i % s) + offset;
+  }
+  dev.charge_cpu(n);
+  return result;
+}
+
+std::vector<double> inclusive_scan_ram(const std::vector<double>& data,
+                                       Counters& counters) {
+  std::vector<double> out(data.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    acc += data[i];
+    out[i] = acc;
+  }
+  counters.charge_cpu(data.size());
+  return out;
+}
+
+}  // namespace tcu::primitives

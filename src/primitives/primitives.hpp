@@ -1,0 +1,39 @@
+#pragma once
+// Scan and reduction on the tensor unit.
+//
+// The paper's related-work section ([9], Dakkak et al., ICS 2019) shows
+// that even memory-bound primitives map onto matrix-multiplication
+// hardware; these are the (m, l)-TCU formulations of their kernels, and
+// they round out the library's algorithm catalogue:
+//
+//   * reduce: arrange the n inputs as an (n/s) x s matrix and multiply by
+//     a ones column tile — each tall call collapses a factor s, so
+//     O(n + l log_m n) total;
+//   * inclusive scan: one tall product with the upper-triangular ones
+//     tile yields all within-row prefix sums; the row totals are scanned
+//     recursively and broadcast back, again O(n + l log_m n).
+//
+// Both charge their CPU glue exactly and match std::* oracles in tests.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/device.hpp"
+
+namespace tcu::primitives {
+
+/// Sum of all elements via repeated tall products with a ones tile.
+double reduce_tcu(Device<double>& dev, const std::vector<double>& data);
+
+/// RAM baseline: sequential summation, Theta(n) charged.
+double reduce_ram(const std::vector<double>& data, Counters& counters);
+
+/// Inclusive prefix sum via the triangular-ones tile (Dakkak et al. style).
+std::vector<double> inclusive_scan_tcu(Device<double>& dev,
+                                       const std::vector<double>& data);
+
+/// RAM baseline: sequential scan, Theta(n) charged.
+std::vector<double> inclusive_scan_ram(const std::vector<double>& data,
+                                       Counters& counters);
+
+}  // namespace tcu::primitives

@@ -1,0 +1,214 @@
+#pragma once
+// Cycle-level simulation of the systolic matrix-multiplication algorithm of
+// Section 2.2 / Figure 1 of the paper (the Google-TPU-style schedule).
+//
+// The array is an s x s grid of processing elements (PEs), s = sqrt(m).
+// Execution has two phases:
+//
+//   1. Weight load: matrix B is pushed into the grid over s cycles so that
+//      PE (i, j) ends up holding b[i][j] (weight-stationary).
+//   2. Streaming: the rows of the n x s left operand A enter from the left
+//      edge, skewed by one cycle per PE row; partial sums flow downward.
+//      PE (i, j) receives an `a` from its left neighbour (or the input
+//      a[k-i][i] at the left edge at step k), a partial sum `c` from above
+//      (or 0 in row 0), computes c += a * b[i][j], and forwards both.
+//      The bottom row emits c[r][j] at streaming step r + j + (s - 1);
+//      this matches the paper's "p_{sqrt(m)-1, j} outputs c_{i,j} at the
+//      end of step sqrt(m) + i + j" up to the 0/1-indexing of steps.
+//
+// Totals: s load cycles + (n + 2s - 2) streaming cycles, i.e. Theta(n + s)
+// per call — the O(n sqrt(m)) *work* of the model is the m PEs running for
+// those Theta(n + s) cycles. Tests assert both the schedule and the exact
+// cycle counts; this is the reproduction target for experiment FIG1.
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "core/matrix.hpp"
+
+namespace tcu::systolic {
+
+/// Statistics of one load+stream execution.
+struct RunStats {
+  std::uint64_t load_cycles = 0;       ///< cycles spent loading B (== s)
+  std::uint64_t stream_cycles = 0;     ///< cycles spent streaming A
+  std::uint64_t first_output_step = 0; ///< streaming step of first C entry
+  std::uint64_t last_output_step = 0;  ///< streaming step of last C entry
+  std::uint64_t mac_count = 0;         ///< multiply-accumulates performed
+  std::uint64_t total_cycles() const { return load_cycles + stream_cycles; }
+};
+
+/// Weight-stationary systolic array (TPU style, tall left operand allowed).
+template <typename T>
+class SystolicArray {
+ public:
+  explicit SystolicArray(std::size_t s) : s_(s) {
+    if (s == 0) throw std::invalid_argument("SystolicArray: s must be >= 1");
+    weights_.assign(s * s, T{});
+    a_reg_.assign(s * s, T{});
+    c_reg_.assign(s * s, T{});
+  }
+
+  std::size_t dim() const { return s_; }
+
+  /// Phase 1: push B (s x s) into the grid, one row per cycle.
+  /// Returns the number of cycles consumed (always s).
+  std::uint64_t load_weights(ConstMatrixView<T> B) {
+    if (B.rows != s_ || B.cols != s_) {
+      throw std::invalid_argument("SystolicArray: B must be s x s");
+    }
+    // Simulate the downward shift: at cycle t, row (s-1-t) of B enters the
+    // top edge and everything already inside shifts down one row. After s
+    // cycles PE (i, j) holds B(i, j).
+    std::vector<T> grid(s_ * s_, T{});
+    for (std::size_t t = 0; t < s_; ++t) {
+      for (std::size_t i = s_; i-- > 1;) {
+        for (std::size_t j = 0; j < s_; ++j) {
+          grid[i * s_ + j] = grid[(i - 1) * s_ + j];
+        }
+      }
+      const std::size_t src_row = s_ - 1 - t;
+      for (std::size_t j = 0; j < s_; ++j) grid[j] = B(src_row, j);
+    }
+    weights_ = std::move(grid);
+    return s_;
+  }
+
+  /// Phase 2: stream the rows of A (n x s) through the loaded weights and
+  /// collect C = A * B (or C += A * B). C must be n x s.
+  RunStats stream(ConstMatrixView<T> A, MatrixView<T> C, bool accumulate) {
+    const std::size_t n = A.rows;
+    if (A.cols != s_ || C.rows != n || C.cols != s_) {
+      throw std::invalid_argument("SystolicArray: stream shape mismatch");
+    }
+    RunStats stats;
+    stats.load_cycles = s_;  // already paid by load_weights; reported here
+    if (n == 0) return stats;
+
+    std::fill(a_reg_.begin(), a_reg_.end(), T{});
+    std::fill(c_reg_.begin(), c_reg_.end(), T{});
+    std::vector<T> a_next(s_ * s_, T{});
+    std::vector<T> c_next(s_ * s_, T{});
+
+    const std::uint64_t steps = static_cast<std::uint64_t>(n) + 2 * s_ - 2;
+    bool first_seen = false;
+    for (std::uint64_t k = 0; k < steps; ++k) {
+      for (std::size_t i = 0; i < s_; ++i) {
+        for (std::size_t j = 0; j < s_; ++j) {
+          // Receive `a`: left edge takes the skewed input a[k-i][i].
+          T a{};
+          if (j == 0) {
+            const std::int64_t row = static_cast<std::int64_t>(k) -
+                                     static_cast<std::int64_t>(i);
+            if (row >= 0 && row < static_cast<std::int64_t>(n)) {
+              a = A(static_cast<std::size_t>(row), i);
+            }
+          } else {
+            a = a_reg_[i * s_ + j - 1];
+          }
+          // Receive the partial sum from above (0 in the top row).
+          const T c_in = (i == 0) ? T{} : c_reg_[(i - 1) * s_ + j];
+          a_next[i * s_ + j] = a;
+          c_next[i * s_ + j] = c_in + a * weights_[i * s_ + j];
+          ++stats.mac_count;
+        }
+      }
+      a_reg_.swap(a_next);
+      c_reg_.swap(c_next);
+      // Bottom row emits c[r][j] at step k = r + j + (s - 1).
+      for (std::size_t j = 0; j < s_; ++j) {
+        const std::int64_t r = static_cast<std::int64_t>(k) -
+                               static_cast<std::int64_t>(j) -
+                               static_cast<std::int64_t>(s_ - 1);
+        if (r >= 0 && r < static_cast<std::int64_t>(n)) {
+          const auto row = static_cast<std::size_t>(r);
+          const T value = c_reg_[(s_ - 1) * s_ + j];
+          C(row, j) = accumulate ? C(row, j) + value : value;
+          if (!first_seen) {
+            stats.first_output_step = k;
+            first_seen = true;
+          }
+          stats.last_output_step = k;
+        }
+      }
+    }
+    stats.stream_cycles = steps;
+    return stats;
+  }
+
+  /// Convenience: load + stream in one call.
+  RunStats multiply(ConstMatrixView<T> A, ConstMatrixView<T> B,
+                    MatrixView<T> C, bool accumulate = false) {
+    const std::uint64_t load = load_weights(B);
+    RunStats stats = stream(A, C, accumulate);
+    stats.load_cycles = load;
+    return stats;
+  }
+
+ private:
+  std::size_t s_;
+  std::vector<T> weights_;
+  std::vector<T> a_reg_;
+  std::vector<T> c_reg_;
+};
+
+/// Output-stationary systolic array (NVIDIA-TC-like: both operands are
+/// percolated through the grid, so the weight matrix cannot be reused
+/// across calls — the hardware motivation for the *weak* TCU model).
+/// Supports square s x s operands only.
+template <typename T>
+class OutputStationaryArray {
+ public:
+  explicit OutputStationaryArray(std::size_t s) : s_(s) {
+    if (s == 0) {
+      throw std::invalid_argument("OutputStationaryArray: s must be >= 1");
+    }
+  }
+
+  std::size_t dim() const { return s_; }
+
+  /// C = A*B (or +=). Returns total cycles: the 3s-2 wavefront steps plus
+  /// s drain cycles to move results out of the grid.
+  RunStats multiply(ConstMatrixView<T> A, ConstMatrixView<T> B,
+                    MatrixView<T> C, bool accumulate = false) {
+    if (A.rows != s_ || A.cols != s_ || B.rows != s_ || B.cols != s_ ||
+        C.rows != s_ || C.cols != s_) {
+      throw std::invalid_argument("OutputStationaryArray: operands must be "
+                                  "s x s");
+    }
+    RunStats stats;
+    std::vector<T> acc(s_ * s_, T{});
+    const std::uint64_t steps = 3 * s_ - 2;
+    for (std::uint64_t t = 0; t < steps; ++t) {
+      // At step t, PE (i, j) performs the k-th MAC where k = t - i - j.
+      for (std::size_t i = 0; i < s_; ++i) {
+        for (std::size_t j = 0; j < s_; ++j) {
+          const std::int64_t k = static_cast<std::int64_t>(t) -
+                                 static_cast<std::int64_t>(i) -
+                                 static_cast<std::int64_t>(j);
+          if (k >= 0 && k < static_cast<std::int64_t>(s_)) {
+            const auto kk = static_cast<std::size_t>(k);
+            acc[i * s_ + j] += A(i, kk) * B(kk, j);
+            ++stats.mac_count;
+          }
+        }
+      }
+    }
+    for (std::size_t i = 0; i < s_; ++i) {
+      for (std::size_t j = 0; j < s_; ++j) {
+        C(i, j) = accumulate ? C(i, j) + acc[i * s_ + j] : acc[i * s_ + j];
+      }
+    }
+    stats.stream_cycles = steps;
+    stats.load_cycles = s_;  // drain phase
+    stats.first_output_step = 2 * (s_ - 1);
+    stats.last_output_step = steps - 1;
+    return stats;
+  }
+
+ private:
+  std::size_t s_;
+};
+
+}  // namespace tcu::systolic

@@ -1,0 +1,90 @@
+#pragma once
+// Deterministic, fast pseudo-random number generation for tests and
+// benchmarks. Reproducibility matters more than cryptographic quality here:
+// every experiment in EXPERIMENTS.md is seeded so reruns regenerate the
+// same workloads.
+
+#include <cstdint>
+#include <limits>
+#include <type_traits>
+#include <vector>
+
+namespace tcu::util {
+
+/// SplitMix64: used to expand a single seed into the xoshiro state.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** by Blackman & Vigna: small, fast, high-quality generator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x5eed5eed5eedULL) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>((*this)() % span);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) { return uniform() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4]{};
+};
+
+/// Fill a vector with uniform values; floating-point types get [lo, hi),
+/// integral types get integers in [lo, hi].
+template <typename T>
+std::vector<T> random_vector(std::size_t n, Xoshiro256& rng, double lo = -1.0,
+                             double hi = 1.0) {
+  std::vector<T> v(n);
+  for (auto& x : v) {
+    if constexpr (std::is_floating_point_v<T>) {
+      x = static_cast<T>(rng.uniform(lo, hi));
+    } else {
+      x = static_cast<T>(rng.uniform_int(static_cast<std::int64_t>(lo),
+                                         static_cast<std::int64_t>(hi)));
+    }
+  }
+  return v;
+}
+
+}  // namespace tcu::util

@@ -1,0 +1,87 @@
+#include "util/stats.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tcu::util {
+
+PowerFit fit_power_law(const std::vector<double>& xs,
+                       const std::vector<double>& ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) {
+    throw std::invalid_argument("fit_power_law: need >= 2 paired samples");
+  }
+  const auto n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (xs[i] <= 0.0 || ys[i] <= 0.0) {
+      throw std::invalid_argument("fit_power_law: samples must be positive");
+    }
+    const double lx = std::log(xs[i]);
+    const double ly = std::log(ys[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+    syy += ly * ly;
+  }
+  const double denom = n * sxx - sx * sx;
+  if (denom == 0.0) {
+    throw std::invalid_argument("fit_power_law: all x values identical");
+  }
+  PowerFit fit;
+  fit.exponent = (n * sxy - sx * sy) / denom;
+  fit.coeff = std::exp((sy - fit.exponent * sx) / n);
+  const double ss_tot = syy - sy * sy / n;
+  double ss_res = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double pred = std::log(fit.coeff) + fit.exponent * std::log(xs[i]);
+    const double resid = std::log(ys[i]) - pred;
+    ss_res += resid * resid;
+  }
+  fit.r2 = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+double ratio_spread(const std::vector<double>& xs,
+                    const std::vector<double>& ys) {
+  if (xs.size() != ys.size() || xs.empty()) {
+    throw std::invalid_argument("ratio_spread: need paired non-empty samples");
+  }
+  double lo = ys[0] / xs[0];
+  double hi = lo;
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    const double r = ys[i] / xs[i];
+    lo = std::min(lo, r);
+    hi = std::max(hi, r);
+  }
+  return hi / lo;
+}
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) throw std::invalid_argument("mean: empty sample");
+  double s = 0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs.size() - 1));
+}
+
+double geometric_mean_ratio(const std::vector<double>& xs,
+                            const std::vector<double>& ys) {
+  if (xs.size() != ys.size() || xs.empty()) {
+    throw std::invalid_argument("geometric_mean_ratio: mismatched samples");
+  }
+  double acc = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    acc += std::log(ys[i] / xs[i]);
+  }
+  return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+}  // namespace tcu::util

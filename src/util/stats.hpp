@@ -1,0 +1,36 @@
+#pragma once
+// Small statistics helpers used by the benchmark harness to compare
+// measured simulated costs against the paper's closed-form bounds:
+// power-law exponent fitting (log-log least squares) and ratio-band checks.
+
+#include <cstddef>
+#include <vector>
+
+namespace tcu::util {
+
+/// Result of fitting y = coeff * x^exponent by least squares on logs.
+struct PowerFit {
+  double exponent = 0.0;  ///< fitted slope in log-log space
+  double coeff = 0.0;     ///< fitted multiplicative constant
+  double r2 = 0.0;        ///< coefficient of determination in log space
+};
+
+/// Fit y = c * x^e over strictly-positive samples. Requires xs.size() ==
+/// ys.size() >= 2; throws std::invalid_argument otherwise.
+PowerFit fit_power_law(const std::vector<double>& xs,
+                       const std::vector<double>& ys);
+
+/// max(ys[i]/xs[i]) / min(ys[i]/xs[i]): how far the measured/predicted
+/// ratio drifts across a sweep. A value near 1 means the bound tracks the
+/// measurement up to a constant, which is what a Theta-bound promises.
+double ratio_spread(const std::vector<double>& xs,
+                    const std::vector<double>& ys);
+
+double mean(const std::vector<double>& xs);
+double stddev(const std::vector<double>& xs);
+
+/// Geometric mean of ys[i]/xs[i]; the empirical "hidden constant".
+double geometric_mean_ratio(const std::vector<double>& xs,
+                            const std::vector<double>& ys);
+
+}  // namespace tcu::util

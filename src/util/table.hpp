@@ -1,0 +1,34 @@
+#pragma once
+// Minimal fixed-width table printer. Benchmarks and examples use it to
+// emit the paper-vs-measured rows recorded in EXPERIMENTS.md.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tcu::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column-aligned padding and a rule under the header.
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (default 3 digits).
+std::string fmt(double value, int precision = 3);
+/// Format an integer count with thousands grouping removed (plain digits).
+std::string fmt(std::uint64_t value);
+std::string fmt(std::int64_t value);
+
+}  // namespace tcu::util

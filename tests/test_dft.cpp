@@ -1,0 +1,284 @@
+// Tests for the Theorem 7 DFT: agreement with the naive O(n^2) oracle for
+// smooth, prime and mixed lengths (exercising the Cooley-Tukey and
+// Bluestein paths), inverse round trips, Parseval's identity, batching,
+// 2-D transforms, the convolution theorem, and the (n + l) log_m n cost.
+
+#include <gtest/gtest.h>
+
+#include "core/costs.hpp"
+#include "dft/dft.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using tcu::Counters;
+using tcu::Device;
+using tcu::Matrix;
+using tcu::dft::Complex;
+using tcu::dft::CVec;
+
+CVec random_signal(std::size_t n, std::uint64_t seed) {
+  tcu::util::Xoshiro256 rng(seed);
+  CVec x(n);
+  for (auto& v : x) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  return x;
+}
+
+void expect_close(const CVec& a, const CVec& b, double tol = 1e-9) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_NEAR(std::abs(a[i] - b[i]), 0.0, tol) << "at " << i;
+  }
+}
+
+class DftLengthSweep : public ::testing::TestWithParam<
+                           std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(DftLengthSweep, MatchesNaive) {
+  const auto [n, m] = GetParam();
+  Device<Complex> dev({.m = m});
+  auto x = random_signal(n, 4000 + n + m);
+  Counters ram;
+  auto expect = tcu::dft::dft_naive(x, ram);
+  auto got = tcu::dft::dft_tcu(dev, x);
+  expect_close(got, expect, 1e-8);
+}
+
+TEST_P(DftLengthSweep, InverseRoundTrip) {
+  const auto [n, m] = GetParam();
+  Device<Complex> dev({.m = m});
+  auto x = random_signal(n, 5000 + n + m);
+  auto y = tcu::dft::dft_tcu(dev, x);
+  auto back = tcu::dft::dft_tcu(dev, y, /*inverse=*/true);
+  expect_close(back, x, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Lengths, DftLengthSweep,
+    ::testing::Combine(
+        // Powers of the tile, smooth composites, primes (Bluestein), and
+        // sizes with prime factors larger than sqrt(m).
+        ::testing::Values<std::size_t>(1, 2, 3, 8, 16, 31, 60, 64, 97, 128,
+                                       100, 256, 360),
+        ::testing::Values<std::size_t>(4, 16, 64)));
+
+TEST(Dft, ImpulseTransformsToAllOnes) {
+  Device<Complex> dev({.m = 16});
+  CVec x(32, Complex{});
+  x[0] = 1.0;
+  auto y = tcu::dft::dft_tcu(dev, x);
+  for (const auto& v : y) EXPECT_NEAR(std::abs(v - Complex{1.0, 0.0}), 0, 1e-10);
+}
+
+TEST(Dft, LinearityHolds) {
+  Device<Complex> dev({.m = 16});
+  auto x1 = random_signal(48, 61);
+  auto x2 = random_signal(48, 62);
+  const Complex alpha{0.7, -0.2};
+  CVec mix(48);
+  for (std::size_t i = 0; i < 48; ++i) mix[i] = x1[i] + alpha * x2[i];
+  auto y1 = tcu::dft::dft_tcu(dev, x1);
+  auto y2 = tcu::dft::dft_tcu(dev, x2);
+  auto ym = tcu::dft::dft_tcu(dev, mix);
+  for (std::size_t i = 0; i < 48; ++i) {
+    EXPECT_NEAR(std::abs(ym[i] - (y1[i] + alpha * y2[i])), 0.0, 1e-9);
+  }
+}
+
+TEST(Dft, ParsevalIdentity) {
+  Device<Complex> dev({.m = 64});
+  auto x = random_signal(120, 71);
+  auto y = tcu::dft::dft_tcu(dev, x);
+  double ex = 0, ey = 0;
+  for (const auto& v : x) ex += std::norm(v);
+  for (const auto& v : y) ey += std::norm(v);
+  EXPECT_NEAR(ey, ex * 120.0, 1e-6);
+}
+
+TEST(Dft, BatchMatchesIndividualTransforms) {
+  Device<Complex> dev({.m = 16}), dev_single({.m = 16});
+  const std::size_t b = 5, n = 64;
+  Matrix<Complex> batch(b, n);
+  std::vector<CVec> singles(b);
+  for (std::size_t r = 0; r < b; ++r) {
+    singles[r] = random_signal(n, 80 + r);
+    for (std::size_t j = 0; j < n; ++j) batch(r, j) = singles[r][j];
+  }
+  tcu::dft::dft_batch_tcu(dev, batch.view());
+  for (std::size_t r = 0; r < b; ++r) {
+    auto y = tcu::dft::dft_tcu(dev_single, singles[r]);
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(std::abs(batch(r, j) - y[j]), 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(Dft, BatchSharesTensorCallsAcrossRows) {
+  // The tall-operand trick: a 16-row batch must use the same number of
+  // tensor calls as a 1-row transform, not 16x as many.
+  const std::size_t n = 256;
+  Device<Complex> dev1({.m = 16}), dev16({.m = 16});
+  Matrix<Complex> one(1, n), many(16, n);
+  for (std::size_t j = 0; j < n; ++j) one(0, j) = Complex{1.0, 0.0};
+  for (std::size_t r = 0; r < 16; ++r) {
+    for (std::size_t j = 0; j < n; ++j) many(r, j) = Complex{1.0, 0.0};
+  }
+  tcu::dft::dft_batch_tcu(dev1, one.view());
+  tcu::dft::dft_batch_tcu(dev16, many.view());
+  EXPECT_EQ(dev1.counters().tensor_calls, dev16.counters().tensor_calls);
+}
+
+TEST(Dft, FftRamMatchesNaive) {
+  Counters c1, c2;
+  auto x = random_signal(128, 91);
+  auto expect = tcu::dft::dft_naive(x, c1);
+  auto got = tcu::dft::fft_ram(x, c2);
+  expect_close(got, expect, 1e-9);
+  EXPECT_LT(c2.cpu_ops, c1.cpu_ops);  // n log n beats n^2
+}
+
+TEST(Dft, FftRamRejectsNonPowerOfTwo) {
+  Counters c;
+  EXPECT_THROW((void)tcu::dft::fft_ram(random_signal(12, 1), c),
+               std::invalid_argument);
+}
+
+TEST(Dft, FftRamInverseRoundTrip) {
+  Counters c;
+  auto x = random_signal(64, 93);
+  auto back = tcu::dft::fft_ram(tcu::dft::fft_ram(x, c), c, true);
+  expect_close(back, x, 1e-10);
+}
+
+TEST(Dft2, MatchesRowColumnNaive) {
+  Device<Complex> dev({.m = 16});
+  const std::size_t r = 12, c = 20;
+  Matrix<Complex> x(r, c);
+  tcu::util::Xoshiro256 rng(101);
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < c; ++j) {
+      x(i, j) = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    }
+  }
+  auto got = tcu::dft::dft2_tcu(dev, x.view());
+  // Oracle: naive DFT of rows then columns.
+  Counters ctr;
+  Matrix<Complex> oracle(r, c);
+  for (std::size_t i = 0; i < r; ++i) {
+    CVec row(c);
+    for (std::size_t j = 0; j < c; ++j) row[j] = x(i, j);
+    auto tr = tcu::dft::dft_naive(row, ctr);
+    for (std::size_t j = 0; j < c; ++j) oracle(i, j) = tr[j];
+  }
+  for (std::size_t j = 0; j < c; ++j) {
+    CVec col(r);
+    for (std::size_t i = 0; i < r; ++i) col[i] = oracle(i, j);
+    auto tc2 = tcu::dft::dft_naive(col, ctr);
+    for (std::size_t i = 0; i < r; ++i) oracle(i, j) = tc2[i];
+  }
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < c; ++j) {
+      EXPECT_NEAR(std::abs(got(i, j) - oracle(i, j)), 0.0, 1e-8);
+    }
+  }
+}
+
+TEST(Dft2, InverseRoundTrip) {
+  Device<Complex> dev({.m = 16});
+  Matrix<Complex> x(9, 15);
+  tcu::util::Xoshiro256 rng(111);
+  for (std::size_t i = 0; i < 9; ++i) {
+    for (std::size_t j = 0; j < 15; ++j) {
+      x(i, j) = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    }
+  }
+  auto y = tcu::dft::dft2_tcu(dev, x.view());
+  auto back = tcu::dft::dft2_tcu(dev, y.view(), /*inverse=*/true);
+  for (std::size_t i = 0; i < 9; ++i) {
+    for (std::size_t j = 0; j < 15; ++j) {
+      EXPECT_NEAR(std::abs(back(i, j) - x(i, j)), 0.0, 1e-8);
+    }
+  }
+}
+
+TEST(Convolution, MatchesDirectCircularConvolution) {
+  Device<Complex> dev({.m = 16});
+  const std::size_t n = 24;
+  auto a = random_signal(n, 121);
+  auto b = random_signal(n, 122);
+  auto got = tcu::dft::circular_convolve_tcu(dev, a, b);
+  for (std::size_t i = 0; i < n; ++i) {
+    Complex direct{};
+    for (std::size_t j = 0; j < n; ++j) direct += a[j] * b[(i + n - j) % n];
+    EXPECT_NEAR(std::abs(got[i] - direct), 0.0, 1e-8);
+  }
+}
+
+TEST(Convolution, LengthMismatchThrows) {
+  Device<Complex> dev({.m = 16});
+  EXPECT_THROW((void)tcu::dft::circular_convolve_tcu(
+                   dev, random_signal(8, 1), random_signal(9, 2)),
+               std::invalid_argument);
+}
+
+TEST(Convolution, TwoDimensionalMatchesDirect) {
+  Device<Complex> dev({.m = 16});
+  const std::size_t n = 8;
+  Matrix<Complex> a(n, n), k(n, n);
+  tcu::util::Xoshiro256 rng(131);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      a(i, j) = {rng.uniform(-1, 1), 0.0};
+      k(i, j) = {rng.uniform(-1, 1), 0.0};
+    }
+  }
+  auto got = tcu::dft::circular_convolve2_tcu(dev, a.view(), k.view());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      Complex direct{};
+      for (std::size_t p = 0; p < n; ++p) {
+        for (std::size_t q = 0; q < n; ++q) {
+          direct += k(p, q) * a((i + n - p) % n, (j + n - q) % n);
+        }
+      }
+      EXPECT_NEAR(std::abs(got(i, j) - direct), 0.0, 1e-7);
+    }
+  }
+}
+
+TEST(DftCost, TracksTheorem7AcrossSizes) {
+  std::vector<double> predicted, measured;
+  for (std::size_t n : {256u, 1024u, 4096u, 16384u}) {
+    Device<Complex> dev({.m = 256, .latency = 50});
+    auto x = random_signal(n, 140 + n);
+    (void)tcu::dft::dft_tcu(dev, x);
+    predicted.push_back(tcu::costs::thm7_dft(
+        static_cast<double>(n), 256.0, 50.0));
+    measured.push_back(static_cast<double>(dev.counters().time()));
+  }
+  EXPECT_LT(tcu::util::ratio_spread(predicted, measured), 3.0);
+  auto fit = tcu::util::fit_power_law(predicted, measured);
+  EXPECT_NEAR(fit.exponent, 1.0, 0.2);
+}
+
+TEST(DftCost, LatencyPaidPerLevelNotPerSubvector) {
+  // n = 4096 with m = 256 has 2 levels of 16-point transforms plus a
+  // final level: tensor calls should be O(log_m n), not O(n/sqrt(m)).
+  Device<Complex> dev({.m = 256, .latency = 1000});
+  auto x = random_signal(4096, 151);
+  (void)tcu::dft::dft_tcu(dev, x);
+  EXPECT_LE(dev.counters().tensor_calls, 4u);
+}
+
+TEST(DftCost, TcuBeatsNaiveModelTime) {
+  const std::size_t n = 4096;
+  Device<Complex> dev({.m = 256});
+  Counters ram;
+  auto x = random_signal(n, 161);
+  (void)tcu::dft::dft_tcu(dev, x);
+  (void)tcu::dft::dft_naive(x, ram);
+  EXPECT_LT(dev.counters().time(), ram.time());
+}
+
+}  // namespace

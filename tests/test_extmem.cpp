@@ -1,0 +1,212 @@
+// Tests for the external-memory machinery (Section 5): LRU simulator
+// behaviour, blocked vs naive matmul I/O complexity, TCU-trace replay
+// matching the Theta(m)-per-call closed form, and the operational
+// Theorem 12 inequality (weak-TCU time >= I/O lower bound).
+
+#include <gtest/gtest.h>
+
+#include "core/costs.hpp"
+#include "core/device.hpp"
+#include "extmem/extmem.hpp"
+#include "linalg/dense.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using tcu::Device;
+using tcu::Matrix;
+using tcu::Trace;
+using tcu::extmem::ExtMemSim;
+using tcu::extmem::matmul_io_blocked;
+using tcu::extmem::matmul_io_naive;
+using tcu::extmem::simulate_trace_io;
+using tcu::extmem::trace_io_closed_form;
+
+// ------------------------------------------------------------- simulator
+
+TEST(ExtMemSim, ColdMissesAndHits) {
+  ExtMemSim sim(/*M=*/4, /*B=*/1);
+  sim.read(0);
+  sim.read(1);
+  sim.read(0);  // hit
+  EXPECT_EQ(sim.io_count(), 2u);
+  EXPECT_EQ(sim.resident_blocks(), 2u);
+}
+
+TEST(ExtMemSim, LruEviction) {
+  ExtMemSim sim(/*M=*/2, /*B=*/1);
+  sim.read(0);
+  sim.read(1);
+  sim.read(0);  // refresh 0: now 1 is the LRU victim
+  sim.read(2);  // evicts 1
+  sim.read(0);  // still resident: hit
+  sim.read(1);  // miss again
+  EXPECT_EQ(sim.io_count(), 4u);
+}
+
+TEST(ExtMemSim, DirtyWriteBackCostsOneIO) {
+  ExtMemSim sim(/*M=*/1, /*B=*/1);
+  sim.write(0);            // produced in place: no fetch
+  EXPECT_EQ(sim.io_count(), 0u);
+  sim.read(1);             // evicts dirty 0 -> write-back + fetch
+  EXPECT_EQ(sim.io_count(), 2u);
+  sim.flush();             // block 1 is clean
+  EXPECT_EQ(sim.io_count(), 2u);
+}
+
+TEST(ExtMemSim, BlockGranularity) {
+  ExtMemSim sim(/*M=*/8, /*B=*/4);
+  sim.read(0);
+  sim.read(1);
+  sim.read(3);  // same block
+  sim.read(4);  // next block
+  EXPECT_EQ(sim.io_count(), 2u);
+}
+
+TEST(ExtMemSim, FlushWritesDirtyBlocks) {
+  ExtMemSim sim(/*M=*/4, /*B=*/1);
+  sim.write(0);
+  sim.write(1);
+  sim.read(2);
+  sim.flush();
+  // 1 fetch (block 2) + 2 dirty write-backs.
+  EXPECT_EQ(sim.io_count(), 3u);
+  EXPECT_EQ(sim.resident_blocks(), 0u);
+}
+
+TEST(ExtMemSim, RejectsBadGeometry) {
+  EXPECT_THROW(ExtMemSim(0, 1), std::invalid_argument);
+  EXPECT_THROW(ExtMemSim(2, 0), std::invalid_argument);
+  EXPECT_THROW(ExtMemSim(2, 4), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- matmul I/O
+
+TEST(MatmulIo, BlockedScalesAsCubeOverSqrtM) {
+  // Sweep d at fixed M: I/Os ~ d^3 / sqrt(M) => exponent 3 in d.
+  std::vector<double> ds, ios;
+  for (std::size_t d : {16u, 32u, 64u}) {
+    ds.push_back(static_cast<double>(d));
+    ios.push_back(static_cast<double>(matmul_io_blocked(d, 192, 1)));
+  }
+  auto fit = tcu::util::fit_power_law(ds, ios);
+  EXPECT_NEAR(fit.exponent, 3.0, 0.15);
+}
+
+TEST(MatmulIo, BlockedBeatsNaive) {
+  const std::size_t d = 48, M = 192, B = 1;
+  EXPECT_LT(matmul_io_blocked(d, M, B), matmul_io_naive(d, M, B));
+}
+
+TEST(MatmulIo, BlockedMatchesLowerBoundShape) {
+  // Measured I/Os stay within a constant band of n^{3/2}/(B sqrt(M)).
+  std::vector<double> predicted, measured;
+  for (std::size_t d : {16u, 32u, 64u, 96u}) {
+    predicted.push_back(tcu::costs::extmem_mm_lower_bound(
+        static_cast<double>(d) * d, 192.0));
+    measured.push_back(static_cast<double>(matmul_io_blocked(d, 192, 1)));
+  }
+  EXPECT_LT(tcu::util::ratio_spread(predicted, measured), 3.0);
+}
+
+TEST(MatmulIo, EverythingFitsNeedsOnlyCompulsoryIos) {
+  // With M >= 3d^2 each word is touched once: 2d^2 reads + d^2 write-backs.
+  const std::size_t d = 8;
+  EXPECT_EQ(matmul_io_blocked(d, 3 * d * d + 8, 1), 3u * d * d);
+}
+
+TEST(MatmulIo, LargerBlocksReduceIos) {
+  const std::size_t d = 32, M = 256;
+  EXPECT_LT(matmul_io_blocked(d, M, 8), matmul_io_blocked(d, M, 1));
+}
+
+// ----------------------------------------------------------- trace replay
+
+TEST(TraceReplay, SquareCallCostsThreeM) {
+  Trace trace;
+  trace.record(/*n=*/4, /*s=*/4, false);  // one square 16-word call
+  EXPECT_EQ(simulate_trace_io(trace, 16), 3u * 16u);
+  EXPECT_EQ(trace_io_closed_form(trace, 16), 3u * 16u);
+}
+
+TEST(TraceReplay, TallCallSplitsIntoSquares) {
+  Trace trace;
+  trace.record(/*n=*/40, /*s=*/4, false);  // 10 square steps
+  EXPECT_EQ(simulate_trace_io(trace, 16), 10u * 3u * 16u);
+  EXPECT_EQ(trace_io_closed_form(trace, 16), 10u * 3u * 16u);
+}
+
+TEST(TraceReplay, SimulationMatchesClosedFormOnRealTraces) {
+  // Record the trace of an actual blocked matmul and replay it.
+  Device<double> dev({.m = 64});
+  dev.enable_trace();
+  tcu::util::Xoshiro256 rng(11);
+  Matrix<double> a(64, 64), b(64, 64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    for (std::size_t j = 0; j < 64; ++j) {
+      a(i, j) = rng.uniform(-1, 1);
+      b(i, j) = rng.uniform(-1, 1);
+    }
+  }
+  (void)tcu::linalg::matmul_tcu(dev, a.view(), b.view());
+  EXPECT_EQ(simulate_trace_io(dev.trace(), 64),
+            trace_io_closed_form(dev.trace(), 64));
+}
+
+TEST(TraceReplay, BlockTransfersDivideIos) {
+  Trace trace;
+  trace.record(16, 4, false);
+  EXPECT_EQ(simulate_trace_io(trace, 16, 4),
+            simulate_trace_io(trace, 16, 1) / 4);
+}
+
+// ------------------------------------------------------------ Theorem 12
+
+TEST(Theorem12, WeakTcuTimeDominatesIoLowerBound) {
+  // Any weak-TCU algorithm's time is Omega of the I/O lower bound at
+  // M = 3m: check it for the semiring matmul, whose bound is
+  // n^{3/2}/sqrt(M). The check must hold across every (d, m) pair.
+  tcu::util::Xoshiro256 rng(21);
+  for (std::size_t m : {16u, 64u, 256u}) {
+    for (std::size_t d : {32u, 64u, 128u}) {
+      Device<double> dev({.m = m, .allow_tall = false});
+      Matrix<double> a(d, d), b(d, d);
+      for (std::size_t i = 0; i < d; ++i) {
+        for (std::size_t j = 0; j < d; ++j) {
+          a(i, j) = rng.uniform(-1, 1);
+          b(i, j) = rng.uniform(-1, 1);
+        }
+      }
+      (void)tcu::linalg::matmul_tcu(dev, a.view(), b.view());
+      const double bound = tcu::costs::extmem_mm_lower_bound(
+          static_cast<double>(d) * d, 3.0 * static_cast<double>(m));
+      EXPECT_GE(static_cast<double>(dev.counters().time()), bound)
+          << "d=" << d << " m=" << m;
+    }
+  }
+}
+
+TEST(Theorem12, TraceIosAreProportionalToWeakTime) {
+  // The simulation argument: replayed I/Os <= c * weak-TCU tensor time
+  // with c independent of the instance (here c = 3 exactly, as each
+  // square call costs m + l time and 3m I/Os).
+  tcu::util::Xoshiro256 rng(31);
+  for (std::size_t d : {32u, 64u}) {
+    Device<double> dev({.m = 16, .allow_tall = false});
+    dev.enable_trace();
+    Matrix<double> a(d, d), b(d, d);
+    for (std::size_t i = 0; i < d; ++i) {
+      for (std::size_t j = 0; j < d; ++j) {
+        a(i, j) = rng.uniform(-1, 1);
+        b(i, j) = rng.uniform(-1, 1);
+      }
+    }
+    (void)tcu::linalg::matmul_tcu(dev, a.view(), b.view());
+    const auto ios = simulate_trace_io(dev.trace(), 16);
+    EXPECT_EQ(ios, 3u * dev.counters().tensor_time -
+                       3u * dev.counters().latency_time);
+  }
+}
+
+}  // namespace

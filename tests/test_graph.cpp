@@ -1,0 +1,213 @@
+// Tests for the graph algorithms: transitive closure (Figure 7 blocked
+// version vs Figure 5 and a BFS oracle, Theorem 5 cost) and Seidel APSD
+// (vs BFS distances, Theorem 6 cost, connectivity precondition).
+
+#include <gtest/gtest.h>
+
+#include "core/costs.hpp"
+#include "graph/apsd.hpp"
+#include "graph/closure.hpp"
+#include "graph/generators.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using tcu::Counters;
+using tcu::Device;
+using tcu::Matrix;
+using tcu::graph::apsd_bfs;
+using tcu::graph::apsd_seidel;
+using tcu::graph::closure_bfs_oracle;
+using tcu::graph::closure_naive;
+using tcu::graph::closure_tcu;
+using tcu::graph::cycle_graph;
+using tcu::graph::random_connected_graph;
+using tcu::graph::random_digraph;
+
+// ------------------------------------------------------ transitive closure
+
+class ClosureSweep : public ::testing::TestWithParam<
+                         std::tuple<std::size_t, double, std::size_t>> {};
+
+TEST_P(ClosureSweep, BlockedMatchesNaiveAndOracle) {
+  const auto [n, p, m] = GetParam();
+  auto adj = random_digraph(n, p, 5000 + n + m);
+  auto d_naive = adj;
+  auto d_tcu = adj;
+  Counters ram;
+  closure_naive(d_naive.view(), ram);
+  Device<std::int64_t> dev({.m = m});
+  closure_tcu(dev, d_tcu.view());
+  EXPECT_TRUE(d_naive == d_tcu);
+  auto oracle = closure_bfs_oracle(adj.view());
+  EXPECT_TRUE(d_tcu == oracle);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Graphs, ClosureSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(8, 17, 32, 48),
+                       ::testing::Values(0.02, 0.1, 0.4),
+                       ::testing::Values<std::size_t>(16, 64)));
+
+TEST(Closure, EmptyGraphStaysEmpty) {
+  Matrix<std::int64_t> adj(12, 12, 0);
+  Device<std::int64_t> dev({.m = 16});
+  closure_tcu(dev, adj.view());
+  for (std::size_t i = 0; i < 12; ++i) {
+    for (std::size_t j = 0; j < 12; ++j) EXPECT_EQ(adj(i, j), 0);
+  }
+}
+
+TEST(Closure, CompleteDigraphIsFixedPoint) {
+  Matrix<std::int64_t> adj(10, 10, 1);
+  for (std::size_t i = 0; i < 10; ++i) adj(i, i) = 0;
+  auto d = adj;
+  Device<std::int64_t> dev({.m = 16});
+  closure_tcu(dev, d.view());
+  // Every vertex lies on a 2-cycle, so the closure is all ones.
+  for (std::size_t i = 0; i < 10; ++i) {
+    for (std::size_t j = 0; j < 10; ++j) EXPECT_EQ(d(i, j), 1);
+  }
+}
+
+TEST(Closure, DirectedPathClosesToUpperTriangle) {
+  const std::size_t n = 9;
+  Matrix<std::int64_t> adj(n, n, 0);
+  for (std::size_t i = 0; i + 1 < n; ++i) adj(i, i + 1) = 1;
+  Device<std::int64_t> dev({.m = 4});
+  closure_tcu(dev, adj.view());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_EQ(adj(i, j), i < j ? 1 : 0) << i << "," << j;
+    }
+  }
+}
+
+TEST(Closure, NonSquareThrows) {
+  Matrix<std::int64_t> bad(4, 5, 0);
+  Device<std::int64_t> dev({.m = 16});
+  EXPECT_THROW(closure_tcu(dev, bad.view()), std::invalid_argument);
+  Counters c;
+  EXPECT_THROW(closure_naive(bad.view(), c), std::invalid_argument);
+}
+
+TEST(Closure, CostTracksTheorem5AcrossSizes) {
+  std::vector<double> predicted, measured;
+  for (std::size_t n : {32u, 64u, 128u}) {
+    auto adj = random_digraph(n, 0.05, 6000 + n);
+    Device<std::int64_t> dev({.m = 16, .latency = 10});
+    closure_tcu(dev, adj.view());
+    predicted.push_back(
+        tcu::costs::thm5_closure(static_cast<double>(n), 16.0, 10.0));
+    measured.push_back(static_cast<double>(dev.counters().time()));
+  }
+  EXPECT_LT(tcu::util::ratio_spread(predicted, measured), 3.0);
+}
+
+TEST(Closure, TensorTimeBeatsNaiveCpuTime) {
+  const std::size_t n = 96;
+  auto adj = random_digraph(n, 0.1, 61);
+  auto d1 = adj;
+  auto d2 = adj;
+  Counters ram;
+  closure_naive(d1.view(), ram);
+  Device<std::int64_t> dev({.m = 256});
+  closure_tcu(dev, d2.view());
+  EXPECT_LT(dev.counters().time(), ram.time());
+}
+
+// ------------------------------------------------------------ Seidel APSD
+
+class ApsdSweep : public ::testing::TestWithParam<
+                      std::tuple<std::size_t, double, std::size_t>> {};
+
+TEST_P(ApsdSweep, MatchesBfsDistances) {
+  const auto [n, p, m] = GetParam();
+  auto adj = random_connected_graph(n, p, 7000 + n + m);
+  Counters ram;
+  auto expect = apsd_bfs(adj.view(), ram);
+  Device<std::int64_t> dev({.m = m});
+  auto got = apsd_seidel(dev, adj.view());
+  EXPECT_TRUE(got == expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Graphs, ApsdSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(5, 16, 33, 64),
+                       ::testing::Values(0.05, 0.3),
+                       ::testing::Values<std::size_t>(16, 64)));
+
+TEST(Apsd, CycleGraphDistances) {
+  const std::size_t n = 24;
+  auto adj = cycle_graph(n);
+  Device<std::int64_t> dev({.m = 16});
+  auto d = apsd_seidel(dev, adj.view());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::size_t fwd = (j + n - i) % n;
+      const auto expect = static_cast<std::int64_t>(std::min(fwd, n - fwd));
+      EXPECT_EQ(d(i, j), expect) << i << "," << j;
+    }
+  }
+}
+
+TEST(Apsd, StrassenVariantMatches) {
+  auto adj = random_connected_graph(40, 0.15, 71);
+  Device<std::int64_t> dev1({.m = 16}), dev2({.m = 16});
+  auto d1 = apsd_seidel(dev1, adj.view(), {.use_strassen = false});
+  auto d2 = apsd_seidel(dev2, adj.view(), {.use_strassen = true});
+  EXPECT_TRUE(d1 == d2);
+}
+
+TEST(Apsd, SingleVertexAndEdge) {
+  Matrix<std::int64_t> one(1, 1, 0);
+  Device<std::int64_t> dev({.m = 16});
+  auto d1 = apsd_seidel(dev, one.view());
+  EXPECT_EQ(d1(0, 0), 0);
+
+  Matrix<std::int64_t> pair(2, 2, 0);
+  pair(0, 1) = pair(1, 0) = 1;
+  auto d2 = apsd_seidel(dev, pair.view());
+  EXPECT_EQ(d2(0, 1), 1);
+  EXPECT_EQ(d2(1, 0), 1);
+}
+
+TEST(Apsd, DisconnectedGraphThrows) {
+  Matrix<std::int64_t> adj(6, 6, 0);
+  adj(0, 1) = adj(1, 0) = 1;  // two components
+  adj(3, 4) = adj(4, 3) = 1;
+  Device<std::int64_t> dev({.m = 16});
+  EXPECT_THROW((void)apsd_seidel(dev, adj.view()), std::invalid_argument);
+}
+
+TEST(Apsd, RejectsMalformedAdjacency) {
+  Device<std::int64_t> dev({.m = 16});
+  Matrix<std::int64_t> selfloop(3, 3, 0);
+  selfloop(1, 1) = 1;
+  EXPECT_THROW((void)apsd_seidel(dev, selfloop.view()),
+               std::invalid_argument);
+  Matrix<std::int64_t> asym(3, 3, 0);
+  asym(0, 1) = 1;
+  EXPECT_THROW((void)apsd_seidel(dev, asym.view()), std::invalid_argument);
+  Matrix<std::int64_t> nonbool(3, 3, 0);
+  nonbool(0, 1) = nonbool(1, 0) = 2;
+  EXPECT_THROW((void)apsd_seidel(dev, nonbool.view()),
+               std::invalid_argument);
+}
+
+TEST(Apsd, CostTracksTheorem6AcrossSizes) {
+  std::vector<double> predicted, measured;
+  for (std::size_t n : {32u, 64u, 128u}) {
+    auto adj = random_connected_graph(n, 0.1, 7200 + n);
+    Device<std::int64_t> dev({.m = 16, .latency = 5});
+    (void)apsd_seidel(dev, adj.view());
+    predicted.push_back(
+        tcu::costs::thm6_apsd(static_cast<double>(n), 16.0, 5.0));
+    measured.push_back(static_cast<double>(dev.counters().time()));
+  }
+  // O-bound check: ratio bounded above; denser graphs converge faster
+  // than the worst case so the band is wider than for Theta results.
+  EXPECT_LT(tcu::util::ratio_spread(predicted, measured), 8.0);
+}
+
+}  // namespace

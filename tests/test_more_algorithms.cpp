@@ -1,0 +1,192 @@
+// Tests for the remaining extensions: linear solve / determinant on the
+// elimination kernels, polynomial multiplication via the DFT, and 1-D
+// stencils.
+
+#include <gtest/gtest.h>
+
+#include "linalg/dense.hpp"
+#include "linalg/solve.hpp"
+#include "poly/poly_mul.hpp"
+#include "stencil/stencil1d.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using tcu::Counters;
+using tcu::Device;
+using tcu::Matrix;
+using Complex = tcu::dft::Complex;
+
+// ------------------------------------------------------------- solve/det
+
+Matrix<double> diag_dominant(std::size_t d, std::uint64_t seed) {
+  tcu::util::Xoshiro256 rng(seed);
+  Matrix<double> A(d, d);
+  for (std::size_t i = 0; i < d; ++i) {
+    double row = 0;
+    for (std::size_t j = 0; j < d; ++j) {
+      A(i, j) = rng.uniform(-1, 1);
+      row += std::abs(A(i, j));
+    }
+    A(i, i) = row + 1.0;
+  }
+  return A;
+}
+
+class SolveSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SolveSweep, ResidualIsSmall) {
+  const std::size_t d = GetParam();
+  auto A = diag_dominant(d, 900 + d);
+  tcu::util::Xoshiro256 rng(901 + d);
+  std::vector<double> b(d);
+  for (auto& v : b) v = rng.uniform(-1, 1);
+  Device<double> dev({.m = 16});
+  auto x = tcu::linalg::solve_tcu(dev, A.view(), b);
+  ASSERT_EQ(x.size(), d);
+  for (std::size_t i = 0; i < d; ++i) {
+    double acc = -b[i];
+    for (std::size_t j = 0; j < d; ++j) acc += A(i, j) * x[j];
+    EXPECT_NEAR(acc, 0.0, 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SolveSweep,
+                         ::testing::Values(1, 2, 3, 7, 16, 33, 64));
+
+TEST(Determinant, KnownValues) {
+  Device<double> dev({.m = 16});
+  // Identity.
+  auto eye = Matrix<double>::identity(7);
+  EXPECT_NEAR(tcu::linalg::determinant_tcu(dev, eye.view()), 1.0, 1e-10);
+  // Diagonal.
+  Matrix<double> diag(3, 3, 0.0);
+  diag(0, 0) = 2;
+  diag(1, 1) = -3;
+  diag(2, 2) = 0.5;
+  EXPECT_NEAR(tcu::linalg::determinant_tcu(dev, diag.view()), -3.0, 1e-10);
+  // 2x2 closed form.
+  Matrix<double> m(2, 2);
+  m(0, 0) = 3;  m(0, 1) = 1;
+  m(1, 0) = 2;  m(1, 1) = 5;
+  EXPECT_NEAR(tcu::linalg::determinant_tcu(dev, m.view()), 13.0, 1e-10);
+}
+
+TEST(Determinant, ProductRule) {
+  // det(AB) = det(A) det(B), with AB computed on the device.
+  Device<double> dev({.m = 16});
+  auto A = diag_dominant(12, 77);
+  auto B = diag_dominant(12, 78);
+  auto AB = tcu::linalg::matmul_tcu(dev, A.view(), B.view());
+  const double da = tcu::linalg::determinant_tcu(dev, A.view());
+  const double db = tcu::linalg::determinant_tcu(dev, B.view());
+  const double dab = tcu::linalg::determinant_tcu(dev, AB.view());
+  EXPECT_NEAR(dab / (da * db), 1.0, 1e-8);
+}
+
+// ------------------------------------------------------------- poly mult
+
+class PolyMulSweep : public ::testing::TestWithParam<
+                         std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(PolyMulSweep, MatchesDirectConvolution) {
+  const auto [da, db] = GetParam();
+  tcu::util::Xoshiro256 rng(300 + da + db);
+  std::vector<double> a(da), b(db);
+  for (auto& v : a) v = rng.uniform(-1, 1);
+  for (auto& v : b) v = rng.uniform(-1, 1);
+  Counters ram;
+  auto expect = tcu::poly::multiply_ram(a, b, ram);
+  Device<Complex> dev({.m = 64});
+  auto got = tcu::poly::multiply_tcu(dev, a, b);
+  ASSERT_EQ(got.size(), expect.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_NEAR(got[i], expect[i], 1e-8) << "at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Degrees, PolyMulSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 5, 64, 333),
+                       ::testing::Values<std::size_t>(1, 7, 128)));
+
+TEST(PolyMul, BinomialSquare) {
+  // (1 + x)^2 = 1 + 2x + x^2.
+  Device<Complex> dev({.m = 16});
+  auto got = tcu::poly::multiply_tcu(dev, {1, 1}, {1, 1});
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_NEAR(got[0], 1.0, 1e-10);
+  EXPECT_NEAR(got[1], 2.0, 1e-10);
+  EXPECT_NEAR(got[2], 1.0, 1e-10);
+}
+
+TEST(PolyMul, EmptyThrows) {
+  Device<Complex> dev({.m = 16});
+  Counters c;
+  EXPECT_THROW((void)tcu::poly::multiply_tcu(dev, {}, {1.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)tcu::poly::multiply_ram({1.0}, {}, c),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------------ 1-D stencil
+
+class Stencil1dSweep : public ::testing::TestWithParam<
+                           std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(Stencil1dSweep, BlockedMatchesDirect) {
+  const auto [n, k] = GetParam();
+  tcu::util::Xoshiro256 rng(400 + n + k);
+  std::vector<double> signal(n);
+  for (auto& v : signal) v = rng.uniform(-1, 1);
+  const std::array<double, 3> w{0.25, 0.5, 0.25};  // smoothing kernel
+  Counters ram;
+  auto expect = tcu::stencil::stencil1d_direct(signal, w, k, ram);
+  Device<Complex> dev({.m = 16});
+  auto got = tcu::stencil::stencil1d_tcu(dev, signal, w, k);
+  ASSERT_EQ(got.size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_NEAR(got[i], expect[i], 1e-8) << "at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, Stencil1dSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(5, 16, 50, 128),
+                       ::testing::Values<std::size_t>(1, 2, 4, 9, 16)));
+
+TEST(Stencil1d, WeightVectorIsBinomialForAveraging) {
+  // The kernel {1/2, 0, 1/2} powered twice gives {1/4, 0, 1/2, 0, 1/4}.
+  Device<Complex> dev({.m = 16});
+  auto w2 = tcu::stencil::weight_vector_tcu(dev, {0.5, 0.0, 0.5}, 2);
+  ASSERT_EQ(w2.size(), 5u);
+  EXPECT_NEAR(w2[0], 0.25, 1e-10);
+  EXPECT_NEAR(w2[1], 0.0, 1e-10);
+  EXPECT_NEAR(w2[2], 0.5, 1e-10);
+  EXPECT_NEAR(w2[3], 0.0, 1e-10);
+  EXPECT_NEAR(w2[4], 0.25, 1e-10);
+}
+
+TEST(Stencil1d, MassConservation) {
+  // Weights summing to 1: total signal mass is conserved on the infinite
+  // line; with the signal centred and k small no mass escapes the window.
+  Device<Complex> dev({.m = 16});
+  std::vector<double> signal(64, 0.0);
+  signal[32] = 10.0;
+  auto out = tcu::stencil::stencil1d_tcu(dev, signal, {0.3, 0.4, 0.3}, 8);
+  double total = 0;
+  for (double v : out) total += v;
+  EXPECT_NEAR(total, 10.0, 1e-8);
+}
+
+TEST(Stencil1d, ZeroKThrows) {
+  Device<Complex> dev({.m = 16});
+  Counters c;
+  EXPECT_THROW((void)tcu::stencil::stencil1d_tcu(dev, {1.0}, {1, 1, 1}, 0),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)tcu::stencil::stencil1d_direct({1.0}, {1, 1, 1}, 0, c),
+      std::invalid_argument);
+}
+
+}  // namespace

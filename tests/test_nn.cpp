@@ -1,0 +1,197 @@
+// Tests for the neural-network layers: dense layers vs hand-computed
+// references, MLP composition, conv2d via im2col vs the direct sliding
+// window, and the weight-stationary cost structure (latency per tile,
+// not per batch item).
+
+#include <gtest/gtest.h>
+
+#include "linalg/batch.hpp"
+#include "nn/layers.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using tcu::Counters;
+using tcu::Device;
+using tcu::Matrix;
+using tcu::nn::conv2d_ram;
+using tcu::nn::conv2d_tcu;
+using tcu::nn::DenseLayer;
+using tcu::nn::Mlp;
+
+Matrix<double> random_matrix(std::size_t r, std::size_t c,
+                             std::uint64_t seed) {
+  tcu::util::Xoshiro256 rng(seed);
+  Matrix<double> m(r, c);
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < c; ++j) m(i, j) = rng.uniform(-1, 1);
+  }
+  return m;
+}
+
+TEST(DenseLayerTest, MatchesHandComputedForward) {
+  Matrix<double> w(2, 3);
+  w(0, 0) = 1;  w(0, 1) = 2;  w(0, 2) = -1;
+  w(1, 0) = 0;  w(1, 1) = 1;  w(1, 2) = 3;
+  DenseLayer layer(w, {0.5, -0.5, 0.0});
+  Matrix<double> x(1, 2);
+  x(0, 0) = 2;
+  x(0, 1) = -1;
+  Device<double> dev({.m = 16});
+  auto y = layer.forward(dev, x.view(), /*relu=*/false);
+  // y = [2*1 + (-1)*0 + 0.5, 2*2 + (-1)*1 - 0.5, 2*(-1) + (-1)*3 + 0]
+  EXPECT_NEAR(y(0, 0), 2.5, 1e-12);
+  EXPECT_NEAR(y(0, 1), 2.5, 1e-12);
+  EXPECT_NEAR(y(0, 2), -5.0, 1e-12);
+}
+
+TEST(DenseLayerTest, ReluClampsNegatives) {
+  Matrix<double> w = Matrix<double>::identity(2);
+  DenseLayer layer(w, {0.0, 0.0});
+  Matrix<double> x(1, 2);
+  x(0, 0) = -3.0;
+  x(0, 1) = 4.0;
+  Device<double> dev({.m = 16});
+  auto y = layer.forward(dev, x.view(), /*relu=*/true);
+  EXPECT_DOUBLE_EQ(y(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(y(0, 1), 4.0);
+}
+
+TEST(DenseLayerTest, ValidatesShapes) {
+  EXPECT_THROW(DenseLayer(Matrix<double>(2, 3), {1.0}),
+               std::invalid_argument);
+  DenseLayer layer(Matrix<double>(4, 2), {0.0, 0.0});
+  Device<double> dev({.m = 16});
+  Matrix<double> bad(1, 3);
+  EXPECT_THROW((void)layer.forward(dev, bad.view()), std::invalid_argument);
+}
+
+TEST(DenseLayerTest, BatchStreamsThroughResidentWeights) {
+  // Doubling the batch must not change the tensor-call count (only rows
+  // streamed): the weight tiles stay resident.
+  auto w = random_matrix(32, 32, 1);
+  DenseLayer layer(w, std::vector<double>(32, 0.0));
+  Device<double> dev_small({.m = 256, .latency = 100});
+  Device<double> dev_large({.m = 256, .latency = 100});
+  (void)layer.forward(dev_small, random_matrix(64, 32, 2).view());
+  (void)layer.forward(dev_large, random_matrix(128, 32, 3).view());
+  EXPECT_EQ(dev_small.counters().tensor_calls,
+            dev_large.counters().tensor_calls);
+  EXPECT_EQ(dev_small.counters().latency_time,
+            dev_large.counters().latency_time);
+}
+
+TEST(MlpTest, ComposesLayersAndValidatesWidths) {
+  Mlp mlp;
+  mlp.add_layer(DenseLayer(random_matrix(8, 16, 11),
+                           std::vector<double>(16, 0.1)));
+  mlp.add_layer(DenseLayer(random_matrix(16, 4, 12),
+                           std::vector<double>(4, -0.1)));
+  EXPECT_EQ(mlp.depth(), 2u);
+  EXPECT_THROW(mlp.add_layer(DenseLayer(random_matrix(5, 3, 13),
+                                        std::vector<double>(3, 0.0))),
+               std::invalid_argument);
+  Device<double> dev({.m = 16});
+  auto out = mlp.forward(dev, random_matrix(10, 8, 14).view());
+  EXPECT_EQ(out.rows(), 10u);
+  EXPECT_EQ(out.cols(), 4u);
+}
+
+TEST(MlpTest, EmptyNetworkThrows) {
+  Mlp mlp;
+  Device<double> dev({.m = 16});
+  Matrix<double> x(1, 4);
+  EXPECT_THROW((void)mlp.forward(dev, x.view()), std::invalid_argument);
+}
+
+class ConvSweep
+    : public ::testing::TestWithParam<
+          std::tuple<std::size_t, std::size_t, std::size_t, std::size_t>> {};
+
+TEST_P(ConvSweep, Im2colMatchesDirect) {
+  const auto [h, cin, cout, kk] = GetParam();
+  const std::size_t w = h + 3;
+  auto input = random_matrix(cin * h, w, 100 + h + cin);
+  auto filters = random_matrix(cout, cin * kk * kk, 200 + cout + kk);
+  Device<double> dev({.m = 64});
+  auto got = conv2d_tcu(dev, input.view(), cin, filters.view(), kk, kk);
+  Counters ram;
+  auto expect = conv2d_ram(input.view(), cin, filters.view(), kk, kk, ram);
+  ASSERT_EQ(got.rows(), expect.rows());
+  ASSERT_EQ(got.cols(), expect.cols());
+  for (std::size_t i = 0; i < got.rows(); ++i) {
+    for (std::size_t j = 0; j < got.cols(); ++j) {
+      ASSERT_NEAR(got(i, j), expect(i, j), 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ConvSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(6, 10, 16),  // h
+                       ::testing::Values<std::size_t>(1, 3),       // cin
+                       ::testing::Values<std::size_t>(1, 4),       // cout
+                       ::testing::Values<std::size_t>(1, 3)));     // k
+
+TEST(Conv, IdentityFilterCopiesChannel) {
+  const std::size_t h = 5, w = 5;
+  auto input = random_matrix(h, w, 31);
+  Matrix<double> filters(1, 9, 0.0);
+  filters(0, 4) = 1.0;  // centre tap of a 3x3 kernel
+  Device<double> dev({.m = 16});
+  auto out = conv2d_tcu(dev, input.view(), 1, filters.view(), 3, 3);
+  ASSERT_EQ(out.rows(), 3u);
+  ASSERT_EQ(out.cols(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(out(i, j), input(i + 1, j + 1), 1e-12);
+    }
+  }
+}
+
+TEST(Conv, ValidatesShapes) {
+  Device<double> dev({.m = 16});
+  auto input = random_matrix(10, 8, 41);
+  auto filters = random_matrix(2, 9, 42);
+  EXPECT_THROW((void)conv2d_tcu(dev, input.view(), 3, filters.view(), 3, 3),
+               std::invalid_argument);  // 10 rows not divisible by 3
+  EXPECT_THROW((void)conv2d_tcu(dev, input.view(), 1, filters.view(), 3, 2),
+               std::invalid_argument);  // bank width mismatch
+  EXPECT_THROW(
+      (void)conv2d_tcu(dev, input.view(), 1,
+                       random_matrix(2, 121, 43).view(), 11, 11),
+      std::invalid_argument);  // kernel larger than input
+}
+
+TEST(BatchSharedB, MatchesPerItemProducts) {
+  Device<double> dev({.m = 64}), ref({.m = 64});
+  auto b = random_matrix(8, 8, 51);
+  std::vector<Matrix<double>> batch;
+  for (int t = 0; t < 5; ++t) batch.push_back(random_matrix(16, 8, 60 + t));
+  auto out = tcu::linalg::matmul_batch_shared_b(dev, batch, b.view());
+  ASSERT_EQ(out.size(), 5u);
+  for (int t = 0; t < 5; ++t) {
+    auto expect = tcu::linalg::matmul_tcu(ref, batch[t].view(), b.view());
+    for (std::size_t i = 0; i < 16; ++i) {
+      for (std::size_t j = 0; j < 8; ++j) {
+        ASSERT_NEAR(out[t](i, j), expect(i, j), 1e-12);
+      }
+    }
+  }
+  // One tall call for the whole batch (single weight tile here).
+  EXPECT_EQ(dev.counters().tensor_calls, 1u);
+}
+
+TEST(BatchSharedB, ValidatesShapes) {
+  Device<double> dev({.m = 16});
+  auto b = random_matrix(4, 4, 71);
+  std::vector<Matrix<double>> mixed{random_matrix(4, 4, 72),
+                                    random_matrix(5, 4, 73)};
+  EXPECT_THROW(
+      (void)tcu::linalg::matmul_batch_shared_b(dev, mixed, b.view()),
+      std::invalid_argument);
+  EXPECT_TRUE(
+      tcu::linalg::matmul_batch_shared_b(dev, {}, b.view()).empty());
+}
+
+}  // namespace

@@ -1,0 +1,125 @@
+// Tests for batch polynomial evaluation (§4.8, Theorem 11): agreement
+// with Horner across degrees/point counts, known closed forms, and the
+// p n / sqrt(m) + p sqrt(m) + (n/m) l cost structure.
+
+#include <gtest/gtest.h>
+
+#include "core/costs.hpp"
+#include "poly/poly.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using tcu::Counters;
+using tcu::Device;
+using tcu::poly::eval_horner;
+using tcu::poly::eval_tcu;
+
+std::vector<double> random_coeffs(std::size_t n, std::uint64_t seed) {
+  tcu::util::Xoshiro256 rng(seed);
+  std::vector<double> c(n);
+  for (auto& v : c) v = rng.uniform(-1, 1);
+  return c;
+}
+
+std::vector<double> random_points(std::size_t p, std::uint64_t seed) {
+  tcu::util::Xoshiro256 rng(seed);
+  std::vector<double> x(p);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  return x;
+}
+
+class PolySweep : public ::testing::TestWithParam<
+                      std::tuple<std::size_t, std::size_t, std::size_t>> {};
+
+TEST_P(PolySweep, MatchesHorner) {
+  const auto [n, p, m] = GetParam();
+  auto coeffs = random_coeffs(n, 8000 + n + p);
+  auto points = random_points(p, 8100 + n + p);
+  Counters ram;
+  auto expect = eval_horner(coeffs, points, ram);
+  Device<double> dev({.m = m});
+  auto got = eval_tcu(dev, coeffs, points);
+  ASSERT_EQ(got.size(), p);
+  for (std::size_t i = 0; i < p; ++i) {
+    EXPECT_NEAR(got[i], expect[i], 1e-9 * std::max(1.0, std::abs(expect[i])));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PolySweep,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 7, 64, 257, 1024),
+                       ::testing::Values<std::size_t>(1, 5, 33, 256),
+                       ::testing::Values<std::size_t>(16, 64, 256)));
+
+TEST(Poly, ConstantPolynomial) {
+  Device<double> dev({.m = 16});
+  auto got = eval_tcu(dev, {3.5}, {-2.0, 0.0, 7.0});
+  for (double v : got) EXPECT_DOUBLE_EQ(v, 3.5);
+}
+
+TEST(Poly, GeometricSeriesClosedForm) {
+  // 1 + x + ... + x^{n-1} = (x^n - 1)/(x - 1).
+  const std::size_t n = 100;
+  std::vector<double> coeffs(n, 1.0);
+  const double x = 0.9;
+  Device<double> dev({.m = 64});
+  auto got = eval_tcu(dev, coeffs, {x});
+  const double expect = (std::pow(x, static_cast<double>(n)) - 1.0) / (x - 1.0);
+  EXPECT_NEAR(got[0], expect, 1e-10);
+}
+
+TEST(Poly, EmptyInputsHandled) {
+  Device<double> dev({.m = 16});
+  Counters c;
+  EXPECT_THROW((void)eval_tcu(dev, {}, {1.0}), std::invalid_argument);
+  EXPECT_THROW((void)eval_horner({}, {1.0}, c), std::invalid_argument);
+  EXPECT_TRUE(eval_tcu(dev, {1.0, 2.0}, {}).empty());
+}
+
+TEST(Poly, EvaluationAtZeroAndOne) {
+  auto coeffs = random_coeffs(83, 42);
+  Device<double> dev({.m = 16});
+  auto got = eval_tcu(dev, coeffs, {0.0, 1.0});
+  EXPECT_NEAR(got[0], coeffs[0], 1e-12);
+  double sum = 0;
+  for (double c : coeffs) sum += c;
+  EXPECT_NEAR(got[1], sum, 1e-10);
+}
+
+TEST(PolyCost, TensorCallCountIsNOverM) {
+  // n/m tensor calls (one per sqrt(m) x sqrt(m) block of A).
+  const std::size_t n = 4096, m = 256;
+  Device<double> dev({.m = m, .latency = 9});
+  (void)eval_tcu(dev, random_coeffs(n, 51), random_points(64, 52));
+  EXPECT_EQ(dev.counters().tensor_calls, n / m);
+  EXPECT_EQ(dev.counters().latency_time, (n / m) * 9u);
+}
+
+TEST(PolyCost, TracksTheorem11AcrossShapes) {
+  std::vector<double> predicted, measured;
+  for (std::size_t n : {1024u, 4096u, 16384u}) {
+    for (std::size_t p : {64u, 512u}) {
+      Device<double> dev({.m = 256, .latency = 30});
+      (void)eval_tcu(dev, random_coeffs(n, 60 + n), random_points(p, 61 + p));
+      predicted.push_back(tcu::costs::thm11_polyeval(
+          static_cast<double>(n), static_cast<double>(p), 256.0, 30.0));
+      measured.push_back(static_cast<double>(dev.counters().time()));
+    }
+  }
+  EXPECT_LT(tcu::util::ratio_spread(predicted, measured), 3.0);
+}
+
+TEST(PolyCost, TcuBeatsHornerModelTime) {
+  const std::size_t n = 8192, p = 256;
+  auto coeffs = random_coeffs(n, 70);
+  auto points = random_points(p, 71);
+  Counters ram;
+  (void)eval_horner(coeffs, points, ram);
+  Device<double> dev({.m = 256});
+  (void)eval_tcu(dev, coeffs, points);
+  EXPECT_LT(dev.counters().time(), ram.time());
+}
+
+}  // namespace

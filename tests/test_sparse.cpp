@@ -1,0 +1,235 @@
+// Tests for output-sensitive sparse multiplication (Theorem 3): the
+// compress-multiply-recover pipeline must reproduce the naive sparse
+// product exactly (int64) or within tolerance (double) across densities,
+// shapes and hint qualities, and its tensor-call cost must track the
+// Theorem 3 bound when the output is balanced.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/costs.hpp"
+#include "linalg/sparse.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using tcu::Counters;
+using tcu::Device;
+using tcu::linalg::SparseEntry;
+using tcu::linalg::SparseMatrix;
+using tcu::linalg::spmm_naive;
+using tcu::linalg::spmm_tcu;
+using tcu::linalg::SpmmOptions;
+
+template <typename T>
+SparseMatrix<T> random_sparse(std::size_t rows, std::size_t cols,
+                              std::size_t nnz, std::uint64_t seed) {
+  tcu::util::Xoshiro256 rng(seed);
+  std::vector<SparseEntry<T>> entries;
+  entries.reserve(nnz);
+  for (std::size_t t = 0; t < nnz; ++t) {
+    entries.push_back(
+        {static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(rows) - 1)),
+         static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(cols) - 1)),
+         static_cast<T>(rng.uniform_int(1, 9))});
+  }
+  return SparseMatrix<T>::from_entries(rows, cols, std::move(entries));
+}
+
+template <typename T>
+void expect_equal_sparse(const SparseMatrix<T>& a, const SparseMatrix<T>& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  ASSERT_EQ(a.nnz(), b.nnz());
+  for (std::size_t t = 0; t < a.nnz(); ++t) {
+    EXPECT_EQ(a.entries()[t].row, b.entries()[t].row);
+    EXPECT_EQ(a.entries()[t].col, b.entries()[t].col);
+    EXPECT_EQ(a.entries()[t].value, b.entries()[t].value);
+  }
+}
+
+TEST(SparseMatrix, FromEntriesSortsAndMergesDuplicates) {
+  auto m = SparseMatrix<std::int64_t>::from_entries(
+      4, 4, {{2, 1, 5}, {0, 3, 1}, {2, 1, -2}, {1, 1, 4}});
+  ASSERT_EQ(m.nnz(), 3u);
+  EXPECT_EQ(m.entries()[0].row, 0u);
+  EXPECT_EQ(m.entries()[1].row, 1u);
+  EXPECT_EQ(m.entries()[2].value, 3);  // 5 + (-2)
+}
+
+TEST(SparseMatrix, MergedZeroEntriesAreDropped) {
+  auto m = SparseMatrix<std::int64_t>::from_entries(3, 3,
+                                                    {{1, 1, 5}, {1, 1, -5}});
+  EXPECT_EQ(m.nnz(), 0u);
+}
+
+TEST(SparseMatrix, OutOfRangeEntryThrows) {
+  EXPECT_THROW(SparseMatrix<std::int64_t>::from_entries(2, 2, {{2, 0, 1}}),
+               std::out_of_range);
+}
+
+TEST(SparseMatrix, ToDenseAccumulates) {
+  auto m = SparseMatrix<std::int64_t>::from_entries(2, 2, {{0, 1, 7}});
+  auto dense = m.to_dense();
+  EXPECT_EQ(dense(0, 1), 7);
+  EXPECT_EQ(dense(1, 0), 0);
+}
+
+TEST(SpmmNaive, MatchesDenseProduct) {
+  auto a = random_sparse<std::int64_t>(16, 16, 40, 1);
+  auto b = random_sparse<std::int64_t>(16, 16, 40, 2);
+  Counters c;
+  auto got = spmm_naive(a, b, c).to_dense();
+  auto ad = a.to_dense(), bd = b.to_dense();
+  for (std::size_t i = 0; i < 16; ++i) {
+    for (std::size_t j = 0; j < 16; ++j) {
+      std::int64_t acc = 0;
+      for (std::size_t k = 0; k < 16; ++k) acc += ad(i, k) * bd(k, j);
+      EXPECT_EQ(got(i, j), acc);
+    }
+  }
+}
+
+TEST(SpmmNaive, MismatchedShapesThrow) {
+  SparseMatrix<std::int64_t> a(4, 5), b(6, 4);
+  Counters c;
+  EXPECT_THROW((void)spmm_naive(a, b, c), std::invalid_argument);
+}
+
+class SparseTcuSweep : public ::testing::TestWithParam<
+                           std::tuple<std::size_t, std::size_t, std::size_t>> {
+};
+
+TEST_P(SparseTcuSweep, MatchesNaiveInt64) {
+  const auto [dim, nnz, m] = GetParam();
+  auto a = random_sparse<std::int64_t>(dim, dim, nnz, 100 + dim + nnz);
+  auto b = random_sparse<std::int64_t>(dim, dim, nnz, 200 + dim + nnz);
+  Counters ram;
+  auto expect = spmm_naive(a, b, ram);
+  Device<std::int64_t> dev({.m = m});
+  auto got = spmm_tcu(dev, a, b, {.z_hint = expect.nnz(), .seed = 7});
+  expect_equal_sparse(got, expect);
+  EXPECT_GT(dev.counters().tensor_calls, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Densities, SparseTcuSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(24, 48, 96),
+                       ::testing::Values<std::size_t>(16, 64, 192),
+                       ::testing::Values<std::size_t>(16, 64)));
+
+TEST(SparseTcu, WorksWithoutZHint) {
+  auto a = random_sparse<std::int64_t>(32, 32, 64, 31);
+  auto b = random_sparse<std::int64_t>(32, 32, 64, 32);
+  Counters ram;
+  auto expect = spmm_naive(a, b, ram);
+  Device<std::int64_t> dev({.m = 16});
+  auto got = spmm_tcu(dev, a, b, {.seed = 9});
+  expect_equal_sparse(got, expect);
+}
+
+TEST(SparseTcu, WorksWithUnderestimatedHint) {
+  // A bad hint forces the adaptive widening path.
+  auto a = random_sparse<std::int64_t>(48, 48, 160, 41);
+  auto b = random_sparse<std::int64_t>(48, 48, 160, 42);
+  Counters ram;
+  auto expect = spmm_naive(a, b, ram);
+  Device<std::int64_t> dev({.m = 16});
+  auto got = spmm_tcu(dev, a, b, {.z_hint = 4, .seed = 11});
+  expect_equal_sparse(got, expect);
+}
+
+TEST(SparseTcu, DoubleValuesWithinTolerance) {
+  tcu::util::Xoshiro256 rng(51);
+  std::vector<SparseEntry<double>> ea, eb;
+  for (int t = 0; t < 60; ++t) {
+    ea.push_back({static_cast<std::size_t>(rng.uniform_int(0, 31)),
+                  static_cast<std::size_t>(rng.uniform_int(0, 31)),
+                  rng.uniform(0.5, 2.0)});
+    eb.push_back({static_cast<std::size_t>(rng.uniform_int(0, 31)),
+                  static_cast<std::size_t>(rng.uniform_int(0, 31)),
+                  rng.uniform(0.5, 2.0)});
+  }
+  auto a = SparseMatrix<double>::from_entries(32, 32, std::move(ea));
+  auto b = SparseMatrix<double>::from_entries(32, 32, std::move(eb));
+  Counters ram;
+  auto expect = spmm_naive(a, b, ram).to_dense();
+  Device<double> dev({.m = 16});
+  auto got = spmm_tcu(dev, a, b, {.seed = 13}).to_dense();
+  for (std::size_t i = 0; i < 32; ++i) {
+    for (std::size_t j = 0; j < 32; ++j) {
+      EXPECT_NEAR(got(i, j), expect(i, j), 1e-6);
+    }
+  }
+}
+
+TEST(SparseTcu, EmptyInputsYieldEmptyOutput) {
+  SparseMatrix<std::int64_t> a(16, 16), b(16, 16);
+  Device<std::int64_t> dev({.m = 16});
+  auto got = spmm_tcu(dev, a, b, {.seed = 17});
+  EXPECT_EQ(got.nnz(), 0u);
+}
+
+TEST(SparseTcu, DiagonalTimesDiagonalIsDiagonal) {
+  std::vector<SparseEntry<std::int64_t>> ea, eb;
+  for (std::size_t i = 0; i < 20; ++i) {
+    ea.push_back({i, i, static_cast<std::int64_t>(i + 1)});
+    eb.push_back({i, i, 2});
+  }
+  auto a = SparseMatrix<std::int64_t>::from_entries(20, 20, std::move(ea));
+  auto b = SparseMatrix<std::int64_t>::from_entries(20, 20, std::move(eb));
+  Device<std::int64_t> dev({.m = 16});
+  auto got = spmm_tcu(dev, a, b, {.z_hint = 20, .seed = 19});
+  ASSERT_EQ(got.nnz(), 20u);
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(got.entries()[i].row, i);
+    EXPECT_EQ(got.entries()[i].col, i);
+    EXPECT_EQ(got.entries()[i].value, 2 * static_cast<std::int64_t>(i + 1));
+  }
+}
+
+TEST(SparseTcu, CancellationToZeroIsNotReported) {
+  // C[0][0] = 1*1 + 1*(-1) = 0 must simply not appear in the output.
+  auto a = SparseMatrix<std::int64_t>::from_entries(4, 4,
+                                                    {{0, 0, 1}, {0, 1, 1}});
+  auto b = SparseMatrix<std::int64_t>::from_entries(4, 4,
+                                                    {{0, 0, 1}, {1, 0, -1}});
+  Device<std::int64_t> dev({.m = 4});
+  auto got = spmm_tcu(dev, a, b, {.seed = 23});
+  EXPECT_EQ(got.nnz(), 0u);
+}
+
+TEST(SparseTcu, CostTracksTheorem3AcrossSizes) {
+  // Balanced outputs by construction: band matrices with fixed bandwidth,
+  // so Z ~ dim * band. Tensor time should scale near sqrt(n)*Z/sqrt(m)
+  // (the omega0 = 3/2 instantiation of Theorem 3).
+  std::vector<double> predicted, measured;
+  for (std::size_t dim : {64u, 128u, 256u}) {
+    std::vector<SparseEntry<std::int64_t>> ea, eb;
+    const std::size_t band = 4;
+    for (std::size_t i = 0; i < dim; ++i) {
+      for (std::size_t d = 0; d < band; ++d) {
+        ea.push_back({i, (i + d) % dim, static_cast<std::int64_t>(1 + d)});
+        eb.push_back({i, (i + 2 * d) % dim, static_cast<std::int64_t>(2 + d)});
+      }
+    }
+    auto a = SparseMatrix<std::int64_t>::from_entries(dim, dim, std::move(ea));
+    auto b = SparseMatrix<std::int64_t>::from_entries(dim, dim, std::move(eb));
+    Counters ram;
+    auto expect = spmm_naive(a, b, ram);
+    Device<std::int64_t> dev({.m = 16});
+    auto got = spmm_tcu(dev, a, b, {.z_hint = expect.nnz(), .seed = 29});
+    expect_equal_sparse(got, expect);
+    predicted.push_back(tcu::costs::thm3_sparse(
+        static_cast<double>(dim) * dim, static_cast<double>(expect.nnz()),
+        static_cast<double>(a.nnz() + b.nnz()), 16.0, 0.0));
+    measured.push_back(static_cast<double>(dev.counters().time()));
+  }
+  // Theta-style check: the measured/predicted ratio stays within a small
+  // constant band across the sweep.
+  EXPECT_LT(tcu::util::ratio_spread(predicted, measured), 4.0);
+}
+
+}  // namespace

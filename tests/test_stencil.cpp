@@ -1,0 +1,223 @@
+// Tests for the (n, k)-stencil pipeline (§4.6): weight matrices by
+// unrolling vs polynomial powering (Lemma 2), the blocked-convolution
+// stencil vs direct sweeps (Lemma 1 / Theorem 8), heat-equation physics
+// sanity checks, and the cost bound.
+
+#include <gtest/gtest.h>
+
+#include "core/costs.hpp"
+#include "stencil/stencil.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using tcu::Counters;
+using tcu::Device;
+using tcu::Matrix;
+using tcu::stencil::Complex;
+using tcu::stencil::heat_kernel;
+using tcu::stencil::Kernel3;
+using tcu::stencil::stencil_direct;
+using tcu::stencil::stencil_tcu;
+using tcu::stencil::weight_matrix_tcu;
+using tcu::stencil::weight_matrix_unrolled;
+
+Kernel3 random_kernel(std::uint64_t seed) {
+  tcu::util::Xoshiro256 rng(seed);
+  Kernel3 w(3, 3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      // Keep spectral radius tame so k-fold powers stay well conditioned.
+      w(i, j) = rng.uniform(-0.12, 0.12);
+    }
+  }
+  return w;
+}
+
+Matrix<double> random_grid(std::size_t r, std::size_t c, std::uint64_t seed) {
+  tcu::util::Xoshiro256 rng(seed);
+  Matrix<double> g(r, c);
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < c; ++j) g(i, j) = rng.uniform(-1, 1);
+  }
+  return g;
+}
+
+// ---------------------------------------------------------- weight matrix
+
+class WeightMatrixSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(WeightMatrixSweep, PoweringMatchesUnrolling) {
+  const std::size_t k = GetParam();
+  auto w = random_kernel(300 + k);
+  Counters ram;
+  auto expect = weight_matrix_unrolled(w, k, ram);
+  Device<Complex> dev({.m = 16});
+  auto got = weight_matrix_tcu(dev, w, k);
+  ASSERT_EQ(got.rows(), 2 * k + 1);
+  ASSERT_EQ(got.cols(), 2 * k + 1);
+  for (std::size_t i = 0; i < got.rows(); ++i) {
+    for (std::size_t j = 0; j < got.cols(); ++j) {
+      EXPECT_NEAR(got(i, j), expect(i, j), 1e-9) << i << "," << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, WeightMatrixSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 12, 16));
+
+TEST(WeightMatrix, IdentityKernelStaysIdentity) {
+  Kernel3 w(3, 3, 0.0);
+  w(1, 1) = 1.0;  // pure copy stencil
+  Device<Complex> dev({.m = 16});
+  auto got = weight_matrix_tcu(dev, w, 6);
+  for (std::size_t i = 0; i < 13; ++i) {
+    for (std::size_t j = 0; j < 13; ++j) {
+      EXPECT_NEAR(got(i, j), (i == 6 && j == 6) ? 1.0 : 0.0, 1e-10);
+    }
+  }
+}
+
+TEST(WeightMatrix, MassIsPreservedForStochasticKernels) {
+  // If the one-step weights sum to 1, every power sums to 1.
+  auto w = heat_kernel(0.1, 0.15);
+  Device<Complex> dev({.m = 16});
+  auto got = weight_matrix_tcu(dev, w, 9);
+  double sum = 0;
+  for (std::size_t i = 0; i < got.rows(); ++i) {
+    for (std::size_t j = 0; j < got.cols(); ++j) sum += got(i, j);
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(WeightMatrix, RejectsBadArguments) {
+  Device<Complex> dev({.m = 16});
+  Matrix<double> bad(2, 3, 0.0);
+  EXPECT_THROW((void)weight_matrix_tcu(dev, bad, 2), std::invalid_argument);
+  Kernel3 w(3, 3, 0.1);
+  EXPECT_THROW((void)weight_matrix_tcu(dev, w, 0), std::invalid_argument);
+  Counters c;
+  EXPECT_THROW((void)weight_matrix_unrolled(w, 0, c), std::invalid_argument);
+}
+
+// --------------------------------------------------------------- stencil
+
+class StencilSweep
+    : public ::testing::TestWithParam<
+          std::tuple<std::size_t, std::size_t, std::size_t>> {};
+
+TEST_P(StencilSweep, BlockedConvolutionMatchesDirectSweeps) {
+  const auto [dim, k, m] = GetParam();
+  auto w = random_kernel(400 + dim + k);
+  auto grid = random_grid(dim, dim, 500 + dim + k);
+  Counters ram;
+  auto expect = stencil_direct(grid.view(), w, k, ram);
+  Device<Complex> dev({.m = m});
+  auto got = stencil_tcu(dev, grid.view(), w, k);
+  ASSERT_EQ(got.rows(), dim);
+  ASSERT_EQ(got.cols(), dim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    for (std::size_t j = 0; j < dim; ++j) {
+      ASSERT_NEAR(got(i, j), expect(i, j), 1e-8) << i << "," << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, StencilSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(8, 12, 16, 24),
+                       ::testing::Values<std::size_t>(1, 2, 3, 4, 8),
+                       ::testing::Values<std::size_t>(16, 64)));
+
+TEST(Stencil, HeatDiffusionSpreadsAnImpulse) {
+  const std::size_t n = 16, k = 4;
+  auto w = heat_kernel(0.2, 0.2);
+  Matrix<double> grid(n, n, 0.0);
+  grid(8, 8) = 100.0;
+  Device<Complex> dev({.m = 16});
+  auto out = stencil_tcu(dev, grid.view(), w, k);
+  // Total mass preserved (impulse far from the boundary).
+  double total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      total += out(i, j);
+      EXPECT_GE(out(i, j), -1e-9);
+    }
+  }
+  EXPECT_NEAR(total, 100.0, 1e-7);
+  // The peak stays at the impulse site and decays.
+  EXPECT_GT(out(8, 8), out(8, 12));
+  EXPECT_LT(out(8, 8), 100.0);
+  // Separable symmetric kernel => 4-fold symmetry around the impulse.
+  EXPECT_NEAR(out(8, 6), out(8, 10), 1e-9);
+  EXPECT_NEAR(out(6, 8), out(10, 8), 1e-9);
+}
+
+TEST(Stencil, RectangularGridsWork) {
+  auto w = random_kernel(601);
+  auto grid = random_grid(10, 22, 602);
+  Counters ram;
+  auto expect = stencil_direct(grid.view(), w, 3, ram);
+  Device<Complex> dev({.m = 16});
+  auto got = stencil_tcu(dev, grid.view(), w, 3);
+  for (std::size_t i = 0; i < 10; ++i) {
+    for (std::size_t j = 0; j < 22; ++j) {
+      ASSERT_NEAR(got(i, j), expect(i, j), 1e-8);
+    }
+  }
+}
+
+TEST(Stencil, KLargerThanGridStillCorrect) {
+  // One k x k block covers the whole (padded) grid.
+  auto w = random_kernel(611);
+  auto grid = random_grid(5, 5, 612);
+  Counters ram;
+  auto expect = stencil_direct(grid.view(), w, 7, ram);
+  Device<Complex> dev({.m = 16});
+  auto got = stencil_tcu(dev, grid.view(), w, 7);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) {
+      ASSERT_NEAR(got(i, j), expect(i, j), 1e-8);
+    }
+  }
+}
+
+TEST(Stencil, DirectSweepChargesThetaNK) {
+  Counters c;
+  auto w = heat_kernel(0.1, 0.1);
+  auto grid = random_grid(8, 8, 621);
+  (void)stencil_direct(grid.view(), w, 5, c);
+  // 9 MACs per cell of the (8+2k)^2 haloed grid per sweep, plus the final
+  // crop of the 8x8 result.
+  EXPECT_EQ(c.cpu_ops, 9u * 18u * 18u * 5u + 64u);
+}
+
+TEST(StencilCost, TracksTheorem8InK) {
+  // Fix n, sweep k: cost ~ n log_m k + l log k grows slowly in k.
+  const std::size_t dim = 32;
+  std::vector<double> predicted, measured;
+  for (std::size_t k : {2u, 4u, 8u, 16u}) {
+    auto w = heat_kernel(0.05, 0.05);
+    auto grid = random_grid(dim, dim, 700 + k);
+    Device<Complex> dev({.m = 64, .latency = 10});
+    (void)stencil_tcu(dev, grid.view(), w, k);
+    predicted.push_back(tcu::costs::thm8_stencil(
+        static_cast<double>(dim) * dim, static_cast<double>(k), 64.0, 10.0));
+    measured.push_back(static_cast<double>(dev.counters().time()));
+  }
+  EXPECT_LT(tcu::util::ratio_spread(predicted, measured), 8.0);
+}
+
+TEST(StencilCost, BeatsDirectSweepsForLargeK) {
+  const std::size_t dim = 48, k = 24;
+  auto w = heat_kernel(0.1, 0.1);
+  auto grid = random_grid(dim, dim, 801);
+  Counters ram;
+  (void)stencil_direct(grid.view(), w, k, ram);
+  Device<Complex> dev({.m = 256});
+  (void)stencil_tcu(dev, grid.view(), w, k);
+  EXPECT_LT(dev.counters().time(), ram.time());
+}
+
+}  // namespace

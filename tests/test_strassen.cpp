@@ -1,0 +1,146 @@
+// Tests for the Strassen-like TCU recursion (Theorem 1): numeric
+// correctness for both p0 = 7 and p0 = 8, cost scaling with the predicted
+// exponent omega0 = log_{n0} p0, and the tensor-call count of the
+// recursion tree.
+
+#include <gtest/gtest.h>
+
+#include "core/costs.hpp"
+#include "linalg/dense.hpp"
+#include "linalg/strassen.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using tcu::Counters;
+using tcu::Device;
+using tcu::Matrix;
+using tcu::linalg::matmul_naive;
+using tcu::linalg::matmul_strassen_ram;
+using tcu::linalg::matmul_strassen_tcu;
+using tcu::linalg::StrassenOptions;
+
+Matrix<double> random_matrix(std::size_t r, std::size_t c,
+                             std::uint64_t seed) {
+  tcu::util::Xoshiro256 rng(seed);
+  Matrix<double> m(r, c);
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < c; ++j) m(i, j) = rng.uniform(-1, 1);
+  }
+  return m;
+}
+
+void expect_close(const Matrix<double>& a, const Matrix<double>& b,
+                  double tol) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      ASSERT_NEAR(a(i, j), b(i, j), tol) << "at (" << i << "," << j << ")";
+    }
+  }
+}
+
+class StrassenSweep : public ::testing::TestWithParam<
+                          std::tuple<int, std::size_t, std::size_t>> {};
+
+TEST_P(StrassenSweep, MatchesNaive) {
+  const auto [p0, m, d] = GetParam();
+  Device<double> dev({.m = m});
+  auto a = random_matrix(d, d, 500 + d + m + p0);
+  auto b = random_matrix(d, d, 600 + d + m + p0);
+  Counters ram;
+  auto expect = matmul_naive<double>(a.view(), b.view(), ram);
+  auto got = matmul_strassen_tcu(dev, a.view(), b.view(), {.p0 = p0});
+  // Strassen's extra additions amplify rounding; tolerance scales with d.
+  expect_close(got, expect, 1e-9 * static_cast<double>(d));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, StrassenSweep,
+    ::testing::Combine(::testing::Values(7, 8),
+                       ::testing::Values<std::size_t>(4, 16, 64),
+                       ::testing::Values<std::size_t>(8, 16, 31, 32, 64)));
+
+TEST(Strassen, RejectsBadArguments) {
+  Device<double> dev({.m = 16});
+  auto a = random_matrix(8, 8, 1);
+  auto rect = random_matrix(8, 4, 2);
+  EXPECT_THROW(
+      (void)matmul_strassen_tcu(dev, a.view(), rect.view(), StrassenOptions{}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)matmul_strassen_tcu(dev, a.view(), a.view(), {.p0 = 6}),
+      std::invalid_argument);
+}
+
+TEST(Strassen, TensorCallCountFollowsRecursionTree) {
+  // With d = 4s the recursion splits once (area 16m > 4m), yielding p0
+  // base products, each a (2s)^2 blocked multiply of 4 tile-calls.
+  const std::size_t m = 64, s = 8, d = 4 * s;
+  for (int p0 : {7, 8}) {
+    Device<double> dev({.m = m});
+    auto a = random_matrix(d, d, 700 + p0);
+    auto b = random_matrix(d, d, 800 + p0);
+    (void)matmul_strassen_tcu(dev, a.view(), b.view(), {.p0 = p0});
+    EXPECT_EQ(dev.counters().tensor_calls,
+              static_cast<std::uint64_t>(p0) * 4u)
+        << "p0=" << p0;
+  }
+}
+
+TEST(Strassen, StrassenUsesFewerTensorCallsThanStandard) {
+  const std::size_t m = 16, d = 128;
+  Device<double> dev7({.m = m}), dev8({.m = m});
+  auto a = random_matrix(d, d, 901);
+  auto b = random_matrix(d, d, 902);
+  (void)matmul_strassen_tcu(dev7, a.view(), b.view(), {.p0 = 7});
+  (void)matmul_strassen_tcu(dev8, a.view(), b.view(), {.p0 = 8});
+  EXPECT_LT(dev7.counters().tensor_calls, dev8.counters().tensor_calls);
+  EXPECT_LT(dev7.counters().tensor_time, dev8.counters().tensor_time);
+}
+
+TEST(Strassen, TensorTimeScalesWithOmega0) {
+  // Fit the exponent of tensor_time vs d over a geometric sweep; with
+  // latency 0 Theorem 1 predicts exponent 2*omega0 in d (n = d^2).
+  for (int p0 : {7, 8}) {
+    std::vector<double> ds, times;
+    for (std::size_t d : {32u, 64u, 128u, 256u}) {
+      Device<double> dev({.m = 16});
+      auto a = random_matrix(d, d, 1000 + d + p0);
+      auto b = random_matrix(d, d, 1100 + d + p0);
+      (void)matmul_strassen_tcu(dev, a.view(), b.view(), {.p0 = p0});
+      ds.push_back(static_cast<double>(d));
+      times.push_back(static_cast<double>(dev.counters().tensor_time));
+    }
+    const double omega0 = tcu::costs::omega0(p0, 4);
+    auto fit = tcu::util::fit_power_law(ds, times);
+    EXPECT_NEAR(fit.exponent, 2.0 * omega0, 0.08) << "p0=" << p0;
+  }
+}
+
+TEST(Strassen, RamBaselineMatchesNaive) {
+  Counters c1, c2;
+  auto a = random_matrix(256, 256, 1201);
+  auto b = random_matrix(256, 256, 1202);
+  auto expect = matmul_naive<double>(a.view(), b.view(), c1);
+  auto got = matmul_strassen_ram<double>(a.view(), b.view(), c2, 16);
+  expect_close(got, expect, 1e-7);
+  // Strassen performs asymptotically fewer charged operations; at d = 256
+  // with base 16 the bookkeeping overhead is already amortized.
+  EXPECT_LT(c2.cpu_ops, c1.cpu_ops);
+}
+
+TEST(Strassen, PaddedSizesMatchNaive) {
+  // Odd dimension forces padding to the next s * 2^k.
+  Device<double> dev({.m = 16});
+  auto a = random_matrix(37, 37, 1301);
+  auto b = random_matrix(37, 37, 1302);
+  Counters ram;
+  auto expect = matmul_naive<double>(a.view(), b.view(), ram);
+  auto got = matmul_strassen_tcu(dev, a.view(), b.view(), {.p0 = 7});
+  expect_close(got, expect, 1e-8);
+}
+
+}  // namespace

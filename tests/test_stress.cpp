@@ -1,0 +1,185 @@
+// Stress and edge-regime tests: larger instances and awkward parameter
+// corners that the per-module suites keep small for speed.
+
+#include <gtest/gtest.h>
+
+#include "core/pool.hpp"
+#include "dft/dft.hpp"
+#include "extmem/extmem.hpp"
+#include "graph/apsd.hpp"
+#include "graph/generators.hpp"
+#include "intmul/mul.hpp"
+#include "linalg/parallel.hpp"
+#include "primitives/primitives.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using tcu::Counters;
+using tcu::Device;
+using tcu::Matrix;
+using Complex = tcu::dft::Complex;
+
+TEST(Stress, BluesteinOnLargePrimeLengths) {
+  // 1009 and 2003 are prime >> sqrt(m): the whole transform goes through
+  // the chirp-z reduction onto power-of-two convolutions.
+  for (std::size_t n : {1009u, 2003u}) {
+    tcu::util::Xoshiro256 rng(n);
+    tcu::dft::CVec x(n);
+    for (auto& v : x) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    Device<Complex> dev({.m = 64});
+    auto y = tcu::dft::dft_tcu(dev, x);
+    auto back = tcu::dft::dft_tcu(dev, y, /*inverse=*/true);
+    double worst = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      worst = std::max(worst, std::abs(back[i] - x[i]));
+    }
+    EXPECT_LT(worst, 1e-8) << "n=" << n;
+    // Spot-check a few bins against the direct definition.
+    for (std::size_t k : std::vector<std::size_t>{0, 1, n / 2, n - 1}) {
+      Complex direct{};
+      for (std::size_t j = 0; j < n; ++j) {
+        const double angle = -2.0 * std::numbers::pi *
+                             static_cast<double>((j * k) % n) /
+                             static_cast<double>(n);
+        direct += x[j] * Complex{std::cos(angle), std::sin(angle)};
+      }
+      EXPECT_NEAR(std::abs(y[k] - direct), 0.0, 1e-7) << "bin " << k;
+    }
+  }
+}
+
+TEST(Stress, HundredKilobitThreeWayDifferential) {
+  tcu::util::Xoshiro256 rng(99);
+  const auto a = tcu::intmul::BigInt::random_bits(100000, rng);
+  const auto b = tcu::intmul::BigInt::random_bits(99991, rng);
+  Counters ram;
+  Device<std::int64_t> dev({.m = 256});
+  const auto r1 = tcu::intmul::mul_schoolbook_ram(a, b, ram);
+  const auto r2 = tcu::intmul::mul_schoolbook_tcu(dev, a, b);
+  const auto r3 = tcu::intmul::mul_karatsuba_tcu(dev, a, b);
+  const auto r4 = tcu::intmul::mul_karatsuba_ram(a, b, ram, 16);
+  EXPECT_TRUE(r1 == r2);
+  EXPECT_TRUE(r1 == r3);
+  EXPECT_TRUE(r1 == r4);
+  EXPECT_EQ(r1.bit_length(), 100000u + 99991u);
+}
+
+TEST(Stress, MachineWordOracleSweep) {
+  // Exhaustive-ish differential against native 128-bit arithmetic.
+  tcu::util::Xoshiro256 rng(101);
+  Device<std::int64_t> dev({.m = 16});
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto a = static_cast<std::uint64_t>(rng());
+    const auto b = static_cast<std::uint64_t>(rng());
+    const unsigned __int128 wide =
+        static_cast<unsigned __int128>(a) * b;
+    const auto hi = static_cast<std::uint64_t>(wide >> 64);
+    const auto lo = static_cast<std::uint64_t>(wide);
+    auto expect = tcu::intmul::BigInt(hi).shifted_limbs(4) +
+                  tcu::intmul::BigInt(lo);
+    auto got = tcu::intmul::mul_schoolbook_tcu(
+        dev, tcu::intmul::BigInt(a), tcu::intmul::BigInt(b));
+    ASSERT_EQ(got.to_hex(), expect.to_hex()) << a << " * " << b;
+  }
+}
+
+TEST(Stress, NaiveMatmulIoDegradesWithoutBlocking) {
+  // The naive loop's I/O count scales as d^3 once a row of B no longer
+  // fits: exponent ~3 with a much larger constant than the blocked one.
+  std::vector<double> ds, naive_ios, blocked_ios;
+  for (std::size_t d : {24u, 48u, 96u}) {
+    ds.push_back(static_cast<double>(d));
+    naive_ios.push_back(
+        static_cast<double>(tcu::extmem::matmul_io_naive(d, 48, 1)));
+    blocked_ios.push_back(
+        static_cast<double>(tcu::extmem::matmul_io_blocked(d, 48, 1)));
+  }
+  auto fit = tcu::util::fit_power_law(ds, naive_ios);
+  EXPECT_NEAR(fit.exponent, 3.0, 0.2);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_GT(naive_ios[i], blocked_ios[i]);
+  }
+}
+
+TEST(Stress, PoolWithMoreUnitsThanStrips) {
+  // 2 output strips on 8 units: 6 units idle, speedup capped at 2,
+  // results still exact.
+  tcu::util::Xoshiro256 rng(111);
+  const std::size_t d = 32;  // 2 strips at s = 16
+  Matrix<double> a(d, d), b(d, d);
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      a(i, j) = rng.uniform(-1, 1);
+      b(i, j) = rng.uniform(-1, 1);
+    }
+  }
+  tcu::DevicePool<double> pool(8, {.m = 256, .latency = 5});
+  auto c1 = tcu::linalg::matmul_tcu_pool(pool, a.view(), b.view());
+  Device<double> single({.m = 256, .latency = 5});
+  auto c2 = tcu::linalg::matmul_tcu(single, a.view(), b.view());
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      ASSERT_NEAR(c1(i, j), c2(i, j), 1e-12);
+    }
+  }
+  const double speedup = static_cast<double>(single.counters().time()) /
+                         static_cast<double>(pool.makespan());
+  EXPECT_NEAR(speedup, 2.0, 0.05);
+  std::size_t busy = 0;
+  for (std::size_t u = 0; u < pool.size(); ++u) {
+    busy += pool.unit(u).counters().tensor_calls > 0;
+  }
+  EXPECT_EQ(busy, 2u);
+}
+
+TEST(Stress, SeidelOnPathGraphMaxDepth) {
+  // A path graph has the largest diameter, driving the deepest recursion.
+  const std::size_t n = 96;
+  Matrix<std::int64_t> adj(n, n, 0);
+  for (std::size_t i = 0; i + 1 < n; ++i) adj(i, i + 1) = adj(i + 1, i) = 1;
+  Device<std::int64_t> dev({.m = 64});
+  auto d = tcu::graph::apsd_seidel(dev, adj.view());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const auto expect = static_cast<std::int64_t>(
+          i > j ? i - j : j - i);
+      ASSERT_EQ(d(i, j), expect);
+    }
+  }
+}
+
+TEST(Stress, DeviceWithM1IsDegenerateButConsistent) {
+  // m = 1: the "tensor unit" multiplies scalars; everything still works
+  // and the charge is n per call.
+  Device<double> dev({.m = 1, .latency = 2});
+  Matrix<double> a(5, 1), b(1, 1), c(5, 1);
+  for (std::size_t i = 0; i < 5; ++i) a(i, 0) = static_cast<double>(i);
+  b(0, 0) = 3.0;
+  dev.gemm(a.view(), b.view(), c.view());
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(c(i, 0), 3.0 * static_cast<double>(i));
+  }
+  EXPECT_EQ(dev.counters().tensor_time, 5u * 1u + 2u);
+}
+
+TEST(Stress, LargeScanAgainstKahanReference) {
+  const std::size_t n = 1 << 18;
+  tcu::util::Xoshiro256 rng(131);
+  std::vector<double> data(n);
+  for (auto& v : data) v = rng.uniform(-1, 1);
+  Device<double> dev({.m = 256});
+  auto got = tcu::primitives::inclusive_scan_tcu(dev, data);
+  // Kahan-compensated reference to keep the oracle itself accurate.
+  double sum = 0, comp = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double y = data[i] - comp;
+    const double t = sum + y;
+    comp = (t - sum) - y;
+    sum = t;
+    ASSERT_NEAR(got[i], sum, 1e-7) << "at " << i;
+  }
+}
+
+}  // namespace

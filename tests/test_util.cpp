@@ -1,0 +1,129 @@
+// Tests for the util module: RNG determinism and distribution sanity,
+// table rendering, and formatting helpers.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using tcu::util::Table;
+using tcu::util::Xoshiro256;
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a() == b();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const double v = rng.uniform(-3, 5);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentred) {
+  Xoshiro256 rng(11);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Xoshiro256 rng(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(2, 5);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 5);
+    saw_lo |= v == 2;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BernoulliRespectsProbability) {
+  Xoshiro256 rng(17);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, RandomVectorTypesAndBounds) {
+  Xoshiro256 rng(19);
+  auto vd = tcu::util::random_vector<double>(50, rng, -2, 2);
+  for (double v : vd) {
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 2.0);
+  }
+  auto vi = tcu::util::random_vector<int>(50, rng, -4, 4);
+  for (int v : vi) {
+    EXPECT_GE(v, -4);
+    EXPECT_LE(v, 4);
+  }
+}
+
+TEST(TableTest, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "12345"});
+  std::ostringstream out;
+  t.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("12345"), std::string::npos);
+  EXPECT_NE(text.find("-----"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TableTest, RejectsMalformedInput) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+}
+
+TEST(Fmt, FormatsNumbers) {
+  EXPECT_EQ(tcu::util::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(tcu::util::fmt(std::uint64_t{42}), "42");
+  EXPECT_EQ(tcu::util::fmt(std::int64_t{-7}), "-7");
+}
+
+TEST(Stats, StddevOfConstantSeriesIsZero) {
+  EXPECT_DOUBLE_EQ(tcu::util::stddev({5, 5, 5, 5}), 0.0);
+  EXPECT_DOUBLE_EQ(tcu::util::mean({2, 4, 6}), 4.0);
+  EXPECT_THROW((void)tcu::util::mean({}), std::invalid_argument);
+}
+
+TEST(Stats, FitHandlesNoise) {
+  // y = 2 x^2 with 1% multiplicative noise: exponent recovered closely.
+  Xoshiro256 rng(23);
+  std::vector<double> xs, ys;
+  for (double x = 2; x <= 512; x *= 2) {
+    xs.push_back(x);
+    ys.push_back(2.0 * x * x * rng.uniform(0.99, 1.01));
+  }
+  auto fit = tcu::util::fit_power_law(xs, ys);
+  EXPECT_NEAR(fit.exponent, 2.0, 0.02);
+  EXPECT_GT(fit.r2, 0.999);
+}
+
+}  // namespace

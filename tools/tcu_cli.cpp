@@ -1,0 +1,322 @@
+// tcu_cli — run any of the paper's algorithms from the command line and
+// print the simulated model cost next to the paper's predicted bound.
+//
+//   tcu_cli <command> [--m M] [--l L] [--size N] [--seed S]
+//
+// Commands: matmul, strassen, gauss, closure, apsd, dft, stencil,
+//           intmul, karatsuba, polyeval, scan, triangles, all.
+//
+// Examples:
+//   tcu_cli matmul --size 256 --m 1024 --l 100
+//   tcu_cli all --size 128
+
+#include <complex>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/costs.hpp"
+#include "dft/dft.hpp"
+#include "graph/apsd.hpp"
+#include "graph/closure.hpp"
+#include "graph/generators.hpp"
+#include "graph/triangles.hpp"
+#include "intmul/mul.hpp"
+#include "linalg/dense.hpp"
+#include "linalg/gauss.hpp"
+#include "linalg/strassen.hpp"
+#include "poly/poly.hpp"
+#include "primitives/primitives.hpp"
+#include "stencil/stencil.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using tcu::Counters;
+using tcu::Device;
+using tcu::Matrix;
+using Complex = std::complex<double>;
+
+struct Options {
+  std::size_t m = 256;
+  std::uint64_t latency = 0;
+  std::size_t size = 128;
+  std::uint64_t seed = 42;
+};
+
+[[noreturn]] void usage() {
+  std::cerr
+      << "usage: tcu_cli <command> [--m M] [--l L] [--size N] [--seed S]\n"
+         "commands: matmul strassen gauss closure apsd dft stencil intmul\n"
+         "          karatsuba polyeval scan triangles all\n";
+  std::exit(2);
+}
+
+Matrix<double> rand_mat(std::size_t r, std::size_t c, std::uint64_t seed) {
+  tcu::util::Xoshiro256 rng(seed);
+  Matrix<double> m(r, c);
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < c; ++j) m(i, j) = rng.uniform(-1, 1);
+  }
+  return m;
+}
+
+struct Row {
+  std::string name;
+  double measured;
+  double predicted;
+  double baseline;
+};
+
+Row run_matmul(const Options& o) {
+  Device<double> dev({.m = o.m, .latency = o.latency});
+  auto a = rand_mat(o.size, o.size, o.seed);
+  auto b = rand_mat(o.size, o.size, o.seed + 1);
+  (void)tcu::linalg::matmul_tcu(dev, a.view(), b.view());
+  Counters ram;
+  (void)tcu::linalg::matmul_naive<double>(a.view(), b.view(), ram);
+  const double n = static_cast<double>(o.size) * o.size;
+  return {"matmul (Thm 2)", static_cast<double>(dev.counters().time()),
+          tcu::costs::thm2_dense(n, static_cast<double>(o.m),
+                                 static_cast<double>(o.latency)),
+          static_cast<double>(ram.time())};
+}
+
+Row run_strassen(const Options& o) {
+  Device<double> dev({.m = o.m, .latency = o.latency});
+  auto a = rand_mat(o.size, o.size, o.seed);
+  auto b = rand_mat(o.size, o.size, o.seed + 1);
+  (void)tcu::linalg::matmul_strassen_tcu(dev, a.view(), b.view(), {.p0 = 7});
+  Counters ram;
+  (void)tcu::linalg::matmul_strassen_ram<double>(a.view(), b.view(), ram);
+  const double n = static_cast<double>(o.size) * o.size;
+  return {"strassen (Thm 1)", static_cast<double>(dev.counters().time()),
+          tcu::costs::thm1_strassen(n, static_cast<double>(o.m),
+                                    static_cast<double>(o.latency)),
+          static_cast<double>(ram.time())};
+}
+
+Row run_gauss(const Options& o) {
+  const std::size_t s = tcu::exact_sqrt(o.m);
+  const std::size_t r = ((o.size + s - 1) / s) * s;
+  tcu::util::Xoshiro256 rng(o.seed);
+  Matrix<double> c(r, r, 0.0);
+  for (std::size_t i = 0; i + 1 < r; ++i) {
+    double row = 0;
+    for (std::size_t j = 0; j < r; ++j) {
+      c(i, j) = rng.uniform(-1, 1);
+      row += std::abs(c(i, j));
+    }
+    c(i, i) = row + 1.0;
+  }
+  auto c2 = c;
+  Device<double> dev({.m = o.m, .latency = o.latency});
+  tcu::linalg::ge_forward_tcu(dev, c.view());
+  Counters ram;
+  tcu::linalg::ge_forward_naive(c2.view(), ram);
+  return {"gauss (Thm 4)", static_cast<double>(dev.counters().time()),
+          tcu::costs::thm4_gauss(static_cast<double>(r) * r,
+                                 static_cast<double>(o.m),
+                                 static_cast<double>(o.latency)),
+          static_cast<double>(ram.time())};
+}
+
+Row run_closure(const Options& o) {
+  auto adj = tcu::graph::random_digraph(o.size, 0.05, o.seed);
+  auto a2 = adj;
+  Device<std::int64_t> dev({.m = o.m, .latency = o.latency});
+  tcu::graph::closure_tcu(dev, adj.view());
+  Counters ram;
+  tcu::graph::closure_naive(a2.view(), ram);
+  return {"closure (Thm 5)", static_cast<double>(dev.counters().time()),
+          tcu::costs::thm5_closure(static_cast<double>(o.size),
+                                   static_cast<double>(o.m),
+                                   static_cast<double>(o.latency)),
+          static_cast<double>(ram.time())};
+}
+
+Row run_apsd(const Options& o) {
+  auto adj = tcu::graph::random_connected_graph(o.size, 0.05, o.seed);
+  Device<std::int64_t> dev({.m = o.m, .latency = o.latency});
+  (void)tcu::graph::apsd_seidel(dev, adj.view());
+  Counters ram;
+  (void)tcu::graph::apsd_bfs(adj.view(), ram);
+  return {"apsd (Thm 6)", static_cast<double>(dev.counters().time()),
+          tcu::costs::thm6_apsd(static_cast<double>(o.size),
+                                static_cast<double>(o.m),
+                                static_cast<double>(o.latency)),
+          static_cast<double>(ram.time())};
+}
+
+Row run_dft(const Options& o) {
+  std::size_t n = 1;
+  while (n < o.size * o.size) n *= 2;  // comparable work to the d x d runs
+  tcu::util::Xoshiro256 rng(o.seed);
+  tcu::dft::CVec x(n);
+  for (auto& v : x) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  Device<Complex> dev({.m = o.m, .latency = o.latency});
+  (void)tcu::dft::dft_tcu(dev, x);
+  Counters ram;
+  (void)tcu::dft::fft_ram(x, ram);
+  return {"dft (Thm 7)", static_cast<double>(dev.counters().time()),
+          tcu::costs::thm7_dft(static_cast<double>(n),
+                               static_cast<double>(o.m),
+                               static_cast<double>(o.latency)),
+          static_cast<double>(ram.time())};
+}
+
+Row run_stencil(const Options& o) {
+  const std::size_t k = std::max<std::size_t>(4, o.size / 8);
+  auto grid = rand_mat(o.size, o.size, o.seed);
+  auto w = tcu::stencil::heat_kernel(0.125, 0.125);
+  Device<Complex> dev({.m = o.m, .latency = o.latency});
+  (void)tcu::stencil::stencil_tcu(dev, grid.view(), w, k);
+  Counters ram;
+  (void)tcu::stencil::stencil_direct(grid.view(), w, k, ram);
+  return {"stencil (Thm 8)", static_cast<double>(dev.counters().time()),
+          tcu::costs::thm8_stencil_refined(
+              static_cast<double>(o.size) * o.size, static_cast<double>(k),
+              static_cast<double>(o.m), static_cast<double>(o.latency)),
+          static_cast<double>(ram.time())};
+}
+
+Row run_intmul(const Options& o) {
+  tcu::util::Xoshiro256 rng(o.seed);
+  const std::size_t bits = o.size * 64;
+  const auto a = tcu::intmul::BigInt::random_bits(bits, rng);
+  const auto b = tcu::intmul::BigInt::random_bits(bits, rng);
+  Device<std::int64_t> dev({.m = o.m, .latency = o.latency});
+  (void)tcu::intmul::mul_schoolbook_tcu(dev, a, b);
+  Counters ram;
+  (void)tcu::intmul::mul_schoolbook_ram(a, b, ram);
+  return {"intmul (Thm 9)", static_cast<double>(dev.counters().time()),
+          tcu::costs::thm9_intmul(static_cast<double>(bits), 64.0,
+                                  static_cast<double>(o.m),
+                                  static_cast<double>(o.latency)),
+          static_cast<double>(ram.time())};
+}
+
+Row run_karatsuba(const Options& o) {
+  tcu::util::Xoshiro256 rng(o.seed);
+  const std::size_t bits = o.size * 64;
+  const auto a = tcu::intmul::BigInt::random_bits(bits, rng);
+  const auto b = tcu::intmul::BigInt::random_bits(bits, rng);
+  Device<std::int64_t> dev({.m = o.m, .latency = o.latency});
+  (void)tcu::intmul::mul_karatsuba_tcu(dev, a, b);
+  Counters ram;
+  (void)tcu::intmul::mul_karatsuba_ram(a, b, ram);
+  return {"karatsuba (Thm 10)",
+          static_cast<double>(dev.counters().time()),
+          tcu::costs::thm10_karatsuba(static_cast<double>(bits), 64.0,
+                                      static_cast<double>(o.m),
+                                      static_cast<double>(o.latency)),
+          static_cast<double>(ram.time())};
+}
+
+Row run_polyeval(const Options& o) {
+  tcu::util::Xoshiro256 rng(o.seed);
+  const std::size_t n = o.size * 16, p = o.size;
+  std::vector<double> coeffs(n), points(p);
+  for (auto& v : coeffs) v = rng.uniform(-1, 1);
+  for (auto& v : points) v = rng.uniform(-1, 1);
+  Device<double> dev({.m = o.m, .latency = o.latency});
+  (void)tcu::poly::eval_tcu(dev, coeffs, points);
+  Counters ram;
+  (void)tcu::poly::eval_horner(coeffs, points, ram);
+  return {"polyeval (Thm 11)",
+          static_cast<double>(dev.counters().time()),
+          tcu::costs::thm11_polyeval(static_cast<double>(n),
+                                     static_cast<double>(p),
+                                     static_cast<double>(o.m),
+                                     static_cast<double>(o.latency)),
+          static_cast<double>(ram.time())};
+}
+
+Row run_scan(const Options& o) {
+  tcu::util::Xoshiro256 rng(o.seed);
+  std::vector<double> data(o.size * o.size);
+  for (auto& v : data) v = rng.uniform(-1, 1);
+  Device<double> dev({.m = o.m, .latency = o.latency});
+  (void)tcu::primitives::inclusive_scan_tcu(dev, data);
+  Counters ram;
+  (void)tcu::primitives::inclusive_scan_ram(data, ram);
+  return {"scan (prim)", static_cast<double>(dev.counters().time()),
+          static_cast<double>(data.size()),
+          static_cast<double>(ram.time())};
+}
+
+Row run_triangles(const Options& o) {
+  auto g = tcu::graph::random_connected_graph(o.size, 0.3, o.seed);
+  Device<std::int64_t> dev({.m = o.m, .latency = o.latency});
+  (void)tcu::graph::count_triangles_tcu(dev, g.view());
+  Counters ram;
+  (void)tcu::graph::count_triangles_ram(g.view(), ram);
+  return {"triangles", static_cast<double>(dev.counters().time()),
+          tcu::costs::thm2_dense(static_cast<double>(o.size) * o.size,
+                                 static_cast<double>(o.m),
+                                 static_cast<double>(o.latency)),
+          static_cast<double>(ram.time())};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string command = argv[1];
+  Options o;
+  for (int i = 2; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    const auto value = std::strtoull(argv[i + 1], nullptr, 10);
+    if (flag == "--m") {
+      o.m = value;
+    } else if (flag == "--l") {
+      o.latency = value;
+    } else if (flag == "--size") {
+      o.size = value;
+    } else if (flag == "--seed") {
+      o.seed = value;
+    } else {
+      usage();
+    }
+  }
+
+  const std::map<std::string, Row (*)(const Options&)> commands{
+      {"matmul", run_matmul},       {"strassen", run_strassen},
+      {"gauss", run_gauss},         {"closure", run_closure},
+      {"apsd", run_apsd},           {"dft", run_dft},
+      {"stencil", run_stencil},     {"intmul", run_intmul},
+      {"karatsuba", run_karatsuba}, {"polyeval", run_polyeval},
+      {"scan", run_scan},           {"triangles", run_triangles},
+  };
+
+  std::vector<Row> rows;
+  try {
+    if (command == "all") {
+      for (const auto& [name, fn] : commands) rows.push_back(fn(o));
+    } else if (auto it = commands.find(command); it != commands.end()) {
+      rows.push_back(it->second(o));
+    } else {
+      usage();
+    }
+  } catch (const std::exception& err) {
+    std::cerr << "tcu_cli: " << err.what() << "\n";
+    return 1;
+  }
+
+  std::cout << "(m = " << o.m << ", l = " << o.latency
+            << ", size = " << o.size << ", seed = " << o.seed << ")\n\n";
+  tcu::util::Table table({"algorithm", "model time", "paper bound", "ratio",
+                          "RAM baseline", "speedup"});
+  for (const auto& row : rows) {
+    table.add_row({row.name, tcu::util::fmt(row.measured, 0),
+                   tcu::util::fmt(row.predicted, 0),
+                   tcu::util::fmt(row.measured / row.predicted, 2),
+                   tcu::util::fmt(row.baseline, 0),
+                   tcu::util::fmt(row.baseline / row.measured, 2)});
+  }
+  table.print(std::cout);
+  return 0;
+}
