@@ -1,0 +1,81 @@
+// POOL1 — wall-clock scaling of the worker-thread pool runtime.
+//
+// A 1024^2 dense Theorem 2 multiplication on a DevicePool of p = 1/2/4/8
+// units, where every strip really executes on its unit's OS thread
+// (PoolExecutor). Reports, per p:
+//   wall time            — google-benchmark's real time of the run;
+//   wall_speedup         — wall time of the serial single-device run
+//                          (timed in this same instance) / pool wall
+//                          time (needs >= p physical cores to
+//                          approach p);
+//   sim_speedup          — single-unit simulated time / pool makespan,
+//                          the model-level speedup (machine-independent);
+//   counters_match       — 1 iff the aggregated pool counters are
+//                          bit-identical to the serial schedule's, i.e.
+//                          real threading changed nothing simulated.
+
+#include <chrono>
+
+#include "bench_common.hpp"
+#include "core/pool.hpp"
+#include "linalg/dense.hpp"
+#include "linalg/parallel.hpp"
+
+namespace {
+
+constexpr std::size_t kDim = 1024;
+constexpr std::size_t kM = 4096;  // sqrt(m) = 64 -> 16 output strips
+constexpr std::uint64_t kEll = 1024;
+
+void BM_PoolScaling(benchmark::State& state) {
+  const auto units = static_cast<std::size_t>(state.range(0));
+  auto a = tcu::bench::random_matrix(kDim, kDim, 9100);
+  auto b = tcu::bench::random_matrix(kDim, kDim, 9200);
+
+  // Serial reference schedule, timed here so every instance carries its
+  // own wall baseline (no cross-instance coupling under filters).
+  tcu::Device<double> single({.m = kM, .latency = kEll});
+  const auto s0 = std::chrono::steady_clock::now();
+  auto c_single = tcu::linalg::matmul_tcu(single, a.view(), b.view());
+  const auto s1 = std::chrono::steady_clock::now();
+  const double serial_wall_seconds =
+      std::chrono::duration<double>(s1 - s0).count();
+
+  tcu::DevicePool<double> pool(units, {.m = kM, .latency = kEll});
+  double wall_seconds = 0.0;
+  for (auto _ : state) {
+    pool.reset();
+    const auto t0 = std::chrono::steady_clock::now();
+    auto c = tcu::linalg::matmul_tcu_pool(pool, a.view(), b.view());
+    const auto t1 = std::chrono::steady_clock::now();
+    wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+    benchmark::DoNotOptimize(c.data());
+  }
+
+  const tcu::Counters agg = pool.aggregate();
+  const tcu::Counters& ref = single.counters();
+  const bool match = agg.tensor_calls == ref.tensor_calls &&
+                     agg.tensor_rows == ref.tensor_rows &&
+                     agg.tensor_time == ref.tensor_time &&
+                     agg.tensor_macs == ref.tensor_macs &&
+                     agg.latency_time == ref.latency_time;
+
+  state.counters["units"] = static_cast<double>(units);
+  state.counters["wall_seconds"] = wall_seconds;
+  state.counters["wall_speedup"] = serial_wall_seconds / wall_seconds;
+  state.counters["sim_speedup"] =
+      static_cast<double>(ref.time()) / static_cast<double>(pool.makespan());
+  state.counters["counters_match"] = match ? 1.0 : 0.0;
+  tcu::bench::report(state, agg, static_cast<double>(ref.time()));
+}
+
+}  // namespace
+
+BENCHMARK(BM_PoolScaling)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->ArgNames({"units"})
+    ->Iterations(1)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+BENCHMARK_MAIN();

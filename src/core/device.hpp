@@ -31,10 +31,27 @@
 
 namespace tcu {
 
+/// floor(sqrt(v)) computed in pure integer arithmetic. The double
+/// round-trip is only exact where the platform guarantees a correctly
+/// rounded sqrt; above 2^52 the conversion to double is already lossy, so
+/// the FP estimate only seeds a Newton iteration that converges from above
+/// and is finished with an exact neighbor check.
+inline std::size_t isqrt(std::size_t v) {
+  if (v < 2) return v;
+  auto x = static_cast<std::size_t>(std::sqrt(static_cast<double>(v))) + 2;
+  while (true) {
+    const std::size_t y = (x + v / x) / 2;
+    if (y >= x) break;
+    x = y;
+  }
+  while (x + 1 <= v / (x + 1)) ++x;  // overflow-safe (x+1)^2 <= v
+  while (x > v / x) --x;             // overflow-safe x^2 > v
+  return x;
+}
+
 /// Integer square root; throws unless v is a perfect square.
 inline std::size_t exact_sqrt(std::size_t v) {
-  const auto root = static_cast<std::size_t>(std::llround(std::sqrt(
-      static_cast<double>(v))));
+  const std::size_t root = isqrt(v);
   if (root * root != v) {
     throw std::invalid_argument("exact_sqrt: value is not a perfect square");
   }

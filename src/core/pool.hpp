@@ -9,9 +9,29 @@
 // running time (makespan) is the shared CPU time plus the *maximum*
 // tensor time over units, so perfectly balanced work divides the tensor
 // term by p while the latency of each call stays on its unit.
+//
+// `PoolExecutor<T>` turns the simulated pool into a real parallel
+// runtime: one OS worker thread per unit, each draining its own FIFO
+// work queue. Scheduling stays deterministic — tasks are dealt on the
+// *submitting* thread by greedy least-loaded over the projected
+// simulated tensor time (actual counters plus the declared cost of
+// everything already queued), with ties broken toward the lowest unit
+// index, exactly like the serial `least_loaded()` loop. Because every
+// task runs on the one thread that owns its unit, per-unit `Counters`
+// are written race-free and their totals are independent of thread
+// interleaving; `join()` is the barrier at which the merged view
+// (`aggregate()`, `makespan()`) becomes meaningful again.
 
 #include <cstdint>
+#include <deque>
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/device.hpp"
@@ -68,6 +88,15 @@ class DevicePool {
     return total;
   }
 
+  /// Merged counters: shared CPU plus every unit, summed in unit order.
+  /// Deterministic because each unit's counters are charged by exactly one
+  /// worker (or the caller) and addition is per-field.
+  Counters aggregate() const {
+    Counters total = cpu_;
+    for (const auto& u : units_) total += u.counters();
+    return total;
+  }
+
   void reset() {
     for (auto& u : units_) u.reset();
     cpu_.reset();
@@ -76,6 +105,145 @@ class DevicePool {
  private:
   std::vector<Device<T>> units_;
   Counters cpu_;
+};
+
+/// Worker-thread runtime over a DevicePool: one thread and one FIFO queue
+/// per unit. Construction spawns the workers; destruction drains and joins
+/// them. `submit` deals a task to the projected-least-loaded unit and must
+/// be called from a single thread (the scheduling decision sequence is the
+/// schedule). Do not touch the pool's units directly between the first
+/// `submit` and the matching `join`. Worker exceptions are only surfaced
+/// by `join()`; destroying the executor without a final join discards any
+/// recorded error (destructors cannot throw).
+template <typename T>
+class PoolExecutor {
+ public:
+  /// A task runs on its unit's worker thread and may only touch that unit
+  /// (plus any disjoint output it was given).
+  using Task = std::function<void(Device<T>&)>;
+
+  explicit PoolExecutor(DevicePool<T>& pool)
+      : pool_(pool), projected_(pool.size()) {
+    // Seed projections from the live counters so dealing continues the
+    // greedy schedule of any work already on the units.
+    for (std::size_t i = 0; i < pool_.size(); ++i) {
+      projected_[i] = pool_.unit(i).counters().tensor_time;
+    }
+    lanes_.reserve(pool_.size());
+    for (std::size_t i = 0; i < pool_.size(); ++i) {
+      lanes_.push_back(std::make_unique<Lane>());
+    }
+    try {
+      for (std::size_t i = 0; i < pool_.size(); ++i) {
+        lanes_[i]->worker =
+            std::thread([this, i] { worker_loop(*lanes_[i], pool_.unit(i)); });
+      }
+    } catch (...) {
+      // Thread spawn failed mid-loop (e.g. EAGAIN): stop and join the
+      // workers that did start, or their ~std::thread would terminate.
+      shutdown();
+      throw;
+    }
+  }
+
+  PoolExecutor(const PoolExecutor&) = delete;
+  PoolExecutor& operator=(const PoolExecutor&) = delete;
+
+  ~PoolExecutor() { shutdown(); }
+
+  /// Deal `task` to the unit with the smallest projected tensor time
+  /// (actual + declared cost of queued work), lowest index on ties.
+  /// `projected_cost` is the simulated tensor time the task will charge;
+  /// exact costs keep the dealing identical to a serial execute-then-pick
+  /// loop. Returns the chosen unit index.
+  std::size_t submit(std::uint64_t projected_cost, Task task) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < projected_.size(); ++i) {
+      if (projected_[i] < projected_[best]) best = i;
+    }
+    submit_to(best, projected_cost, std::move(task));
+    return best;
+  }
+
+  /// Enqueue on a specific unit's lane (for schedules computed elsewhere).
+  void submit_to(std::size_t unit, std::uint64_t projected_cost, Task task) {
+    Lane& lane = *lanes_.at(unit);
+    projected_[unit] += projected_cost;
+    {
+      std::lock_guard<std::mutex> lock(lane.mu);
+      lane.queue.push_back(std::move(task));
+    }
+    lane.cv.notify_one();
+  }
+
+  /// Barrier: wait until every queue has drained and every worker is idle,
+  /// then rethrow the first exception any task raised (if one did).
+  void join() {
+    for (auto& lane_ptr : lanes_) {
+      Lane& lane = *lane_ptr;
+      std::unique_lock<std::mutex> lock(lane.mu);
+      lane.idle.wait(lock, [&] { return lane.queue.empty() && !lane.busy; });
+    }
+    std::exception_ptr error;
+    {
+      std::lock_guard<std::mutex> lock(error_mu_);
+      error = std::exchange(first_error_, nullptr);
+    }
+    if (error) std::rethrow_exception(error);
+  }
+
+ private:
+  struct Lane {
+    std::mutex mu;
+    std::condition_variable cv;    ///< work available / stop requested
+    std::condition_variable idle;  ///< queue drained and worker idle
+    std::deque<Task> queue;
+    bool busy = false;
+    bool stop = false;
+    std::thread worker;
+  };
+
+  void worker_loop(Lane& lane, Device<T>& unit) {
+    for (;;) {
+      Task task;
+      {
+        std::unique_lock<std::mutex> lock(lane.mu);
+        lane.cv.wait(lock, [&] { return lane.stop || !lane.queue.empty(); });
+        if (lane.queue.empty()) return;  // stop requested and drained
+        task = std::move(lane.queue.front());
+        lane.queue.pop_front();
+        lane.busy = true;
+      }
+      try {
+        task(unit);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+      {
+        std::lock_guard<std::mutex> lock(lane.mu);
+        lane.busy = false;
+        if (lane.queue.empty()) lane.idle.notify_all();
+      }
+    }
+  }
+
+  void shutdown() {
+    for (auto& lane_ptr : lanes_) {
+      std::lock_guard<std::mutex> lock(lane_ptr->mu);
+      lane_ptr->stop = true;
+      lane_ptr->cv.notify_one();
+    }
+    for (auto& lane_ptr : lanes_) {
+      if (lane_ptr->worker.joinable()) lane_ptr->worker.join();
+    }
+  }
+
+  DevicePool<T>& pool_;
+  std::vector<std::uint64_t> projected_;  ///< submit-thread-only state
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::mutex error_mu_;
+  std::exception_ptr first_error_;
 };
 
 }  // namespace tcu

@@ -5,23 +5,24 @@
 // this workload: "the same model can be applied to k vectors". Multiplying
 // k left operands by one resident B must pay the weight-load latency per
 // *tile*, not per batch item — achieved by stacking the batch into a
-// single tall left operand.
+// single tall left operand. The multi-unit overload deals the stacked
+// product's output strips across a `DevicePool`'s worker threads.
 
+#include <algorithm>
 #include <type_traits>
 #include <vector>
 
+#include "core/pool.hpp"
 #include "linalg/dense.hpp"
+#include "linalg/parallel.hpp"
 
 namespace tcu::linalg {
 
-/// Multiply each k x s block in `batch` by the shared B. All inputs must
-/// have the same shape (rows x B.rows). Returns one output per input;
-/// the tensor unit sees a single stacked tall operand per weight tile.
+namespace detail {
+
 template <typename T>
-std::vector<Matrix<T>> matmul_batch_shared_b(
-    Device<T>& dev, const std::vector<Matrix<T>>& batch,
-    std::type_identity_t<ConstMatrixView<T>> B) {
-  if (batch.empty()) return {};
+void validate_batch(const std::vector<Matrix<T>>& batch,
+                    ConstMatrixView<T> B) {
   const std::size_t rows = batch.front().rows();
   const std::size_t inner = batch.front().cols();
   for (const auto& item : batch) {
@@ -33,29 +34,77 @@ std::vector<Matrix<T>> matmul_batch_shared_b(
   if (inner != B.rows) {
     throw std::invalid_argument("matmul_batch_shared_b: inner mismatch");
   }
+}
+
+/// Stack the batch vertically. Each item is dense row-major, so its whole
+/// block is one contiguous std::copy into the stacked operand.
+template <typename T>
+Matrix<T> stack_batch(const std::vector<Matrix<T>>& batch) {
+  const std::size_t rows = batch.front().rows();
+  const std::size_t inner = batch.front().cols();
   Matrix<T> stacked(batch.size() * rows, inner);
   for (std::size_t idx = 0; idx < batch.size(); ++idx) {
-    for (std::size_t i = 0; i < rows; ++i) {
-      for (std::size_t j = 0; j < inner; ++j) {
-        stacked(idx * rows + i, j) = batch[idx](i, j);
-      }
-    }
+    std::copy(batch[idx].data(), batch[idx].data() + rows * inner,
+              stacked.data() + idx * rows * inner);
   }
-  dev.charge_cpu(stacked.rows() * stacked.cols());
-  Matrix<T> product = matmul_tcu(dev, stacked.view(), B);
+  return stacked;
+}
+
+/// Split the stacked product back into per-item outputs, one contiguous
+/// block copy per item.
+template <typename T>
+std::vector<Matrix<T>> unstack_batch(const Matrix<T>& product,
+                                     std::size_t items, std::size_t rows) {
+  const std::size_t width = product.cols();
   std::vector<Matrix<T>> out;
-  out.reserve(batch.size());
-  for (std::size_t idx = 0; idx < batch.size(); ++idx) {
-    Matrix<T> item(rows, B.cols);
-    for (std::size_t i = 0; i < rows; ++i) {
-      for (std::size_t j = 0; j < B.cols; ++j) {
-        item(i, j) = product(idx * rows + i, j);
-      }
-    }
+  out.reserve(items);
+  for (std::size_t idx = 0; idx < items; ++idx) {
+    Matrix<T> item(rows, width);
+    const T* src = product.data() + idx * rows * width;
+    std::copy(src, src + rows * width, item.data());
     out.push_back(std::move(item));
   }
-  dev.charge_cpu(product.rows() * product.cols());
   return out;
+}
+
+}  // namespace detail
+
+/// Multiply each k x s block in `batch` by the shared B. All inputs must
+/// have the same shape (rows x B.rows). Returns one output per input;
+/// the tensor unit sees a single stacked tall operand per weight tile, so
+/// the latency l is charged once per weight tile, never per batch item.
+template <typename T>
+std::vector<Matrix<T>> matmul_batch_shared_b(
+    Device<T>& dev, const std::vector<Matrix<T>>& batch,
+    std::type_identity_t<ConstMatrixView<T>> B) {
+  if (batch.empty()) return {};
+  detail::validate_batch(batch, B);
+  Matrix<T> stacked = detail::stack_batch(batch);
+  dev.charge_cpu(stacked.rows() * stacked.cols());
+  Matrix<T> product = matmul_tcu(dev, stacked.view(), B);
+  dev.charge_cpu(product.rows() * product.cols());
+  return detail::unstack_batch(product, batch.size(), batch.front().rows());
+}
+
+/// Multi-unit batched product: the stacked tall operand's output strips
+/// run across the pool's worker threads when the stacked shapes are
+/// tile-aligned; ragged shapes fall back to the padded single-unit path
+/// on the least-loaded unit, mirroring the Device overload's behavior.
+/// Latency accounting is identical to the single-device path either way.
+template <typename T>
+std::vector<Matrix<T>> matmul_batch_shared_b(
+    DevicePool<T>& pool, const std::vector<Matrix<T>>& batch,
+    std::type_identity_t<ConstMatrixView<T>> B) {
+  if (batch.empty()) return {};
+  detail::validate_batch(batch, B);
+  Matrix<T> stacked = detail::stack_batch(batch);
+  pool.charge_cpu(stacked.rows() * stacked.cols());
+  Matrix<T> product =
+      pool_shapes_aligned<T>(pool, stacked.view(), B)
+          ? matmul_tcu_pool(pool, stacked.view(), B)
+          : matmul_tcu(pool.least_loaded(), stacked.view(), B);
+  pool.charge_cpu(product.rows() * product.cols());
+  return detail::unstack_batch(product, batch.size(), batch.front().rows());
 }
 
 }  // namespace tcu::linalg

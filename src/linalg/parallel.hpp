@@ -7,7 +7,16 @@
 // at least p strips the tensor term drops from n^{3/2}/sqrt(m) to
 // n^{3/2}/(p sqrt(m)) while each unit still pays l per resident tile —
 // measured by the ABL4 ablation bench.
+//
+// Execution is genuinely parallel: strips are enqueued on a
+// `PoolExecutor` (one worker thread per unit) and write disjoint column
+// strips of C, so workers never touch the same memory. Dealing happens on
+// the calling thread against *projected* loads equal to the exact
+// simulated cost each strip will charge, so the assignment — and with it
+// every unit's `Counters` — is bit-identical to the historical serial
+// execute-then-pick loop regardless of thread interleaving.
 
+#include <cstdint>
 #include <type_traits>
 
 #include "core/pool.hpp"
@@ -15,29 +24,67 @@
 
 namespace tcu::linalg {
 
+/// True iff A * B can run on the pool path: strip dealing needs every
+/// dimension to be a multiple of the tile dimension. Callers that accept
+/// ragged shapes should test this and fall back to the padded
+/// single-unit matmul_tcu.
+template <typename T>
+bool pool_shapes_aligned(const DevicePool<T>& pool, ConstMatrixView<T> A,
+                         ConstMatrixView<T> B) {
+  const std::size_t s = pool.unit(0).tile_dim();
+  return (A.rows % s) == 0 && (A.cols % s) == 0 && (B.cols % s) == 0;
+}
+
 /// C = A * B across the pool's units; shapes must be multiples of the
 /// tile dimension (use matmul_tcu on a single unit for ragged shapes).
+template <typename T>
+void matmul_tcu_pool_into(DevicePool<T>& pool,
+                          std::type_identity_t<ConstMatrixView<T>> A,
+                          std::type_identity_t<ConstMatrixView<T>> B,
+                          std::type_identity_t<MatrixView<T>> C) {
+  if (A.cols != B.rows) {
+    throw std::invalid_argument("matmul_tcu_pool: inner dimensions differ");
+  }
+  if (C.rows != A.rows || C.cols != B.cols) {
+    throw std::invalid_argument("matmul_tcu_pool: output shape mismatch");
+  }
+  if (!pool_shapes_aligned(pool, A, B)) {
+    throw std::invalid_argument(
+        "matmul_tcu_pool: dimensions must be multiples of sqrt(m)");
+  }
+  const std::size_t s = pool.unit(0).tile_dim();
+  // Exact simulated cost of one strip: one tall call per weight tile, or
+  // ceil(rows/s) square calls per tile on weak-model units — must mirror
+  // Device::gemm's charging exactly or the projected dealing would drift
+  // from the serial execute-then-pick schedule.
+  const Device<T>& unit0 = pool.unit(0);
+  const std::uint64_t tile_cost =
+      unit0.allows_tall()
+          ? tensor_call_cost(A.rows, unit0.m(), unit0.latency())
+          : static_cast<std::uint64_t>(A.rows / s) *
+                (unit0.m() + unit0.latency());
+  const std::uint64_t strip_cost =
+      static_cast<std::uint64_t>(A.cols / s) * tile_cost;
+  PoolExecutor<T> exec(pool);
+  // Deal output strips (independent work) to the least-loaded unit.
+  for (std::size_t jb = 0; jb < B.cols; jb += s) {
+    exec.submit(strip_cost, [A, B, C, jb, s](Device<T>& unit) {
+      for (std::size_t kb = 0; kb < A.cols; kb += s) {
+        unit.gemm(A.subview(0, kb, A.rows, s), B.subview(kb, jb, s, s),
+                  C.subview(0, jb, A.rows, s), /*accumulate=*/kb != 0);
+      }
+    });
+  }
+  exec.join();
+}
+
+/// Allocating wrapper for `matmul_tcu_pool_into`.
 template <typename T>
 Matrix<T> matmul_tcu_pool(DevicePool<T>& pool,
                           std::type_identity_t<ConstMatrixView<T>> A,
                           std::type_identity_t<ConstMatrixView<T>> B) {
-  if (A.cols != B.rows) {
-    throw std::invalid_argument("matmul_tcu_pool: inner dimensions differ");
-  }
-  const std::size_t s = pool.unit(0).tile_dim();
-  if ((A.rows % s) || (A.cols % s) || (B.cols % s)) {
-    throw std::invalid_argument(
-        "matmul_tcu_pool: dimensions must be multiples of sqrt(m)");
-  }
   Matrix<T> C(A.rows, B.cols, T{});
-  // Deal output strips (independent work) to the least-loaded unit.
-  for (std::size_t jb = 0; jb < B.cols; jb += s) {
-    Device<T>& unit = pool.least_loaded();
-    for (std::size_t kb = 0; kb < A.cols; kb += s) {
-      unit.gemm(A.subview(0, kb, A.rows, s), B.subview(kb, jb, s, s),
-                C.subview(0, jb, A.rows, s), /*accumulate=*/kb != 0);
-    }
-  }
+  matmul_tcu_pool_into(pool, A, B, C.view());
   return C;
 }
 

@@ -3,8 +3,25 @@
 #include <stdexcept>
 
 #include "linalg/dense.hpp"
+#include "linalg/parallel.hpp"
 
 namespace tcu::nn {
+
+namespace {
+
+/// Bias + optional ReLU epilogue; the caller charges the CPU work.
+void apply_epilogue(Matrix<double>& out, const std::vector<double>& bias,
+                    bool relu) {
+  for (std::size_t i = 0; i < out.rows(); ++i) {
+    for (std::size_t j = 0; j < out.cols(); ++j) {
+      double v = out(i, j) + bias[j];
+      if (relu && v < 0.0) v = 0.0;
+      out(i, j) = v;
+    }
+  }
+}
+
+}  // namespace
 
 DenseLayer::DenseLayer(Matrix<double> weights, std::vector<double> bias)
     : weights_(std::move(weights)), bias_(std::move(bias)) {
@@ -21,14 +38,24 @@ Matrix<double> DenseLayer::forward(Device<double>& dev,
   }
   Matrix<double> out =
       linalg::matmul_tcu(dev, activations, weights_.view());
-  for (std::size_t i = 0; i < out.rows(); ++i) {
-    for (std::size_t j = 0; j < out.cols(); ++j) {
-      double v = out(i, j) + bias_[j];
-      if (relu && v < 0.0) v = 0.0;
-      out(i, j) = v;
-    }
-  }
+  apply_epilogue(out, bias_, relu);
   dev.charge_cpu(out.rows() * out.cols() * (relu ? 2 : 1));
+  return out;
+}
+
+Matrix<double> DenseLayer::forward(DevicePool<double>& pool,
+                                   ConstMatrixView<double> activations,
+                                   bool relu) const {
+  if (activations.cols != weights_.rows()) {
+    throw std::invalid_argument("DenseLayer: activation width mismatch");
+  }
+  Matrix<double> out =
+      linalg::pool_shapes_aligned<double>(pool, activations, weights_.view())
+          ? linalg::matmul_tcu_pool(pool, activations, weights_.view())
+          : linalg::matmul_tcu(pool.least_loaded(), activations,
+                               weights_.view());
+  apply_epilogue(out, bias_, relu);
+  pool.charge_cpu(out.rows() * out.cols() * (relu ? 2 : 1));
   return out;
 }
 
@@ -48,6 +75,18 @@ Matrix<double> Mlp::forward(Device<double>& dev,
   for (std::size_t l = 0; l < layers_.size(); ++l) {
     const bool relu = l + 1 < layers_.size();
     cur = layers_[l].forward(dev, cur.view(), relu);
+  }
+  return cur;
+}
+
+Matrix<double> Mlp::forward(DevicePool<double>& pool,
+                            ConstMatrixView<double> batch) const {
+  if (layers_.empty()) throw std::invalid_argument("Mlp: no layers");
+  Matrix<double> cur = materialize(batch);
+  pool.charge_cpu(batch.rows * batch.cols);
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const bool relu = l + 1 < layers_.size();
+    cur = layers_[l].forward(pool, cur.view(), relu);
   }
   return cur;
 }

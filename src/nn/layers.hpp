@@ -20,6 +20,7 @@
 
 #include "core/device.hpp"
 #include "core/matrix.hpp"
+#include "core/pool.hpp"
 
 namespace tcu::nn {
 
@@ -37,6 +38,14 @@ class DenseLayer {
                          ConstMatrixView<double> activations,
                          bool relu = true) const;
 
+  /// Multi-unit forward: output strips of the weight product run across
+  /// the pool's worker threads when all dimensions are tile-aligned
+  /// (otherwise the product falls back to one unit); epilogue is shared
+  /// CPU work.
+  Matrix<double> forward(DevicePool<double>& pool,
+                         ConstMatrixView<double> activations,
+                         bool relu = true) const;
+
  private:
   Matrix<double> weights_;
   std::vector<double> bias_;
@@ -50,6 +59,11 @@ class Mlp {
 
   /// Forward pass of a batch; ReLU between layers, linear final layer.
   Matrix<double> forward(Device<double>& dev,
+                         ConstMatrixView<double> batch) const;
+
+  /// Forward pass across a multi-unit pool (layers stay sequential; each
+  /// layer's weight product parallelizes over output strips).
+  Matrix<double> forward(DevicePool<double>& pool,
                          ConstMatrixView<double> batch) const;
 
  private:

@@ -282,6 +282,50 @@ TEST(TensorCallCost, MatchesChargeFormula) {
   EXPECT_EQ(tcu::tensor_call_cost(2, 256, 5), 16u * 16u + 5u);
 }
 
+// ------------------------------------------------- integer square roots
+
+TEST(ExactSqrt, SmallValues) {
+  EXPECT_EQ(tcu::exact_sqrt(0), 0u);
+  EXPECT_EQ(tcu::exact_sqrt(1), 1u);
+  EXPECT_EQ(tcu::exact_sqrt(4), 2u);
+  EXPECT_EQ(tcu::exact_sqrt(256), 16u);
+  EXPECT_THROW(tcu::exact_sqrt(2), std::invalid_argument);
+  EXPECT_THROW(tcu::exact_sqrt(255), std::invalid_argument);
+  EXPECT_THROW(tcu::exact_sqrt(257), std::invalid_argument);
+}
+
+// Above 2^52 the double conversion is lossy, so a float sqrt round-trip is
+// only as exact as the platform's libm; the integer Newton iteration must
+// classify these boundaries correctly regardless.
+TEST(ExactSqrt, PerfectSquaresAboveDoublePrecision) {
+  const std::uint64_t roots[] = {
+      (1ull << 26) + 1,        // r^2 just over 2^52
+      (1ull << 27) - 1,
+      (1ull << 31) + 12345,
+      3037000499ull,           // floor(sqrt(2^63))
+      4294967295ull,           // 2^32 - 1: r^2 = 2^64 - 2^33 + 1
+  };
+  for (const std::uint64_t r : roots) {
+    const auto v = static_cast<std::size_t>(r * r);
+    EXPECT_EQ(tcu::exact_sqrt(v), r) << "r=" << r;
+    EXPECT_THROW(tcu::exact_sqrt(v - 1), std::invalid_argument) << r;
+    EXPECT_THROW(tcu::exact_sqrt(v + 1), std::invalid_argument) << r;
+  }
+}
+
+TEST(ExactSqrt, IsqrtFloorAtBoundaries) {
+  EXPECT_EQ(tcu::isqrt(0), 0u);
+  EXPECT_EQ(tcu::isqrt(3), 1u);
+  EXPECT_EQ(tcu::isqrt(8), 2u);
+  EXPECT_EQ(tcu::isqrt((1ull << 52) - 1), 67108863u);
+  EXPECT_EQ(tcu::isqrt(~std::size_t{0}), 4294967295u);  // 2^64 - 1
+  for (std::uint64_t r = 67108860; r < 67108870; ++r) {  // around 2^26
+    EXPECT_EQ(tcu::isqrt(r * r), r);
+    EXPECT_EQ(tcu::isqrt(r * r + 1), r);
+    EXPECT_EQ(tcu::isqrt(r * r - 1), r - 1);
+  }
+}
+
 // ------------------------------------------------- complex GEMM wrappers
 
 class ComplexGemmTest : public ::testing::TestWithParam<std::size_t> {};

@@ -182,6 +182,29 @@ TEST(BatchSharedB, MatchesPerItemProducts) {
   EXPECT_EQ(dev.counters().tensor_calls, 1u);
 }
 
+// The asymmetry property (§3, property 3): growing the batch must not add
+// latency charges — l is paid per resident weight tile, never per item.
+TEST(BatchSharedB, ChargesLatencyPerWeightTileNotPerItem) {
+  const std::uint64_t ell = 1000;
+  const std::size_t s = 8;  // m = 64
+  auto b = random_matrix(2 * s, 2 * s, 90);  // 2x2 grid of weight tiles
+  std::vector<std::uint64_t> latency_seen;
+  for (const std::size_t items : {1u, 3u, 9u}) {
+    Device<double> dev({.m = s * s, .latency = ell});
+    std::vector<Matrix<double>> batch;
+    for (std::size_t t = 0; t < items; ++t) {
+      batch.push_back(random_matrix(2 * s, 2 * s, 91 + t));
+    }
+    (void)tcu::linalg::matmul_batch_shared_b(dev, batch, b.view());
+    // 4 weight tiles -> 4 tall calls -> exactly 4 * l of latency.
+    EXPECT_EQ(dev.counters().tensor_calls, 4u) << items;
+    EXPECT_EQ(dev.counters().latency_time, 4u * ell) << items;
+    latency_seen.push_back(dev.counters().latency_time);
+  }
+  EXPECT_EQ(latency_seen[0], latency_seen[1]);
+  EXPECT_EQ(latency_seen[1], latency_seen[2]);
+}
+
 TEST(BatchSharedB, ValidatesShapes) {
   Device<double> dev({.m = 16});
   auto b = random_matrix(4, 4, 71);
