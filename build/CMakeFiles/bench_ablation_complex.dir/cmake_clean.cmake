@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_complex.dir/bench/bench_ablation_complex.cpp.o"
+  "CMakeFiles/bench_ablation_complex.dir/bench/bench_ablation_complex.cpp.o.d"
+  "bench_ablation_complex"
+  "bench_ablation_complex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_complex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

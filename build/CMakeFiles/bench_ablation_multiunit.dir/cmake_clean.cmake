@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_multiunit.dir/bench/bench_ablation_multiunit.cpp.o"
+  "CMakeFiles/bench_ablation_multiunit.dir/bench/bench_ablation_multiunit.cpp.o.d"
+  "bench_ablation_multiunit"
+  "bench_ablation_multiunit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_multiunit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_tall.dir/bench/bench_ablation_tall.cpp.o"
+  "CMakeFiles/bench_ablation_tall.dir/bench/bench_ablation_tall.cpp.o.d"
+  "bench_ablation_tall"
+  "bench_ablation_tall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cor1_rectangular.dir/bench/bench_cor1_rectangular.cpp.o"
+  "CMakeFiles/bench_cor1_rectangular.dir/bench/bench_cor1_rectangular.cpp.o.d"
+  "bench_cor1_rectangular"
+  "bench_cor1_rectangular.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cor1_rectangular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_systolic.dir/bench/bench_fig1_systolic.cpp.o"
+  "CMakeFiles/bench_fig1_systolic.dir/bench/bench_fig1_systolic.cpp.o.d"
+  "bench_fig1_systolic"
+  "bench_fig1_systolic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_systolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pool_scaling.dir/bench/bench_pool_scaling.cpp.o"
+  "CMakeFiles/bench_pool_scaling.dir/bench/bench_pool_scaling.cpp.o.d"
+  "bench_pool_scaling"
+  "bench_pool_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pool_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm10_karatsuba.dir/bench/bench_thm10_karatsuba.cpp.o"
+  "CMakeFiles/bench_thm10_karatsuba.dir/bench/bench_thm10_karatsuba.cpp.o.d"
+  "bench_thm10_karatsuba"
+  "bench_thm10_karatsuba.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm10_karatsuba.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

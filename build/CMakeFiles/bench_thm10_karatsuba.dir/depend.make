@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_thm10_karatsuba.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm11_polyeval.dir/bench/bench_thm11_polyeval.cpp.o"
+  "CMakeFiles/bench_thm11_polyeval.dir/bench/bench_thm11_polyeval.cpp.o.d"
+  "bench_thm11_polyeval"
+  "bench_thm11_polyeval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm11_polyeval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm12_extmem.dir/bench/bench_thm12_extmem.cpp.o"
+  "CMakeFiles/bench_thm12_extmem.dir/bench/bench_thm12_extmem.cpp.o.d"
+  "bench_thm12_extmem"
+  "bench_thm12_extmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm12_extmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm1_strassen.dir/bench/bench_thm1_strassen.cpp.o"
+  "CMakeFiles/bench_thm1_strassen.dir/bench/bench_thm1_strassen.cpp.o.d"
+  "bench_thm1_strassen"
+  "bench_thm1_strassen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm1_strassen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

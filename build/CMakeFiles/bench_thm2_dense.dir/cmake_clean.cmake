@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm2_dense.dir/bench/bench_thm2_dense.cpp.o"
+  "CMakeFiles/bench_thm2_dense.dir/bench/bench_thm2_dense.cpp.o.d"
+  "bench_thm2_dense"
+  "bench_thm2_dense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm2_dense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm3_sparse.dir/bench/bench_thm3_sparse.cpp.o"
+  "CMakeFiles/bench_thm3_sparse.dir/bench/bench_thm3_sparse.cpp.o.d"
+  "bench_thm3_sparse"
+  "bench_thm3_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm3_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

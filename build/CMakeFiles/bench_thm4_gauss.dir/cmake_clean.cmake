@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm4_gauss.dir/bench/bench_thm4_gauss.cpp.o"
+  "CMakeFiles/bench_thm4_gauss.dir/bench/bench_thm4_gauss.cpp.o.d"
+  "bench_thm4_gauss"
+  "bench_thm4_gauss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm4_gauss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

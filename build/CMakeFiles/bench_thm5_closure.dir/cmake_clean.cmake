@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm5_closure.dir/bench/bench_thm5_closure.cpp.o"
+  "CMakeFiles/bench_thm5_closure.dir/bench/bench_thm5_closure.cpp.o.d"
+  "bench_thm5_closure"
+  "bench_thm5_closure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm5_closure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm6_apsd.dir/bench/bench_thm6_apsd.cpp.o"
+  "CMakeFiles/bench_thm6_apsd.dir/bench/bench_thm6_apsd.cpp.o.d"
+  "bench_thm6_apsd"
+  "bench_thm6_apsd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm6_apsd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

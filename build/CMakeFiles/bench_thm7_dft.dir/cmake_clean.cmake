@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm7_dft.dir/bench/bench_thm7_dft.cpp.o"
+  "CMakeFiles/bench_thm7_dft.dir/bench/bench_thm7_dft.cpp.o.d"
+  "bench_thm7_dft"
+  "bench_thm7_dft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm7_dft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm8_stencil.dir/bench/bench_thm8_stencil.cpp.o"
+  "CMakeFiles/bench_thm8_stencil.dir/bench/bench_thm8_stencil.cpp.o.d"
+  "bench_thm8_stencil"
+  "bench_thm8_stencil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm8_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm9_intmul.dir/bench/bench_thm9_intmul.cpp.o"
+  "CMakeFiles/bench_thm9_intmul.dir/bench/bench_thm9_intmul.cpp.o.d"
+  "bench_thm9_intmul"
+  "bench_thm9_intmul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm9_intmul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_triangles.dir/bench/bench_triangles.cpp.o"
+  "CMakeFiles/bench_triangles.dir/bench/bench_triangles.cpp.o.d"
+  "bench_triangles"
+  "bench_triangles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_triangles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bignum_demo.dir/examples/bignum_demo.cpp.o"
+  "CMakeFiles/bignum_demo.dir/examples/bignum_demo.cpp.o.d"
+  "bignum_demo"
+  "bignum_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bignum_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

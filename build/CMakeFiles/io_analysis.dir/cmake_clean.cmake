@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_analysis.dir/examples/io_analysis.cpp.o"
+  "CMakeFiles/io_analysis.dir/examples/io_analysis.cpp.o.d"
+  "io_analysis"
+  "io_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

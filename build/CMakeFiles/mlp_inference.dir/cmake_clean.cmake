@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlp_inference.dir/examples/mlp_inference.cpp.o"
+  "CMakeFiles/mlp_inference.dir/examples/mlp_inference.cpp.o.d"
+  "mlp_inference"
+  "mlp_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlp_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

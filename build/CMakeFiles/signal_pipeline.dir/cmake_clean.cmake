@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/signal_pipeline.dir/examples/signal_pipeline.cpp.o"
+  "CMakeFiles/signal_pipeline.dir/examples/signal_pipeline.cpp.o.d"
+  "signal_pipeline"
+  "signal_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/signal_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/complex_gemm.cpp" "CMakeFiles/tcu.dir/src/core/complex_gemm.cpp.o" "gcc" "CMakeFiles/tcu.dir/src/core/complex_gemm.cpp.o.d"
+  "/root/repo/src/core/precision.cpp" "CMakeFiles/tcu.dir/src/core/precision.cpp.o" "gcc" "CMakeFiles/tcu.dir/src/core/precision.cpp.o.d"
+  "/root/repo/src/dft/dft.cpp" "CMakeFiles/tcu.dir/src/dft/dft.cpp.o" "gcc" "CMakeFiles/tcu.dir/src/dft/dft.cpp.o.d"
+  "/root/repo/src/extmem/extmem.cpp" "CMakeFiles/tcu.dir/src/extmem/extmem.cpp.o" "gcc" "CMakeFiles/tcu.dir/src/extmem/extmem.cpp.o.d"
+  "/root/repo/src/graph/apsd.cpp" "CMakeFiles/tcu.dir/src/graph/apsd.cpp.o" "gcc" "CMakeFiles/tcu.dir/src/graph/apsd.cpp.o.d"
+  "/root/repo/src/graph/closure.cpp" "CMakeFiles/tcu.dir/src/graph/closure.cpp.o" "gcc" "CMakeFiles/tcu.dir/src/graph/closure.cpp.o.d"
+  "/root/repo/src/graph/triangles.cpp" "CMakeFiles/tcu.dir/src/graph/triangles.cpp.o" "gcc" "CMakeFiles/tcu.dir/src/graph/triangles.cpp.o.d"
+  "/root/repo/src/intmul/bigint.cpp" "CMakeFiles/tcu.dir/src/intmul/bigint.cpp.o" "gcc" "CMakeFiles/tcu.dir/src/intmul/bigint.cpp.o.d"
+  "/root/repo/src/intmul/mul.cpp" "CMakeFiles/tcu.dir/src/intmul/mul.cpp.o" "gcc" "CMakeFiles/tcu.dir/src/intmul/mul.cpp.o.d"
+  "/root/repo/src/linalg/linalg.cpp" "CMakeFiles/tcu.dir/src/linalg/linalg.cpp.o" "gcc" "CMakeFiles/tcu.dir/src/linalg/linalg.cpp.o.d"
+  "/root/repo/src/nn/layers.cpp" "CMakeFiles/tcu.dir/src/nn/layers.cpp.o" "gcc" "CMakeFiles/tcu.dir/src/nn/layers.cpp.o.d"
+  "/root/repo/src/poly/poly.cpp" "CMakeFiles/tcu.dir/src/poly/poly.cpp.o" "gcc" "CMakeFiles/tcu.dir/src/poly/poly.cpp.o.d"
+  "/root/repo/src/poly/poly_mul.cpp" "CMakeFiles/tcu.dir/src/poly/poly_mul.cpp.o" "gcc" "CMakeFiles/tcu.dir/src/poly/poly_mul.cpp.o.d"
+  "/root/repo/src/primitives/primitives.cpp" "CMakeFiles/tcu.dir/src/primitives/primitives.cpp.o" "gcc" "CMakeFiles/tcu.dir/src/primitives/primitives.cpp.o.d"
+  "/root/repo/src/stencil/stencil.cpp" "CMakeFiles/tcu.dir/src/stencil/stencil.cpp.o" "gcc" "CMakeFiles/tcu.dir/src/stencil/stencil.cpp.o.d"
+  "/root/repo/src/stencil/stencil1d.cpp" "CMakeFiles/tcu.dir/src/stencil/stencil1d.cpp.o" "gcc" "CMakeFiles/tcu.dir/src/stencil/stencil1d.cpp.o.d"
+  "/root/repo/src/systolic/systolic.cpp" "CMakeFiles/tcu.dir/src/systolic/systolic.cpp.o" "gcc" "CMakeFiles/tcu.dir/src/systolic/systolic.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "CMakeFiles/tcu.dir/src/util/stats.cpp.o" "gcc" "CMakeFiles/tcu.dir/src/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "CMakeFiles/tcu.dir/src/util/table.cpp.o" "gcc" "CMakeFiles/tcu.dir/src/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcu_cli.dir/tools/tcu_cli.cpp.o"
+  "CMakeFiles/tcu_cli.dir/tools/tcu_cli.cpp.o.d"
+  "tcu_cli"
+  "tcu_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcu_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

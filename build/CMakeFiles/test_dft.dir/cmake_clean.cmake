@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dft.dir/tests/test_dft.cpp.o"
+  "CMakeFiles/test_dft.dir/tests/test_dft.cpp.o.d"
+  "test_dft"
+  "test_dft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

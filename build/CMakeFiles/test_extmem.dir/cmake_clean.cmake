@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_extmem.dir/tests/test_extmem.cpp.o"
+  "CMakeFiles/test_extmem.dir/tests/test_extmem.cpp.o.d"
+  "test_extmem"
+  "test_extmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_extmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_intmul.dir/tests/test_intmul.cpp.o"
+  "CMakeFiles/test_intmul.dir/tests/test_intmul.cpp.o.d"
+  "test_intmul"
+  "test_intmul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_intmul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

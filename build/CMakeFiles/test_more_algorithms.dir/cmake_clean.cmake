@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_more_algorithms.dir/tests/test_more_algorithms.cpp.o"
+  "CMakeFiles/test_more_algorithms.dir/tests/test_more_algorithms.cpp.o.d"
+  "test_more_algorithms"
+  "test_more_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_more_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

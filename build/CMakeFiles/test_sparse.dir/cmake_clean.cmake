@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparse.dir/tests/test_sparse.cpp.o"
+  "CMakeFiles/test_sparse.dir/tests/test_sparse.cpp.o.d"
+  "test_sparse"
+  "test_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_strassen.dir/tests/test_strassen.cpp.o"
+  "CMakeFiles/test_strassen.dir/tests/test_strassen.cpp.o.d"
+  "test_strassen"
+  "test_strassen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_strassen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
