@@ -15,6 +15,11 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "core/counters.hpp"
 #include "core/matrix.hpp"
@@ -42,6 +47,75 @@ inline Matrix<std::int64_t> random_int_matrix(std::size_t r, std::size_t c,
     for (std::size_t j = 0; j < c; ++j) m(i, j) = rng.uniform_int(lo, hi);
   }
   return m;
+}
+
+/// Machine-readable record of one pool-bench configuration. The JSON
+/// files (`BENCH_<tag>.json`, one array of these objects) are the
+/// cross-PR perf trajectory: `sim_cost` is the pool makespan in model
+/// units, `sim_speedup` the serial simulated time divided by it, and
+/// `counters_match` the record's headline invariant — for the
+/// pool_scaling / pool_algos records, whether the pool aggregate
+/// reproduced the serial schedule's counters (the determinism contract;
+/// dft_pool uses its documented match-modulo-reload-latency relation);
+/// for batch_affinity records, whether affinity strictly reduced the
+/// simulated latency with exact hit accounting. CI's bench smoke job
+/// fails on any `"counters_match": false`.
+struct PoolBenchRecord {
+  std::string name;
+  std::size_t p = 0;
+  std::uint64_t sim_cost = 0;
+  double sim_speedup = 0.0;
+  bool counters_match = false;
+  /// Extra metric columns (e.g. latency totals, resident hits).
+  std::vector<std::pair<std::string, double>> extra;
+};
+
+/// Collects records and writes `BENCH_<tag>.json` at destruction (i.e.
+/// at benchmark-process exit for a file-scope instance).
+class PoolBenchJson {
+ public:
+  explicit PoolBenchJson(std::string tag) : tag_(std::move(tag)) {}
+
+  void add(PoolBenchRecord record) { records_.push_back(std::move(record)); }
+
+  ~PoolBenchJson() {
+    std::ofstream out("BENCH_" + tag_ + ".json");
+    out << "[\n";
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const PoolBenchRecord& r = records_[i];
+      out << "  {\"name\": \"" << r.name << "\", \"p\": " << r.p
+          << ", \"sim_cost\": " << r.sim_cost
+          << ", \"sim_speedup\": " << r.sim_speedup
+          << ", \"counters_match\": " << (r.counters_match ? "true" : "false");
+      for (const auto& [key, value] : r.extra) {
+        out << ", \"" << key << "\": " << value;
+      }
+      out << "}" << (i + 1 < records_.size() ? "," : "") << "\n";
+    }
+    out << "]\n";
+  }
+
+ private:
+  std::string tag_;
+  std::vector<PoolBenchRecord> records_;
+};
+
+/// Problem-size override for the bench smoke job: `TCU_BENCH_SCALE=tiny`
+/// shrinks the pool benches to seconds-long sizes while keeping every
+/// counters_match assertion meaningful.
+inline bool bench_tiny() {
+  const char* scale = std::getenv("TCU_BENCH_SCALE");
+  return scale != nullptr && std::string(scale) == "tiny";
+}
+
+/// Aggregate-vs-serial counter equality (the pool determinism contract).
+inline bool counters_match_serial(const Counters& agg, const Counters& ref) {
+  return agg.tensor_calls == ref.tensor_calls &&
+         agg.tensor_rows == ref.tensor_rows &&
+         agg.tensor_time == ref.tensor_time &&
+         agg.tensor_macs == ref.tensor_macs &&
+         agg.latency_time == ref.latency_time &&
+         agg.cpu_ops == ref.cpu_ops;
 }
 
 /// Standard counter block: model time vs paper prediction.

@@ -1,0 +1,182 @@
+// POOL2 — the pool-parallel algorithm paths beyond dense matmul:
+// Strassen (Theorem 1 leaves fanned out over units), transitive closure
+// (Theorem 5 kernel-D block columns), Seidel APSD (Theorem 6 products),
+// and the batched DFT (Theorem 7 levels row-split). Each configuration
+// reports the machine-independent signals — pool makespan (sim_cost),
+// serial simulated time / makespan (sim_speedup), and counters_match,
+// the bit-identity of the pool aggregate with the serial schedule — and
+// appends them to BENCH_pool_algos.json. The DFT's contract is
+// match-modulo-reload-latency (each unit loads the level's Fourier tile
+// once); its counters_match asserts exactly that relation.
+
+#include "bench_common.hpp"
+#include "core/pool.hpp"
+#include "dft/dft.hpp"
+#include "graph/apsd.hpp"
+#include "graph/closure.hpp"
+#include "graph/generators.hpp"
+#include "linalg/strassen.hpp"
+
+namespace {
+
+tcu::bench::PoolBenchJson json_out("pool_algos");
+
+constexpr std::uint64_t kEll = 256;
+
+void record(benchmark::State& state, const char* name, std::size_t units,
+            std::uint64_t makespan, const tcu::Counters& ref, bool match) {
+  const double sim_speedup =
+      static_cast<double>(ref.time()) / static_cast<double>(makespan);
+  state.counters["units"] = static_cast<double>(units);
+  state.counters["sim_speedup"] = sim_speedup;
+  state.counters["counters_match"] = match ? 1.0 : 0.0;
+  tcu::bench::report(state, ref, static_cast<double>(ref.time()));
+  json_out.add({.name = name,
+                .p = units,
+                .sim_cost = makespan,
+                .sim_speedup = sim_speedup,
+                .counters_match = match,
+                .extra = {}});
+}
+
+void BM_StrassenPool(benchmark::State& state) {
+  const auto units = static_cast<std::size_t>(state.range(0));
+  const std::size_t d = tcu::bench::bench_tiny() ? 64 : 256;
+  const std::size_t m = tcu::bench::bench_tiny() ? 64 : 1024;
+  auto a = tcu::bench::random_matrix(d, d, 9500);
+  auto b = tcu::bench::random_matrix(d, d, 9501);
+
+  tcu::Device<double> single({.m = m, .latency = kEll});
+  auto expect =
+      tcu::linalg::matmul_strassen_tcu(single, a.view(), b.view());
+
+  tcu::DevicePool<double> pool(units, {.m = m, .latency = kEll});
+  tcu::Matrix<double> got;
+  for (auto _ : state) {
+    pool.reset();
+    got = tcu::linalg::matmul_strassen_tcu_pool(pool, a.view(), b.view());
+    benchmark::DoNotOptimize(got.data());
+  }
+  const bool match =
+      got == expect &&
+      tcu::bench::counters_match_serial(pool.aggregate(), single.counters());
+  record(state, "strassen_pool", units, pool.makespan(), single.counters(),
+         match);
+}
+
+void BM_ClosurePool(benchmark::State& state) {
+  const auto units = static_cast<std::size_t>(state.range(0));
+  const std::size_t n = tcu::bench::bench_tiny() ? 96 : 512;
+  const std::size_t m = tcu::bench::bench_tiny() ? 256 : 4096;
+  auto adj = tcu::graph::random_digraph(n, 4.0 / static_cast<double>(n), 42);
+
+  tcu::graph::AdjMatrix serial_d = adj;
+  tcu::Device<tcu::graph::Vert> single({.m = m, .latency = kEll});
+  tcu::graph::closure_tcu(single, serial_d.view());
+
+  tcu::DevicePool<tcu::graph::Vert> pool(units, {.m = m, .latency = kEll});
+  tcu::graph::AdjMatrix pool_d(0, 0);
+  for (auto _ : state) {
+    pool.reset();
+    pool_d = adj;
+    tcu::graph::closure_tcu(pool, pool_d.view());
+    benchmark::DoNotOptimize(pool_d.data());
+  }
+  const bool match =
+      pool_d == serial_d &&
+      tcu::bench::counters_match_serial(pool.aggregate(), single.counters());
+  record(state, "closure_pool", units, pool.makespan(), single.counters(),
+         match);
+}
+
+void BM_ApsdPool(benchmark::State& state) {
+  const auto units = static_cast<std::size_t>(state.range(0));
+  const std::size_t n = tcu::bench::bench_tiny() ? 48 : 160;
+  const std::size_t m = tcu::bench::bench_tiny() ? 64 : 256;
+  // Connected undirected graph: ring plus chords.
+  tcu::graph::AdjMatrix adj(n, n, 0);
+  tcu::util::Xoshiro256 rng(77);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j = (i + 1) % n;
+    adj(i, j) = adj(j, i) = 1;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 2; j < n; ++j) {
+      if (rng.uniform(0, 1) < 2.0 / static_cast<double>(n)) {
+        adj(i, j) = adj(j, i) = 1;
+      }
+    }
+  }
+
+  tcu::Device<std::int64_t> single({.m = m, .latency = kEll});
+  auto expect = tcu::graph::apsd_seidel(single, adj.view());
+
+  tcu::DevicePool<std::int64_t> pool(units, {.m = m, .latency = kEll});
+  tcu::Matrix<std::int64_t> got;
+  for (auto _ : state) {
+    pool.reset();
+    got = tcu::graph::apsd_seidel(pool, adj.view());
+    benchmark::DoNotOptimize(got.data());
+  }
+  const bool match =
+      got == expect &&
+      tcu::bench::counters_match_serial(pool.aggregate(), single.counters());
+  record(state, "apsd_pool", units, pool.makespan(), single.counters(),
+         match);
+}
+
+void BM_DftPool(benchmark::State& state) {
+  using tcu::dft::Complex;
+  const auto units = static_cast<std::size_t>(state.range(0));
+  const std::size_t b = tcu::bench::bench_tiny() ? 4 : 16;
+  const std::size_t len = tcu::bench::bench_tiny() ? 240 : 4096;
+  const std::size_t m = tcu::bench::bench_tiny() ? 16 : 256;
+  tcu::util::Xoshiro256 rng(88);
+  tcu::Matrix<Complex> input(b, len);
+  for (std::size_t r = 0; r < b; ++r) {
+    for (std::size_t j = 0; j < len; ++j) {
+      input(r, j) = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    }
+  }
+
+  tcu::Matrix<Complex> serial_batch = input;
+  tcu::Device<Complex> single({.m = m, .latency = kEll});
+  tcu::dft::dft_batch_tcu(single, serial_batch.view());
+
+  tcu::DevicePool<Complex> pool(units, {.m = m, .latency = kEll});
+  tcu::Matrix<Complex> pool_batch;
+  for (auto _ : state) {
+    pool.reset();
+    pool_batch = input;
+    tcu::dft::dft_batch_tcu(pool, pool_batch.view());
+    benchmark::DoNotOptimize(pool_batch.data());
+  }
+  // Contract: identical bits, identical counters except the per-unit
+  // Fourier-tile re-load latency (exactly l per extra chunked call).
+  const tcu::Counters agg = pool.aggregate();
+  const tcu::Counters& ref = single.counters();
+  const bool match =
+      pool_batch == serial_batch && agg.tensor_macs == ref.tensor_macs &&
+      agg.tensor_rows == ref.tensor_rows && agg.cpu_ops == ref.cpu_ops &&
+      agg.tensor_time - agg.latency_time ==
+          ref.tensor_time - ref.latency_time &&
+      agg.latency_time - ref.latency_time ==
+          (agg.tensor_calls - ref.tensor_calls) * kEll;
+  record(state, "dft_pool", units, pool.makespan(), single.counters(),
+         match);
+  state.counters["latency_overhead"] =
+      static_cast<double>(agg.latency_time - ref.latency_time);
+}
+
+}  // namespace
+
+BENCHMARK(BM_StrassenPool)->Arg(1)->Arg(2)->Arg(4)->ArgNames({"units"})
+    ->Iterations(1);
+BENCHMARK(BM_ClosurePool)->Arg(1)->Arg(2)->Arg(4)->ArgNames({"units"})
+    ->Iterations(1);
+BENCHMARK(BM_ApsdPool)->Arg(1)->Arg(2)->Arg(4)->ArgNames({"units"})
+    ->Iterations(1);
+BENCHMARK(BM_DftPool)->Arg(1)->Arg(2)->Arg(4)->ArgNames({"units"})
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

@@ -17,7 +17,9 @@ struct Counters {
   std::uint64_t tensor_rows = 0;      ///< sum of left-operand row counts n
   std::uint64_t tensor_time = 0;      ///< sum of (n*sqrt(m) + l) charges
   std::uint64_t tensor_macs = 0;      ///< sum of n*m elementary products
-  std::uint64_t latency_time = 0;     ///< latency-only portion (calls * l)
+  std::uint64_t latency_time = 0;     ///< latency-only portion (loads * l)
+  std::uint64_t resident_hits = 0;    ///< calls served by the resident tile
+  std::uint64_t latency_saved = 0;    ///< latency charges skipped by hits
 
   // --- CPU / RAM ---
   std::uint64_t cpu_ops = 0;          ///< unit-cost RAM operations
@@ -39,6 +41,15 @@ struct Counters {
     latency_time += latency;
   }
 
+  /// A call whose right operand is already resident: the load latency is
+  /// not paid again (the paper charges l per tile *load*, §3).
+  void charge_resident_hit(std::uint64_t n, std::uint64_t sqrt_m,
+                           std::uint64_t latency_skipped) {
+    charge_tensor_call(n, sqrt_m, 0);
+    resident_hits += 1;
+    latency_saved += latency_skipped;
+  }
+
   void reset() { *this = Counters{}; }
 
   Counters& operator+=(const Counters& other) {
@@ -47,6 +58,8 @@ struct Counters {
     tensor_time += other.tensor_time;
     tensor_macs += other.tensor_macs;
     latency_time += other.latency_time;
+    resident_hits += other.resident_hits;
+    latency_saved += other.latency_saved;
     cpu_ops += other.cpu_ops;
     systolic_cycles += other.systolic_cycles;
     return *this;

@@ -94,20 +94,36 @@ class Device {
   /// C: n x s. Charges n*s + l model time (tall mode) or ceil(n/s)*(m + l)
   /// (weak mode). Rows are processed even when n < s, but a full tile is
   /// charged: the hardware pipeline cannot be shortened below its depth.
+  /// The right operand of an untagged call displaces any resident tile.
   void gemm(ConstMatrixView<T> A, ConstMatrixView<T> B, MatrixView<T> C,
             bool accumulate = false) {
-    validate_shapes(A, B, C);
-    const std::uint64_t n = A.rows;
-    if (cfg_.allow_tall || n <= s_) {
-      issue(A, B, C, accumulate, std::max<std::uint64_t>(n, s_));
+    resident_key_ = kNoResident;
+    gemm_charged(A, B, C, accumulate, /*first_hit=*/false, /*tracked=*/false);
+  }
+
+  /// Like `gemm`, but the right operand carries a caller-chosen nonzero
+  /// identity `key`. If `key` matches the tile already resident on the
+  /// unit, the load latency l is *not* charged again (the model charges l
+  /// per tile load; a resident model is streamed for free, §3's asymmetry
+  /// property) and the hit is counted. Otherwise the tile is loaded,
+  /// charged in full, and becomes resident. In weak mode the square calls
+  /// of one split share the tile, so only the first pays l.
+  void gemm_resident(std::uint64_t key, ConstMatrixView<T> A,
+                     ConstMatrixView<T> B, MatrixView<T> C,
+                     bool accumulate = false) {
+    if (key == kNoResident) {
+      gemm(A, B, C, accumulate);
       return;
     }
-    // Weak model: split the tall operand into square tiles (Section 5).
-    for (std::size_t r0 = 0; r0 < n; r0 += s_) {
-      const std::size_t rows = std::min(s_, static_cast<std::size_t>(n) - r0);
-      issue(A.row_block(r0, rows), B, C.row_block(r0, rows), accumulate, s_);
-    }
+    const bool hit = (key == resident_key_);
+    resident_key_ = key;
+    gemm_charged(A, B, C, accumulate, hit, /*tracked=*/true);
   }
+
+  /// Identity of the resident right operand (0 = none / unknown).
+  std::uint64_t resident_key() const { return resident_key_; }
+
+  static constexpr std::uint64_t kNoResident = 0;
 
   /// Convenience wrapper allocating the output.
   Matrix<T> multiply(const Matrix<T>& A, const Matrix<T>& B) {
@@ -121,6 +137,7 @@ class Device {
   void reset() {
     counters_.reset();
     trace_.clear();
+    resident_key_ = kNoResident;
   }
 
   /// Charge `ops` unit-cost RAM operations (the algorithms' CPU work).
@@ -162,16 +179,44 @@ class Device {
     }
   }
 
+  /// Shared body of `gemm` / `gemm_resident`. `first_hit` skips the load
+  /// latency of the first issued call; `tracked` marks the split calls of
+  /// a weak-mode chain as sharing one resident tile (only the first load
+  /// pays l). Untracked calls charge l per call, the historical behavior.
+  void gemm_charged(ConstMatrixView<T> A, ConstMatrixView<T> B,
+                    MatrixView<T> C, bool accumulate, bool first_hit,
+                    bool tracked) {
+    validate_shapes(A, B, C);
+    const std::uint64_t n = A.rows;
+    if (cfg_.allow_tall || n <= s_) {
+      issue(A, B, C, accumulate, std::max<std::uint64_t>(n, s_), first_hit);
+      return;
+    }
+    // Weak model: split the tall operand into square tiles (Section 5).
+    bool hit = first_hit;
+    for (std::size_t r0 = 0; r0 < n; r0 += s_) {
+      const std::size_t rows = std::min(s_, static_cast<std::size_t>(n) - r0);
+      issue(A.row_block(r0, rows), B, C.row_block(r0, rows), accumulate, s_,
+            hit);
+      hit = tracked;  // the tile stays resident for the rest of the split
+    }
+  }
+
   void issue(ConstMatrixView<T> A, ConstMatrixView<T> B, MatrixView<T> C,
-             bool accumulate, std::uint64_t charged_rows) {
+             bool accumulate, std::uint64_t charged_rows, bool hit = false) {
     engine_(A, B, C, accumulate, counters_);
-    counters_.charge_tensor_call(charged_rows, s_, cfg_.latency);
+    if (hit) {
+      counters_.charge_resident_hit(charged_rows, s_, cfg_.latency);
+    } else {
+      counters_.charge_tensor_call(charged_rows, s_, cfg_.latency);
+    }
     if (tracing_) trace_.record(charged_rows, s_, accumulate);
   }
 
   Config cfg_;
   Engine engine_;
   std::size_t s_ = 0;
+  std::uint64_t resident_key_ = kNoResident;
   Counters counters_;
   Trace trace_;
   bool tracing_ = false;
@@ -182,6 +227,19 @@ inline std::uint64_t tensor_call_cost(std::uint64_t n, std::size_t m,
                                       std::uint64_t latency) {
   const auto s = static_cast<std::uint64_t>(exact_sqrt(m));
   return std::max(n, s) * s + latency;
+}
+
+/// Exact simulated tensor time one `gemm(A[n x s], B, C)` will charge on
+/// `unit`: a tall call, or ceil(n/s) square calls on weak-model units.
+/// Schedulers project with this so their dealing reproduces the serial
+/// execute-then-pick greedy loop bit-for-bit.
+template <typename T>
+std::uint64_t projected_gemm_cost(const Device<T>& unit, std::uint64_t n) {
+  const auto s = static_cast<std::uint64_t>(unit.tile_dim());
+  if (unit.allows_tall() || n <= s) {
+    return std::max(n, s) * s + unit.latency();
+  }
+  return ((n + s - 1) / s) * (unit.m() + unit.latency());
 }
 
 }  // namespace tcu

@@ -115,6 +115,23 @@ class DevicePool {
 /// `submit` and the matching `join`. Worker exceptions are only surfaced
 /// by `join()`; destroying the executor without a final join discards any
 /// recorded error (destructors cannot throw).
+///
+/// The executor is *persistent*: `join()` is a barrier, not the end of its
+/// life. After every join the greedy projections (and the per-lane
+/// resident-tile predictions) are reseeded from the units' live counters,
+/// so a caller-owned executor dealing work, joining, and dealing again is
+/// bit-identical to constructing a fresh executor per round — one
+/// executor amortizes thread startup across an entire Mlp forward, a batch
+/// of matmuls, or a recursion tree.
+///
+/// `submit_affine` implements tile-affinity scheduling: a task declares
+/// the resident-operand key its first tensor call reuses (`enter_key`)
+/// and the key its last call leaves resident (`exit_key`). The dealer
+/// tracks, per lane, the key the queued work will leave resident, and
+/// charges a task `cost - l` on a lane predicted to already hold its
+/// entry tile — so work chasing a hot B tile lands where the tile is and
+/// the per-tile load latency is genuinely skipped (Device::gemm_resident
+/// elides the charge and counts the hit).
 template <typename T>
 class PoolExecutor {
  public:
@@ -123,12 +140,14 @@ class PoolExecutor {
   using Task = std::function<void(Device<T>&)>;
 
   explicit PoolExecutor(DevicePool<T>& pool)
-      : pool_(pool), projected_(pool.size()) {
-    // Seed projections from the live counters so dealing continues the
-    // greedy schedule of any work already on the units.
-    for (std::size_t i = 0; i < pool_.size(); ++i) {
-      projected_[i] = pool_.unit(i).counters().tensor_time;
-    }
+      : pool_(pool),
+        latency_(pool.unit(0).latency()),
+        projected_(pool.size()),
+        lane_key_(pool.size()) {
+    // Seed projections (and resident-tile predictions) from the live unit
+    // state so dealing continues the greedy schedule of any work already
+    // on the units.
+    reseed();
     lanes_.reserve(pool_.size());
     for (std::size_t i = 0; i < pool_.size(); ++i) {
       lanes_.push_back(std::make_unique<Lane>());
@@ -151,11 +170,15 @@ class PoolExecutor {
 
   ~PoolExecutor() { shutdown(); }
 
+  DevicePool<T>& pool() { return pool_; }
+  std::size_t size() const { return pool_.size(); }
+
   /// Deal `task` to the unit with the smallest projected tensor time
   /// (actual + declared cost of queued work), lowest index on ties.
   /// `projected_cost` is the simulated tensor time the task will charge;
   /// exact costs keep the dealing identical to a serial execute-then-pick
-  /// loop. Returns the chosen unit index.
+  /// loop. Returns the chosen unit index. The task's tensor calls are
+  /// assumed untagged (they displace any resident tile).
   std::size_t submit(std::uint64_t projected_cost, Task task) {
     std::size_t best = 0;
     for (std::size_t i = 1; i < projected_.size(); ++i) {
@@ -165,25 +188,55 @@ class PoolExecutor {
     return best;
   }
 
+  /// Tile-affinity dealing. `projected_cost` is the task's full simulated
+  /// tensor time including one load latency for its entry tile;
+  /// `enter_key` identifies the resident operand its first call reuses
+  /// (0 = none) and `exit_key` the one its last call leaves resident. The
+  /// dealer charges the task `cost - l` on lanes predicted to already hold
+  /// the entry tile, then picks the lane with the smallest projected
+  /// completion (ties toward the lowest index) — greedy least-loaded that
+  /// routes work back to its hot tile whenever loads are close. Returns
+  /// the chosen unit index.
+  std::size_t submit_affine(std::uint64_t projected_cost,
+                            std::uint64_t enter_key, std::uint64_t exit_key,
+                            Task task) {
+    std::size_t best = 0;
+    std::uint64_t best_done = 0;
+    for (std::size_t i = 0; i < projected_.size(); ++i) {
+      std::uint64_t eff = projected_cost;
+      if (enter_key != 0 && lane_key_[i] == enter_key) {
+        eff -= std::min(latency_, eff);
+      }
+      const std::uint64_t done = projected_[i] + eff;
+      if (i == 0 || done < best_done) {
+        best = i;
+        best_done = done;
+      }
+    }
+    projected_[best] = best_done;
+    lane_key_[best] = exit_key;
+    enqueue(best, std::move(task));
+    return best;
+  }
+
   /// Enqueue on a specific unit's lane (for schedules computed elsewhere).
   void submit_to(std::size_t unit, std::uint64_t projected_cost, Task task) {
-    Lane& lane = *lanes_.at(unit);
-    projected_[unit] += projected_cost;
-    {
-      std::lock_guard<std::mutex> lock(lane.mu);
-      lane.queue.push_back(std::move(task));
-    }
-    lane.cv.notify_one();
+    projected_.at(unit) += projected_cost;
+    lane_key_[unit] = 0;  // untagged work displaces the resident tile
+    enqueue(unit, std::move(task));
   }
 
   /// Barrier: wait until every queue has drained and every worker is idle,
-  /// then rethrow the first exception any task raised (if one did).
+  /// reseed the projections from the units' live state (so further submits
+  /// continue the greedy schedule exactly as a fresh executor would), then
+  /// rethrow the first exception any task raised (if one did).
   void join() {
     for (auto& lane_ptr : lanes_) {
       Lane& lane = *lane_ptr;
       std::unique_lock<std::mutex> lock(lane.mu);
       lane.idle.wait(lock, [&] { return lane.queue.empty() && !lane.busy; });
     }
+    reseed();
     std::exception_ptr error;
     {
       std::lock_guard<std::mutex> lock(error_mu_);
@@ -202,6 +255,25 @@ class PoolExecutor {
     bool stop = false;
     std::thread worker;
   };
+
+  void enqueue(std::size_t unit, Task task) {
+    Lane& lane = *lanes_.at(unit);
+    {
+      std::lock_guard<std::mutex> lock(lane.mu);
+      lane.queue.push_back(std::move(task));
+    }
+    lane.cv.notify_one();
+  }
+
+  /// Re-anchor the submit-side predictions on the units' actual state.
+  /// Safe whenever all workers are idle (construction and join): the
+  /// drained workers' writes happen-before the idle wait returned.
+  void reseed() {
+    for (std::size_t i = 0; i < pool_.size(); ++i) {
+      projected_[i] = pool_.unit(i).counters().tensor_time;
+      lane_key_[i] = pool_.unit(i).resident_key();
+    }
+  }
 
   void worker_loop(Lane& lane, Device<T>& unit) {
     for (;;) {
@@ -240,7 +312,9 @@ class PoolExecutor {
   }
 
   DevicePool<T>& pool_;
+  std::uint64_t latency_;                 ///< the units' load latency l
   std::vector<std::uint64_t> projected_;  ///< submit-thread-only state
+  std::vector<std::uint64_t> lane_key_;   ///< predicted resident tile/lane
   std::vector<std::unique_ptr<Lane>> lanes_;
   std::mutex error_mu_;
   std::exception_ptr first_error_;

@@ -1,5 +1,6 @@
 #include "dft/dft.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 #include <stdexcept>
@@ -23,19 +24,83 @@ std::size_t choose_factor(std::size_t len, std::size_t s) {
   return 0;
 }
 
-void dft_batch_rec(CplxDevice& dev, MatrixView<Complex> batch);
+/// Execution context threading the Cooley-Tukey recursion through either
+/// a single device or a DevicePool. The one tensor product per level is a
+/// tall call whose rows are independent, so the pool path splits it into
+/// up to `pool.size()` contiguous row chunks (boundaries on multiples of
+/// sqrt(m), so charged rows and tensor_macs equal the serial call's)
+/// dealt across the units. Each unit must load the level's Fourier tile
+/// once, so a k-way split issues k tall calls where the serial path
+/// issues one, paying (k - 1) * l extra load latency per level — the
+/// classic parallelization overhead of the model, reported by the pool
+/// benches. Every other counter field (rows, macs, cpu_ops, the
+/// non-latency tensor time), and every output bit, match the serial path
+/// exactly; a 1-unit pool degenerates to the serial schedule, and
+/// weak-model units (which pay l per square call anyway) match in every
+/// field including latency.
+struct DftCtx {
+  CplxDevice* dev = nullptr;
+  PoolExecutor<Complex>* exec = nullptr;
+
+  std::size_t tile_dim() const {
+    return dev ? dev->tile_dim() : exec->pool().unit(0).tile_dim();
+  }
+
+  void charge_cpu(std::uint64_t ops) const {
+    if (dev) {
+      dev->charge_cpu(ops);
+    } else {
+      exec->pool().charge_cpu(ops);
+    }
+  }
+
+  /// C = A * B for a tall A and one resident tile B, row-split over the
+  /// pool's units (barrier at the end: the caller immediately reads C).
+  /// Chunk boundaries are multiples of sqrt(m), so the charged rows — and
+  /// on weak-model units the square-call count — sum to exactly the
+  /// serial call's charges.
+  void gemm(ConstMatrixView<Complex> A, ConstMatrixView<Complex> B,
+            MatrixView<Complex> C) const {
+    if (dev) {
+      dev->gemm(A, B, C);
+      return;
+    }
+    DevicePool<Complex>& pool = exec->pool();
+    const Device<Complex>& unit0 = pool.unit(0);
+    const std::size_t s = unit0.tile_dim();
+    const std::size_t rows = A.rows;
+    const std::size_t tiles = rows / s;  // full tile-rows available
+    const std::size_t chunks =
+        std::max<std::size_t>(1, std::min(pool.size(), tiles));
+    std::size_t r0 = 0;
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t tile_cnt = tiles / chunks + (c < tiles % chunks);
+      // The last chunk also absorbs the sub-tile remainder rows.
+      const std::size_t nr =
+          (c + 1 == chunks) ? rows - r0 : tile_cnt * s;
+      exec->submit(projected_gemm_cost(unit0, nr),
+                   [A, B, C, r0, nr](Device<Complex>& unit) {
+                     unit.gemm(A.row_block(r0, nr), B, C.row_block(r0, nr));
+                   });
+      r0 += nr;
+    }
+    exec->join();
+  }
+};
+
+void dft_batch_rec(const DftCtx& ctx, MatrixView<Complex> batch);
 
 /// All column DFTs of one Cooley-Tukey level for the whole batch with a
 /// single tall tensor product: gather the (b*n2) x n1 matrix of column
 /// vectors, multiply by W_{n1} zero-padded to the device tile, scatter the
 /// results back twiddled, reshaped so each length-n2 subvector of the next
 /// level is a contiguous row.
-void ct_level(CplxDevice& dev, MatrixView<Complex> batch, std::size_t n1,
+void ct_level(const DftCtx& ctx, MatrixView<Complex> batch, std::size_t n1,
               MatrixView<Complex> next) {
   const std::size_t b = batch.rows;
   const std::size_t len = batch.cols;
   const std::size_t n2 = len / n1;
-  const std::size_t s = dev.tile_dim();
+  const std::size_t s = ctx.tile_dim();
 
   // Zero-padded Fourier tile for the column transforms.
   Matrix<Complex> w_tile(s, s, Complex{});
@@ -45,7 +110,7 @@ void ct_level(CplxDevice& dev, MatrixView<Complex> batch, std::size_t n1,
                                static_cast<double>(n1), false);
     }
   }
-  dev.charge_cpu(n1 * n1);
+  ctx.charge_cpu(n1 * n1);
 
   // Gather: G[r*n2 + c][j1] = batch(r, j1*n2 + c) — the column vectors of
   // every row's n1 x n2 arrangement, stacked tall.
@@ -57,10 +122,10 @@ void ct_level(CplxDevice& dev, MatrixView<Complex> batch, std::size_t n1,
       }
     }
   }
-  dev.charge_cpu(b * len);
+  ctx.charge_cpu(b * len);
 
   Matrix<Complex> transformed(b * n2, s, Complex{});
-  dev.gemm(gathered.view(), w_tile.view(), transformed.view());
+  ctx.gemm(gathered.view(), w_tile.view(), transformed.view());
 
   // Twiddle + scatter into the next level's contiguous layout:
   // next(r*n1 + k1, j2) = transformed(r*n2 + j2, k1) * w_len^{k1*j2}.
@@ -74,12 +139,12 @@ void ct_level(CplxDevice& dev, MatrixView<Complex> batch, std::size_t n1,
       }
     }
   }
-  dev.charge_cpu(2 * b * len);
+  ctx.charge_cpu(2 * b * len);
 }
 
 /// Bluestein chirp-z: DFT of prime length len > sqrt(m) via a circular
 /// convolution of power-of-two size N >= 2*len - 1.
-void bluestein(CplxDevice& dev, MatrixView<Complex> batch) {
+void bluestein(const DftCtx& ctx, MatrixView<Complex> batch) {
   const std::size_t len = batch.cols;
   const std::size_t b = batch.rows;
   std::size_t N = 1;
@@ -93,7 +158,7 @@ void bluestein(CplxDevice& dev, MatrixView<Complex> batch) {
     const double angle = kPi * j2 / static_cast<double>(len);
     chirp[j] = {std::cos(angle), std::sin(angle)};
   }
-  dev.charge_cpu(len);
+  ctx.charge_cpu(len);
 
   Matrix<Complex> a(b, N, Complex{});
   for (std::size_t r = 0; r < b; ++r) {
@@ -107,31 +172,31 @@ void bluestein(CplxDevice& dev, MatrixView<Complex> batch) {
     kernel(0, j) = chirp[j];
     kernel(0, N - j) = chirp[j];
   }
-  dev.charge_cpu(b * len + 2 * len);
+  ctx.charge_cpu(b * len + 2 * len);
 
-  dft_batch_rec(dev, a.view());
-  dft_batch_rec(dev, kernel.view());
+  dft_batch_rec(ctx, a.view());
+  dft_batch_rec(ctx, kernel.view());
   for (std::size_t r = 0; r < b; ++r) {
     for (std::size_t j = 0; j < N; ++j) {
       a(r, j) = std::conj(a(r, j) * kernel(0, j));
     }
   }
-  dev.charge_cpu(2 * b * N);
+  ctx.charge_cpu(2 * b * N);
   // Inverse DFT of size N via conjugation around the forward transform.
-  dft_batch_rec(dev, a.view());
+  dft_batch_rec(ctx, a.view());
   const double scale = 1.0 / static_cast<double>(N);
   for (std::size_t r = 0; r < b; ++r) {
     for (std::size_t k = 0; k < len; ++k) {
       batch(r, k) = std::conj(a(r, k)) * scale * std::conj(chirp[k]);
     }
   }
-  dev.charge_cpu(b * len);
+  ctx.charge_cpu(b * len);
 }
 
-void dft_batch_rec(CplxDevice& dev, MatrixView<Complex> batch) {
+void dft_batch_rec(const DftCtx& ctx, MatrixView<Complex> batch) {
   const std::size_t len = batch.cols;
   const std::size_t b = batch.rows;
-  const std::size_t s = dev.tile_dim();
+  const std::size_t s = ctx.tile_dim();
   if (len <= 1) return;
 
   if (len <= s) {
@@ -148,24 +213,24 @@ void dft_batch_rec(CplxDevice& dev, MatrixView<Complex> batch) {
       for (std::size_t j = 0; j < len; ++j) padded(r, j) = batch(r, j);
     }
     Matrix<Complex> out(b, s, Complex{});
-    dev.gemm(padded.view(), w_tile.view(), out.view());
+    ctx.gemm(padded.view(), w_tile.view(), out.view());
     for (std::size_t r = 0; r < b; ++r) {
       for (std::size_t j = 0; j < len; ++j) batch(r, j) = out(r, j);
     }
-    dev.charge_cpu(len * len + 2 * b * len);
+    ctx.charge_cpu(len * len + 2 * b * len);
     return;
   }
 
   const std::size_t n1 = choose_factor(len, s);
   if (n1 == 0) {
-    bluestein(dev, batch);
+    bluestein(ctx, batch);
     return;
   }
   const std::size_t n2 = len / n1;
 
   Matrix<Complex> next(b * n1, n2, Complex{});
-  ct_level(dev, batch, n1, next.view());
-  dft_batch_rec(dev, next.view());
+  ct_level(ctx, batch, n1, next.view());
+  dft_batch_rec(ctx, next.view());
 
   // Column-major read-out: y[k1 + n1*k2] = next(r*n1 + k1, k2).
   for (std::size_t r = 0; r < b; ++r) {
@@ -175,7 +240,7 @@ void dft_batch_rec(CplxDevice& dev, MatrixView<Complex> batch) {
       }
     }
   }
-  dev.charge_cpu(b * len);
+  ctx.charge_cpu(b * len);
 }
 
 }  // namespace
@@ -247,28 +312,58 @@ CVec fft_ram(const CVec& x, Counters& counters, bool inverse) {
   return a;
 }
 
-void dft_batch_tcu(CplxDevice& dev, MatrixView<Complex> batch) {
-  if (dev.tile_dim() < 2) {
+namespace {
+
+void dft_batch_with_ctx(const DftCtx& ctx, MatrixView<Complex> batch) {
+  if (ctx.tile_dim() < 2) {
     throw std::invalid_argument("dft_batch_tcu: needs m >= 4");
   }
-  dft_batch_rec(dev, batch);
+  dft_batch_rec(ctx, batch);
 }
 
-void idft_batch_tcu(CplxDevice& dev, MatrixView<Complex> batch) {
+void idft_batch_with_ctx(const DftCtx& ctx, MatrixView<Complex> batch) {
   const std::size_t b = batch.rows, len = batch.cols;
   for (std::size_t r = 0; r < b; ++r) {
     for (std::size_t j = 0; j < len; ++j) {
       batch(r, j) = std::conj(batch(r, j));
     }
   }
-  dft_batch_tcu(dev, batch);
+  dft_batch_with_ctx(ctx, batch);
   const double scale = 1.0 / static_cast<double>(len);
   for (std::size_t r = 0; r < b; ++r) {
     for (std::size_t j = 0; j < len; ++j) {
       batch(r, j) = std::conj(batch(r, j)) * scale;
     }
   }
-  dev.charge_cpu(2 * b * len);
+  ctx.charge_cpu(2 * b * len);
+}
+
+}  // namespace
+
+void dft_batch_tcu(CplxDevice& dev, MatrixView<Complex> batch) {
+  dft_batch_with_ctx(DftCtx{.dev = &dev}, batch);
+}
+
+void idft_batch_tcu(CplxDevice& dev, MatrixView<Complex> batch) {
+  idft_batch_with_ctx(DftCtx{.dev = &dev}, batch);
+}
+
+void dft_batch_tcu(PoolExecutor<Complex>& exec, MatrixView<Complex> batch) {
+  dft_batch_with_ctx(DftCtx{.exec = &exec}, batch);
+}
+
+void idft_batch_tcu(PoolExecutor<Complex>& exec, MatrixView<Complex> batch) {
+  idft_batch_with_ctx(DftCtx{.exec = &exec}, batch);
+}
+
+void dft_batch_tcu(DevicePool<Complex>& pool, MatrixView<Complex> batch) {
+  PoolExecutor<Complex> exec(pool);
+  dft_batch_tcu(exec, batch);
+}
+
+void idft_batch_tcu(DevicePool<Complex>& pool, MatrixView<Complex> batch) {
+  PoolExecutor<Complex> exec(pool);
+  idft_batch_tcu(exec, batch);
 }
 
 CVec dft_tcu(CplxDevice& dev, const CVec& x, bool inverse) {

@@ -30,6 +30,7 @@
 
 #include "core/device.hpp"
 #include "core/matrix.hpp"
+#include "core/pool.hpp"
 
 namespace tcu::dft {
 
@@ -54,6 +55,22 @@ void dft_batch_tcu(CplxDevice& dev, MatrixView<Complex> batch);
 
 /// Batched inverse DFT (conjugation trick + 1/len scaling), in place.
 void idft_batch_tcu(CplxDevice& dev, MatrixView<Complex> batch);
+
+/// Multi-unit batched DFT: each Cooley-Tukey level's single tall tensor
+/// product is split into contiguous row chunks (boundaries on multiples
+/// of sqrt(m)) dealt across the pool's units. Output bits and every
+/// counter except the call count and latency term match the serial path
+/// exactly: a k-way split issues k tall calls instead of one and each
+/// unit re-loads the level's Fourier tile, costing (k - 1) * l extra
+/// latency per level — the model's inherent cost of parallelizing one
+/// call. A 1-unit pool reproduces the serial counters bit-for-bit.
+void dft_batch_tcu(DevicePool<Complex>& pool, MatrixView<Complex> batch);
+void idft_batch_tcu(DevicePool<Complex>& pool, MatrixView<Complex> batch);
+
+/// Same, over a caller-owned persistent executor (one thread spawn for
+/// the whole recursion / a stream of transforms).
+void dft_batch_tcu(PoolExecutor<Complex>& exec, MatrixView<Complex> batch);
+void idft_batch_tcu(PoolExecutor<Complex>& exec, MatrixView<Complex> batch);
 
 /// 2-D DFT of an r x c matrix: DFT of every row, then of every column.
 Matrix<Complex> dft2_tcu(CplxDevice& dev, ConstMatrixView<Complex> x,

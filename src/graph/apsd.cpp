@@ -1,10 +1,12 @@
 #include "graph/apsd.hpp"
 
 #include <cmath>
+#include <functional>
 #include <stdexcept>
 #include <vector>
 
 #include "linalg/dense.hpp"
+#include "linalg/parallel.hpp"
 #include "linalg/strassen.hpp"
 
 namespace tcu::graph {
@@ -30,18 +32,18 @@ void check_adjacency(ConstMatrixView<std::int64_t> a) {
   }
 }
 
-Mat product(Device<std::int64_t>& dev, const Mat& a, const Mat& b,
-            const ApsdOptions& opts) {
-  if (opts.use_strassen) {
-    return linalg::matmul_strassen_tcu(dev, a.view(), b.view(),
-                                       {.p0 = 7});
-  }
-  return linalg::matmul_tcu(dev, a.view(), b.view());
-}
+/// Execution context for the Seidel recursion: how to run an n x n product
+/// and where the elementwise CPU work is charged. The serial path binds a
+/// Device, the pool path a persistent PoolExecutor — the recursion itself
+/// (and hence every charge amount and output bit) is shared.
+struct SeidelCtx {
+  std::function<Mat(const Mat&, const Mat&)> product;
+  std::function<void(std::uint64_t)> charge_cpu;
+};
 
-bool is_complete(Device<std::int64_t>& dev, const Mat& a) {
+bool is_complete(const SeidelCtx& ctx, const Mat& a) {
   const std::size_t n = a.rows();
-  dev.charge_cpu(n * n);
+  ctx.charge_cpu(n * n);
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j < n; ++j) {
       if (i != j && a(i, j) != 1) return false;
@@ -50,15 +52,14 @@ bool is_complete(Device<std::int64_t>& dev, const Mat& a) {
   return true;
 }
 
-Mat seidel_rec(Device<std::int64_t>& dev, const Mat& a,
-               const ApsdOptions& opts, std::size_t depth_left) {
+Mat seidel_rec(const SeidelCtx& ctx, const Mat& a, std::size_t depth_left) {
   const std::size_t n = a.rows();
-  if (is_complete(dev, a)) {
+  if (is_complete(ctx, a)) {
     // Base case: distance matrix of the complete graph is A(h) - I, i.e.
     // 1 everywhere off the diagonal.
     Mat d(n, n, 1);
     for (std::size_t i = 0; i < n; ++i) d(i, i) = 0;
-    dev.charge_cpu(n * n);
+    ctx.charge_cpu(n * n);
     return d;
   }
   if (depth_left == 0) {
@@ -67,24 +68,24 @@ Mat seidel_rec(Device<std::int64_t>& dev, const Mat& a,
 
   // Squared graph: A2[u][v] = 1 iff some w has (u,w), (w,v) in E, or
   // (u,v) already an edge; diagonal forced to zero.
-  Mat prod = product(dev, a, a, opts);
+  Mat prod = ctx.product(a, a);
   Mat a2(n, n, 0);
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j < n; ++j) {
       if (i != j && (prod(i, j) > 0 || a(i, j) == 1)) a2(i, j) = 1;
     }
   }
-  dev.charge_cpu(n * n);
+  ctx.charge_cpu(n * n);
 
-  Mat d2 = seidel_rec(dev, a2, opts, depth_left - 1);
+  Mat d2 = seidel_rec(ctx, a2, depth_left - 1);
 
   // Reconstruction: C = D2 * A; deg(v) = column sums of A.
-  Mat c = product(dev, d2, a, opts);
+  Mat c = ctx.product(d2, a);
   std::vector<std::int64_t> deg(n, 0);
   for (std::size_t j = 0; j < n; ++j) {
     for (std::size_t i = 0; i < n; ++i) deg[j] += a(i, j);
   }
-  dev.charge_cpu(n * n);
+  ctx.charge_cpu(n * n);
 
   Mat d(n, n, 0);
   for (std::size_t u = 0; u < n; ++u) {
@@ -94,8 +95,20 @@ Mat seidel_rec(Device<std::int64_t>& dev, const Mat& a,
       d(u, v) = 2 * d2(u, v) - (even ? 0 : 1);
     }
   }
-  dev.charge_cpu(n * n);
+  ctx.charge_cpu(n * n);
   return d;
+}
+
+Mat seidel_with_ctx(const SeidelCtx& ctx,
+                    ConstMatrixView<std::int64_t> adjacency) {
+  check_adjacency(adjacency);
+  const std::size_t n = adjacency.rows;
+  if (n == 1) return Mat(1, 1, 0);
+  const auto depth = static_cast<std::size_t>(
+      std::ceil(std::log2(static_cast<double>(n)))) + 1;
+  Mat a = materialize(adjacency);
+  ctx.charge_cpu(n * n);
+  return seidel_rec(ctx, a, depth);
 }
 
 }  // namespace
@@ -103,14 +116,43 @@ Mat seidel_rec(Device<std::int64_t>& dev, const Mat& a,
 Matrix<std::int64_t> apsd_seidel(Device<std::int64_t>& dev,
                                  ConstMatrixView<std::int64_t> adjacency,
                                  ApsdOptions opts) {
-  check_adjacency(adjacency);
-  const std::size_t n = adjacency.rows;
-  if (n == 1) return Mat(1, 1, 0);
-  const auto depth = static_cast<std::size_t>(
-      std::ceil(std::log2(static_cast<double>(n)))) + 1;
-  Mat a = materialize(adjacency);
-  dev.charge_cpu(n * n);
-  return seidel_rec(dev, a, opts, depth);
+  SeidelCtx ctx{
+      .product =
+          [&dev, opts](const Mat& a, const Mat& b) {
+            if (opts.use_strassen) {
+              return linalg::matmul_strassen_tcu(dev, a.view(), b.view(),
+                                                 {.p0 = 7});
+            }
+            return linalg::matmul_tcu(dev, a.view(), b.view());
+          },
+      .charge_cpu = [&dev](std::uint64_t ops) { dev.charge_cpu(ops); },
+  };
+  return seidel_with_ctx(ctx, adjacency);
+}
+
+Matrix<std::int64_t> apsd_seidel(PoolExecutor<std::int64_t>& exec,
+                                 ConstMatrixView<std::int64_t> adjacency,
+                                 ApsdOptions opts) {
+  DevicePool<std::int64_t>& pool = exec.pool();
+  SeidelCtx ctx{
+      .product =
+          [&exec, opts](const Mat& a, const Mat& b) {
+            if (opts.use_strassen) {
+              return linalg::matmul_strassen_tcu_pool(exec, a.view(), b.view(),
+                                                      {.p0 = 7});
+            }
+            return linalg::matmul_tcu_pool(exec, a.view(), b.view());
+          },
+      .charge_cpu = [&pool](std::uint64_t ops) { pool.charge_cpu(ops); },
+  };
+  return seidel_with_ctx(ctx, adjacency);
+}
+
+Matrix<std::int64_t> apsd_seidel(DevicePool<std::int64_t>& pool,
+                                 ConstMatrixView<std::int64_t> adjacency,
+                                 ApsdOptions opts) {
+  PoolExecutor<std::int64_t> exec(pool);
+  return apsd_seidel(exec, adjacency, opts);
 }
 
 Matrix<std::int64_t> apsd_bfs(ConstMatrixView<std::int64_t> adjacency,

@@ -17,6 +17,7 @@
 
 #include "core/device.hpp"
 #include "core/matrix.hpp"
+#include "core/pool.hpp"
 
 namespace tcu::graph {
 
@@ -27,6 +28,21 @@ struct ApsdOptions {
 /// Seidel's APSD on the tensor unit. `adjacency` must be symmetric 0/1
 /// with a zero diagonal. Returns the n x n distance matrix.
 Matrix<std::int64_t> apsd_seidel(Device<std::int64_t>& dev,
+                                 ConstMatrixView<std::int64_t> adjacency,
+                                 ApsdOptions opts = {});
+
+/// Multi-unit Seidel: the recursion levels stay sequential (each level
+/// squares the previous one's graph) but the two n x n products per level
+/// run across the pool — Theorem 2 strips, or the pool Strassen's leaf
+/// fan-out with `use_strassen`. Output and aggregate counters match the
+/// single-device apsd_seidel bit-for-bit.
+Matrix<std::int64_t> apsd_seidel(DevicePool<std::int64_t>& pool,
+                                 ConstMatrixView<std::int64_t> adjacency,
+                                 ApsdOptions opts = {});
+
+/// Same, over a caller-owned persistent executor (one thread spawn for
+/// all O(log n) recursion levels).
+Matrix<std::int64_t> apsd_seidel(PoolExecutor<std::int64_t>& exec,
                                  ConstMatrixView<std::int64_t> adjacency,
                                  ApsdOptions opts = {});
 

@@ -26,8 +26,13 @@ void closure_naive(MatrixView<Vert> d, Counters& counters) {
 
 namespace {
 
+// The Figure 7 kernels as pure computations; the caller charges their
+// s^3 (or rows*cols for the clamp) CPU cost to whichever counter owns the
+// work — the device on the serial path, the shared CPU or the executing
+// unit on the pool path.
+
 /// Kernel A (Figure 7): boolean closure within the diagonal block.
-void kernel_a(Device<Vert>& dev, MatrixView<Vert> X) {
+void kernel_a(MatrixView<Vert> X) {
   const std::size_t s = X.rows;
   for (std::size_t k = 0; k < s; ++k) {
     for (std::size_t i = 0; i < s; ++i) {
@@ -36,11 +41,10 @@ void kernel_a(Device<Vert>& dev, MatrixView<Vert> X) {
       }
     }
   }
-  dev.charge_cpu(static_cast<std::uint64_t>(s) * s * s);
 }
 
 /// Kernel B (Figure 7): X |= Y (diagonal block) times X, boolean.
-void kernel_b(Device<Vert>& dev, MatrixView<Vert> X, ConstMatrixView<Vert> Y) {
+void kernel_b(MatrixView<Vert> X, ConstMatrixView<Vert> Y) {
   const std::size_t s = X.rows;
   for (std::size_t k = 0; k < s; ++k) {
     for (std::size_t i = 0; i < s; ++i) {
@@ -49,11 +53,10 @@ void kernel_b(Device<Vert>& dev, MatrixView<Vert> X, ConstMatrixView<Vert> Y) {
       }
     }
   }
-  dev.charge_cpu(static_cast<std::uint64_t>(s) * s * s);
 }
 
 /// Kernel C (Figure 7): X |= X times Y (diagonal block), boolean.
-void kernel_c(Device<Vert>& dev, MatrixView<Vert> X, ConstMatrixView<Vert> Y) {
+void kernel_c(MatrixView<Vert> X, ConstMatrixView<Vert> Y) {
   const std::size_t s = X.rows;
   for (std::size_t k = 0; k < s; ++k) {
     for (std::size_t i = 0; i < s; ++i) {
@@ -62,32 +65,38 @@ void kernel_c(Device<Vert>& dev, MatrixView<Vert> X, ConstMatrixView<Vert> Y) {
       }
     }
   }
-  dev.charge_cpu(static_cast<std::uint64_t>(s) * s * s);
 }
 
 /// Clamp a strip back to 0/1 after an arithmetic D update (lines 5-7 of
 /// function D in Figure 7).
-void clamp_block(Device<Vert>& dev, MatrixView<Vert> X) {
+void clamp_block(MatrixView<Vert> X) {
   for (std::size_t i = 0; i < X.rows; ++i) {
     for (std::size_t j = 0; j < X.cols; ++j) {
       if (X(i, j) > 1) X(i, j) = 1;
     }
   }
-  dev.charge_cpu(static_cast<std::uint64_t>(X.rows) * X.cols);
 }
 
 void closure_tcu_divisible(Device<Vert>& dev, MatrixView<Vert> X) {
   const std::size_t n = X.rows;
   const std::size_t s = dev.tile_dim();
   const std::size_t t = n / s;
+  const std::uint64_t s3 = static_cast<std::uint64_t>(s) * s * s;
   for (std::size_t kb = 0; kb < t; ++kb) {
     auto diag = X.subview(kb * s, kb * s, s, s);
-    kernel_a(dev, diag);
+    kernel_a(diag);
+    dev.charge_cpu(s3);
     for (std::size_t jb = 0; jb < t; ++jb) {
-      if (jb != kb) kernel_b(dev, X.subview(kb * s, jb * s, s, s), diag);
+      if (jb != kb) {
+        kernel_b(X.subview(kb * s, jb * s, s, s), diag);
+        dev.charge_cpu(s3);
+      }
     }
     for (std::size_t ib = 0; ib < t; ++ib) {
-      if (ib != kb) kernel_c(dev, X.subview(ib * s, kb * s, s, s), diag);
+      if (ib != kb) {
+        kernel_c(X.subview(ib * s, kb * s, s, s), diag);
+        dev.charge_cpu(s3);
+      }
     }
     // Kernel D: for each block column j != k, load X_kj as the weight
     // matrix and stream the column panel X_ik for all i != k. The panel is
@@ -98,15 +107,75 @@ void closure_tcu_divisible(Device<Vert>& dev, MatrixView<Vert> X) {
       if (kb > 0) {
         dev.gemm(X.subview(0, kb * s, kb * s, s), weight,
                  X.subview(0, jb * s, kb * s, s), /*accumulate=*/true);
-        clamp_block(dev, X.subview(0, jb * s, kb * s, s));
+        clamp_block(X.subview(0, jb * s, kb * s, s));
+        dev.charge_cpu(static_cast<std::uint64_t>(kb) * s * s);
       }
       if (kb + 1 < t) {
         const std::size_t top = (kb + 1) * s;
         dev.gemm(X.subview(top, kb * s, n - top, s), weight,
                  X.subview(top, jb * s, n - top, s), /*accumulate=*/true);
-        clamp_block(dev, X.subview(top, jb * s, n - top, s));
+        clamp_block(X.subview(top, jb * s, n - top, s));
+        dev.charge_cpu(static_cast<std::uint64_t>(n - top) * s);
       }
     }
+  }
+}
+
+/// Pool variant: kernels A/B/C (pivot row/column, boolean, CPU-bound) run
+/// on the submitting thread against the shared CPU counter; the kernel D
+/// update of each block column j != k — two tall GEMMs plus clamps on a
+/// panel disjoint from every other j — is one pool task. The barrier per
+/// pivot iteration is required (iteration k+1 reads blocks D just wrote),
+/// and the persistent executor makes it cheap: no thread churn across the
+/// n/sqrt(m) iterations.
+void closure_pool_divisible(PoolExecutor<Vert>& exec, MatrixView<Vert> X) {
+  DevicePool<Vert>& pool = exec.pool();
+  const Device<Vert>& unit0 = pool.unit(0);
+  const std::size_t n = X.rows;
+  const std::size_t s = unit0.tile_dim();
+  const std::size_t t = n / s;
+  const std::uint64_t s3 = static_cast<std::uint64_t>(s) * s * s;
+  for (std::size_t kb = 0; kb < t; ++kb) {
+    auto diag = X.subview(kb * s, kb * s, s, s);
+    kernel_a(diag);
+    pool.charge_cpu(s3);
+    for (std::size_t jb = 0; jb < t; ++jb) {
+      if (jb != kb) {
+        kernel_b(X.subview(kb * s, jb * s, s, s), diag);
+        pool.charge_cpu(s3);
+      }
+    }
+    for (std::size_t ib = 0; ib < t; ++ib) {
+      if (ib != kb) {
+        kernel_c(X.subview(ib * s, kb * s, s, s), diag);
+        pool.charge_cpu(s3);
+      }
+    }
+    // All D tasks of this pivot iteration carry the same panel height, so
+    // the greedy dealer splits them round-robin over the units.
+    std::uint64_t cost = 0;
+    if (kb > 0) cost += projected_gemm_cost(unit0, kb * s);
+    if (kb + 1 < t) cost += projected_gemm_cost(unit0, n - (kb + 1) * s);
+    for (std::size_t jb = 0; jb < t; ++jb) {
+      if (jb == kb) continue;
+      exec.submit(cost, [X, kb, jb, s, t, n](Device<Vert>& unit) {
+        auto weight = X.subview(kb * s, jb * s, s, s);
+        if (kb > 0) {
+          unit.gemm(X.subview(0, kb * s, kb * s, s), weight,
+                    X.subview(0, jb * s, kb * s, s), /*accumulate=*/true);
+          clamp_block(X.subview(0, jb * s, kb * s, s));
+          unit.charge_cpu(static_cast<std::uint64_t>(kb) * s * s);
+        }
+        if (kb + 1 < t) {
+          const std::size_t top = (kb + 1) * s;
+          unit.gemm(X.subview(top, kb * s, n - top, s), weight,
+                    X.subview(top, jb * s, n - top, s), /*accumulate=*/true);
+          clamp_block(X.subview(top, jb * s, n - top, s));
+          unit.charge_cpu(static_cast<std::uint64_t>(n - top) * s);
+        }
+      });
+    }
+    exec.join();
   }
 }
 
@@ -134,6 +203,34 @@ void closure_tcu(Device<Vert>& dev, MatrixView<Vert> d) {
     for (std::size_t j = 0; j < n; ++j) d(i, j) = padded(i, j);
   }
   dev.charge_cpu(n * n);
+}
+
+void closure_tcu(PoolExecutor<Vert>& exec, MatrixView<Vert> d) {
+  const std::size_t n = d.rows;
+  if (d.cols != n) throw std::invalid_argument("closure_tcu: square input");
+  if (n == 0) return;
+  DevicePool<Vert>& pool = exec.pool();
+  const std::size_t s = pool.unit(0).tile_dim();
+  if (n % s == 0) {
+    closure_pool_divisible(exec, d);
+    return;
+  }
+  const std::size_t np = ((n + s - 1) / s) * s;
+  AdjMatrix padded(np, np, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) padded(i, j) = d(i, j);
+  }
+  pool.charge_cpu(np * np);
+  closure_pool_divisible(exec, padded.view());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) d(i, j) = padded(i, j);
+  }
+  pool.charge_cpu(n * n);
+}
+
+void closure_tcu(DevicePool<Vert>& pool, MatrixView<Vert> d) {
+  PoolExecutor<Vert> exec(pool);
+  closure_tcu(exec, d);
 }
 
 AdjMatrix closure_bfs_oracle(ConstMatrixView<Vert> adjacency) {

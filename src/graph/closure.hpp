@@ -19,6 +19,7 @@
 
 #include "core/device.hpp"
 #include "core/matrix.hpp"
+#include "core/pool.hpp"
 
 namespace tcu::graph {
 
@@ -34,6 +35,17 @@ void closure_naive(MatrixView<Vert> d, Counters& counters);
 /// is padded with isolated vertices up to a multiple of sqrt(m)
 /// internally.
 void closure_tcu(Device<Vert>& dev, MatrixView<Vert> d);
+
+/// Multi-unit Theorem 5: per pivot block k, the kernel D updates of the
+/// block columns j != k write disjoint column panels, so each becomes one
+/// pool task (its two tall min-plus/boolean GEMM calls plus the clamp);
+/// the pivot kernels A/B/C stay on the shared CPU. One persistent
+/// executor spans all n/sqrt(m) pivot iterations. Output bits and
+/// aggregate counters are identical to the single-device closure_tcu.
+void closure_tcu(DevicePool<Vert>& pool, MatrixView<Vert> d);
+
+/// Same, over a caller-owned persistent executor.
+void closure_tcu(PoolExecutor<Vert>& exec, MatrixView<Vert> d);
 
 /// Reference oracle for tests: reachability by BFS from every vertex.
 /// Not cost-charged (it is the ground truth, not a model algorithm).

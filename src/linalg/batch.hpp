@@ -86,25 +86,40 @@ std::vector<Matrix<T>> matmul_batch_shared_b(
   return detail::unstack_batch(product, batch.size(), batch.front().rows());
 }
 
-/// Multi-unit batched product: the stacked tall operand's output strips
-/// run across the pool's worker threads when the stacked shapes are
-/// tile-aligned; ragged shapes fall back to the padded single-unit path
-/// on the least-loaded unit, mirroring the Device overload's behavior.
-/// Latency accounting is identical to the single-device path either way.
+/// Multi-unit batched product over a caller-owned persistent executor:
+/// the stacked tall operand's output strips run across the pool's worker
+/// threads (ragged shapes are padded in worker-local scratch), and by
+/// default the B tiles are dealt with affinity — a steady stream of
+/// batches against the same resident B pays each tile's load latency
+/// once, not once per round, with the units' `resident_hits` counters
+/// recording the savings. Pass `{.affinity = false}` for PR 1's pure
+/// least-loaded reload-every-round schedule (the benches use it as the
+/// comparison baseline).
+template <typename T>
+std::vector<Matrix<T>> matmul_batch_shared_b(
+    PoolExecutor<T>& exec, const std::vector<Matrix<T>>& batch,
+    std::type_identity_t<ConstMatrixView<T>> B,
+    PoolMatmulOptions opts = {.affinity = true}) {
+  if (batch.empty()) return {};
+  detail::validate_batch(batch, B);
+  Matrix<T> stacked = detail::stack_batch(batch);
+  exec.pool().charge_cpu(stacked.rows() * stacked.cols());
+  Matrix<T> product = matmul_tcu_pool(exec, stacked.view(), B, opts);
+  exec.pool().charge_cpu(product.rows() * product.cols());
+  return detail::unstack_batch(product, batch.size(), batch.front().rows());
+}
+
+/// Multi-unit batched product with a throwaway executor per call. Tile
+/// affinity still applies across calls — the units remember their
+/// resident tiles — but thread startup is re-paid; prefer the
+/// PoolExecutor overload in serving loops.
 template <typename T>
 std::vector<Matrix<T>> matmul_batch_shared_b(
     DevicePool<T>& pool, const std::vector<Matrix<T>>& batch,
     std::type_identity_t<ConstMatrixView<T>> B) {
   if (batch.empty()) return {};
-  detail::validate_batch(batch, B);
-  Matrix<T> stacked = detail::stack_batch(batch);
-  pool.charge_cpu(stacked.rows() * stacked.cols());
-  Matrix<T> product =
-      pool_shapes_aligned<T>(pool, stacked.view(), B)
-          ? matmul_tcu_pool(pool, stacked.view(), B)
-          : matmul_tcu(pool.least_loaded(), stacked.view(), B);
-  pool.charge_cpu(product.rows() * product.cols());
-  return detail::unstack_batch(product, batch.size(), batch.front().rows());
+  PoolExecutor<T> exec(pool);
+  return matmul_batch_shared_b(exec, batch, B);
 }
 
 }  // namespace tcu::linalg

@@ -38,6 +38,49 @@ Matrix<T> matmul_naive(ConstMatrixView<T> A, ConstMatrixView<T> B,
   return C;
 }
 
+namespace detail {
+
+/// One ragged output strip [jb, jb + jw) of the zero-padded Theorem 2
+/// path: pad each B tile and the matching A strip into caller-provided
+/// scratch, run the chain of tall calls, copy the result out. Shared by
+/// the serial path (which reuses one scratch set across strips) and the
+/// pool workers (task-local scratch) so their operations and CPU charges
+/// cannot drift apart — the pool's bit-identical-to-serial contract
+/// depends on it. `do_gemm(kb, a, b, c, accumulate)` issues the tensor
+/// call, letting the pool path tag resident-operand keys.
+template <typename T, typename GemmFn>
+void ragged_strip_into(Device<T>& dev, ConstMatrixView<T> A,
+                       ConstMatrixView<T> B, MatrixView<T> C, std::size_t jb,
+                       Matrix<T>& b_tile, Matrix<T>& a_strip,
+                       Matrix<T>& c_strip, GemmFn&& do_gemm) {
+  const std::size_t s = dev.tile_dim();
+  const std::size_t p = A.rows, q = A.cols, r = B.cols;
+  const std::size_t jw = std::min(s, r - jb);
+  c_strip.fill(T{});
+  for (std::size_t kb = 0; kb < q; kb += s) {
+    const std::size_t kw = std::min(s, q - kb);
+    b_tile.fill(T{});
+    for (std::size_t i = 0; i < kw; ++i) {
+      for (std::size_t j = 0; j < jw; ++j) {
+        b_tile(i, j) = B(kb + i, jb + j);
+      }
+    }
+    a_strip.fill(T{});
+    for (std::size_t i = 0; i < p; ++i) {
+      for (std::size_t k = 0; k < kw; ++k) a_strip(i, k) = A(i, kb + k);
+    }
+    dev.charge_cpu(kw * jw + p * kw);
+    do_gemm(kb, a_strip.view().as_const(), b_tile.view().as_const(),
+            c_strip.view(), /*accumulate=*/kb != 0);
+  }
+  for (std::size_t i = 0; i < p; ++i) {
+    for (std::size_t j = 0; j < jw; ++j) C(i, jb + j) = c_strip(i, j);
+  }
+  dev.charge_cpu(p * jw);
+}
+
+}  // namespace detail
+
 /// Theorem 2 (and Corollary 1 for rectangular shapes): C += A * B computed
 /// by tiling B into sqrt(m) x sqrt(m) blocks and streaming the matching
 /// tall strip of A through the unit once per block. Ragged edges are
@@ -69,28 +112,12 @@ void matmul_tcu_into(Device<T>& dev, std::type_identity_t<ConstMatrixView<T>> A,
   Matrix<T> a_strip(p, s, T{});
   Matrix<T> c_strip(p, s, T{});
   for (std::size_t jb = 0; jb < r; jb += s) {
-    const std::size_t jw = std::min(s, r - jb);
-    c_strip.fill(T{});
-    for (std::size_t kb = 0; kb < q; kb += s) {
-      const std::size_t kw = std::min(s, q - kb);
-      b_tile.fill(T{});
-      for (std::size_t i = 0; i < kw; ++i) {
-        for (std::size_t j = 0; j < jw; ++j) {
-          b_tile(i, j) = B(kb + i, jb + j);
-        }
-      }
-      a_strip.fill(T{});
-      for (std::size_t i = 0; i < p; ++i) {
-        for (std::size_t k = 0; k < kw; ++k) a_strip(i, k) = A(i, kb + k);
-      }
-      dev.charge_cpu(kw * jw + p * kw);
-      dev.gemm(a_strip.view(), b_tile.view(), c_strip.view(),
-               /*accumulate=*/kb != 0);
-    }
-    for (std::size_t i = 0; i < p; ++i) {
-      for (std::size_t j = 0; j < jw; ++j) C(i, jb + j) = c_strip(i, j);
-    }
-    dev.charge_cpu(p * jw);
+    detail::ragged_strip_into(
+        dev, A, B, C, jb, b_tile, a_strip, c_strip,
+        [&dev](std::size_t, ConstMatrixView<T> a, ConstMatrixView<T> b,
+               MatrixView<T> c, bool accumulate) {
+          dev.gemm(a, b, c, accumulate);
+        });
   }
 }
 

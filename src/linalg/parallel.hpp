@@ -15,6 +15,18 @@
 // simulated cost each strip will charge, so the assignment — and with it
 // every unit's `Counters` — is bit-identical to the historical serial
 // execute-then-pick loop regardless of thread interleaving.
+//
+// Two modes extend the PR 1 runtime:
+//   * ragged shapes — the final partial strip/tile is zero-padded into
+//     worker-local scratch exactly like the single-unit matmul_tcu, so
+//     the pool path accepts any dimensions and produces bit-identical
+//     outputs and charge totals;
+//   * tile affinity — with `PoolMatmulOptions::affinity`, every B tile
+//     carries its address as a resident-operand key; the dealer routes a
+//     strip to the lane already holding its entry tile and the device
+//     skips the re-load latency (`gemm_resident`), which is what makes
+//     repeated products against the same weights (batches, nn forwards)
+//     cheaper than PR 1's reload-every-call schedule.
 
 #include <cstdint>
 #include <type_traits>
@@ -24,10 +36,24 @@
 
 namespace tcu::linalg {
 
-/// True iff A * B can run on the pool path: strip dealing needs every
-/// dimension to be a multiple of the tile dimension. Callers that accept
-/// ragged shapes should test this and fall back to the padded
-/// single-unit matmul_tcu.
+struct PoolMatmulOptions {
+  /// Tag B tiles with resident-operand keys (their storage address) and
+  /// deal strips with tile affinity. Off by default: untagged dealing is
+  /// PR 1's pure least-loaded schedule.
+  ///
+  /// The key is an *identity token*, not a content hash: a resident hit
+  /// is only meaningful when the same storage still holds the same tile.
+  /// That holds for the intended workloads — long-lived weight matrices
+  /// (nn layers, a shared batch B) multiplied repeatedly. A caller that
+  /// frees B and reuses the allocation for different data between
+  /// affinity calls would inherit stale residency and undercount load
+  /// latency; use untagged calls (or fresh pools) for such churn.
+  bool affinity = false;
+};
+
+/// True iff A * B can run on the pool fast path without padding. The pool
+/// matmul itself now accepts ragged shapes; this remains for callers that
+/// want to know whether scratch padding will be involved.
 template <typename T>
 bool pool_shapes_aligned(const DevicePool<T>& pool, ConstMatrixView<T> A,
                          ConstMatrixView<T> B) {
@@ -35,56 +61,144 @@ bool pool_shapes_aligned(const DevicePool<T>& pool, ConstMatrixView<T> A,
   return (A.rows % s) == 0 && (A.cols % s) == 0 && (B.cols % s) == 0;
 }
 
-/// C = A * B across the pool's units; shapes must be multiples of the
-/// tile dimension (use matmul_tcu on a single unit for ragged shapes).
+namespace detail {
+
+/// Exact tensor time of one tile of a strip chain (left operand rows x s).
+/// Untagged chains charge exactly what Device::gemm will
+/// (projected_gemm_cost); with affinity the weak-model split shares its
+/// resident tile, so the load latency is paid once per tile instead of
+/// once per square call — mirroring Device::gemm_resident's charging.
 template <typename T>
-void matmul_tcu_pool_into(DevicePool<T>& pool,
+std::uint64_t strip_tile_cost(const Device<T>& unit, std::uint64_t rows,
+                              bool affinity) {
+  const auto s = static_cast<std::uint64_t>(unit.tile_dim());
+  if (!affinity || unit.allows_tall() || rows <= s) {
+    return projected_gemm_cost(unit, rows);
+  }
+  const std::uint64_t calls = (rows + s - 1) / s;
+  return calls * unit.m() + unit.latency();
+}
+
+/// One ragged output strip on a pool worker: task-local scratch around
+/// the shared per-strip body of the single-unit ragged path
+/// (detail::ragged_strip_into), so outputs and counter totals stay
+/// bit-identical to serial by construction.
+template <typename T>
+void ragged_strip(Device<T>& unit, ConstMatrixView<T> A, ConstMatrixView<T> B,
+                  MatrixView<T> C, std::size_t jb, bool affinity) {
+  const std::size_t s = unit.tile_dim();
+  Matrix<T> b_tile(s, s, T{});
+  Matrix<T> a_strip(A.rows, s, T{});
+  Matrix<T> c_strip(A.rows, s, T{});
+  ragged_strip_into(
+      unit, A, B, C, jb, b_tile, a_strip, c_strip,
+      [&unit, B, jb, affinity](std::size_t kb, ConstMatrixView<T> a,
+                               ConstMatrixView<T> b, MatrixView<T> c,
+                               bool accumulate) {
+        if (affinity) {
+          unit.gemm_resident(reinterpret_cast<std::uintptr_t>(&B(kb, jb)),
+                             a, b, c, accumulate);
+        } else {
+          unit.gemm(a, b, c, accumulate);
+        }
+      });
+}
+
+}  // namespace detail
+
+/// C = A * B dealt across the executor's units, one task per output column
+/// strip; any shapes (the final partial strip is padded in worker-local
+/// scratch). The caller-owned executor is reused — submit and join only,
+/// no thread churn — and the barrier at the end leaves the executor ready
+/// for the next round.
+template <typename T>
+void matmul_tcu_pool_into(PoolExecutor<T>& exec,
                           std::type_identity_t<ConstMatrixView<T>> A,
                           std::type_identity_t<ConstMatrixView<T>> B,
-                          std::type_identity_t<MatrixView<T>> C) {
+                          std::type_identity_t<MatrixView<T>> C,
+                          PoolMatmulOptions opts = {}) {
   if (A.cols != B.rows) {
     throw std::invalid_argument("matmul_tcu_pool: inner dimensions differ");
   }
   if (C.rows != A.rows || C.cols != B.cols) {
     throw std::invalid_argument("matmul_tcu_pool: output shape mismatch");
   }
-  if (!pool_shapes_aligned(pool, A, B)) {
-    throw std::invalid_argument(
-        "matmul_tcu_pool: dimensions must be multiples of sqrt(m)");
-  }
-  const std::size_t s = pool.unit(0).tile_dim();
-  // Exact simulated cost of one strip: one tall call per weight tile, or
-  // ceil(rows/s) square calls per tile on weak-model units — must mirror
-  // Device::gemm's charging exactly or the projected dealing would drift
-  // from the serial execute-then-pick schedule.
+  DevicePool<T>& pool = exec.pool();
   const Device<T>& unit0 = pool.unit(0);
+  const std::size_t s = unit0.tile_dim();
+  const std::size_t p = A.rows, q = A.cols, r = B.cols;
+  const bool ragged = (p % s) || (q % s) || (r % s);
   const std::uint64_t tile_cost =
-      unit0.allows_tall()
-          ? tensor_call_cost(A.rows, unit0.m(), unit0.latency())
-          : static_cast<std::uint64_t>(A.rows / s) *
-                (unit0.m() + unit0.latency());
-  const std::uint64_t strip_cost =
-      static_cast<std::uint64_t>(A.cols / s) * tile_cost;
-  PoolExecutor<T> exec(pool);
-  // Deal output strips (independent work) to the least-loaded unit.
-  for (std::size_t jb = 0; jb < B.cols; jb += s) {
-    exec.submit(strip_cost, [A, B, C, jb, s](Device<T>& unit) {
-      for (std::size_t kb = 0; kb < A.cols; kb += s) {
-        unit.gemm(A.subview(0, kb, A.rows, s), B.subview(kb, jb, s, s),
-                  C.subview(0, jb, A.rows, s), /*accumulate=*/kb != 0);
+      detail::strip_tile_cost(unit0, p, opts.affinity);
+  const std::uint64_t k_tiles = (q + s - 1) / s;
+  const std::uint64_t strip_cost = k_tiles * tile_cost;
+
+  const bool tag = opts.affinity && k_tiles > 0;
+  for (std::size_t jb = 0; jb < r; jb += s) {
+    // Entry/exit resident keys: the first and last B tile of the chain.
+    const std::uint64_t enter_key =
+        tag ? reinterpret_cast<std::uintptr_t>(&B(0, jb)) : 0;
+    const std::uint64_t exit_key =
+        tag ? reinterpret_cast<std::uintptr_t>(&B((k_tiles - 1) * s, jb)) : 0;
+    auto task = [A, B, C, jb, s, ragged, affinity = opts.affinity](
+                    Device<T>& unit) {
+      if (ragged) {
+        detail::ragged_strip(unit, A, B, C, jb, affinity);
+        return;
       }
-    });
+      for (std::size_t kb = 0; kb < A.cols; kb += s) {
+        if (affinity) {
+          unit.gemm_resident(reinterpret_cast<std::uintptr_t>(&B(kb, jb)),
+                             A.subview(0, kb, A.rows, s),
+                             B.subview(kb, jb, s, s),
+                             C.subview(0, jb, A.rows, s),
+                             /*accumulate=*/kb != 0);
+        } else {
+          unit.gemm(A.subview(0, kb, A.rows, s), B.subview(kb, jb, s, s),
+                    C.subview(0, jb, A.rows, s), /*accumulate=*/kb != 0);
+        }
+      }
+    };
+    if (opts.affinity) {
+      exec.submit_affine(strip_cost, enter_key, exit_key, std::move(task));
+    } else {
+      exec.submit(strip_cost, std::move(task));
+    }
   }
   exec.join();
+}
+
+/// C = A * B across the pool's units with a throwaway executor (spawns and
+/// joins the worker threads). Prefer the PoolExecutor overload in loops.
+template <typename T>
+void matmul_tcu_pool_into(DevicePool<T>& pool,
+                          std::type_identity_t<ConstMatrixView<T>> A,
+                          std::type_identity_t<ConstMatrixView<T>> B,
+                          std::type_identity_t<MatrixView<T>> C,
+                          PoolMatmulOptions opts = {}) {
+  PoolExecutor<T> exec(pool);
+  matmul_tcu_pool_into(exec, A, B, C, opts);
+}
+
+/// Allocating wrapper over the persistent-executor path.
+template <typename T>
+Matrix<T> matmul_tcu_pool(PoolExecutor<T>& exec,
+                          std::type_identity_t<ConstMatrixView<T>> A,
+                          std::type_identity_t<ConstMatrixView<T>> B,
+                          PoolMatmulOptions opts = {}) {
+  Matrix<T> C(A.rows, B.cols, T{});
+  matmul_tcu_pool_into(exec, A, B, C.view(), opts);
+  return C;
 }
 
 /// Allocating wrapper for `matmul_tcu_pool_into`.
 template <typename T>
 Matrix<T> matmul_tcu_pool(DevicePool<T>& pool,
                           std::type_identity_t<ConstMatrixView<T>> A,
-                          std::type_identity_t<ConstMatrixView<T>> B) {
+                          std::type_identity_t<ConstMatrixView<T>> B,
+                          PoolMatmulOptions opts = {}) {
   Matrix<T> C(A.rows, B.cols, T{});
-  matmul_tcu_pool_into(pool, A, B, C.view());
+  matmul_tcu_pool_into(pool, A, B, C.view(), opts);
   return C;
 }
 

@@ -46,16 +46,20 @@ Matrix<double> DenseLayer::forward(Device<double>& dev,
 Matrix<double> DenseLayer::forward(DevicePool<double>& pool,
                                    ConstMatrixView<double> activations,
                                    bool relu) const {
+  PoolExecutor<double> exec(pool);
+  return forward(exec, activations, relu);
+}
+
+Matrix<double> DenseLayer::forward(PoolExecutor<double>& exec,
+                                   ConstMatrixView<double> activations,
+                                   bool relu) const {
   if (activations.cols != weights_.rows()) {
     throw std::invalid_argument("DenseLayer: activation width mismatch");
   }
-  Matrix<double> out =
-      linalg::pool_shapes_aligned<double>(pool, activations, weights_.view())
-          ? linalg::matmul_tcu_pool(pool, activations, weights_.view())
-          : linalg::matmul_tcu(pool.least_loaded(), activations,
-                               weights_.view());
+  Matrix<double> out = linalg::matmul_tcu_pool(
+      exec, activations, weights_.view(), {.affinity = true});
   apply_epilogue(out, bias_, relu);
-  pool.charge_cpu(out.rows() * out.cols() * (relu ? 2 : 1));
+  exec.pool().charge_cpu(out.rows() * out.cols() * (relu ? 2 : 1));
   return out;
 }
 
@@ -82,11 +86,18 @@ Matrix<double> Mlp::forward(Device<double>& dev,
 Matrix<double> Mlp::forward(DevicePool<double>& pool,
                             ConstMatrixView<double> batch) const {
   if (layers_.empty()) throw std::invalid_argument("Mlp: no layers");
+  PoolExecutor<double> exec(pool);  // one spawn for the whole pass
+  return forward(exec, batch);
+}
+
+Matrix<double> Mlp::forward(PoolExecutor<double>& exec,
+                            ConstMatrixView<double> batch) const {
+  if (layers_.empty()) throw std::invalid_argument("Mlp: no layers");
   Matrix<double> cur = materialize(batch);
-  pool.charge_cpu(batch.rows * batch.cols);
+  exec.pool().charge_cpu(batch.rows * batch.cols);
   for (std::size_t l = 0; l < layers_.size(); ++l) {
     const bool relu = l + 1 < layers_.size();
-    cur = layers_[l].forward(pool, cur.view(), relu);
+    cur = layers_[l].forward(exec, cur.view(), relu);
   }
   return cur;
 }

@@ -39,10 +39,18 @@ class DenseLayer {
                          bool relu = true) const;
 
   /// Multi-unit forward: output strips of the weight product run across
-  /// the pool's worker threads when all dimensions are tile-aligned
-  /// (otherwise the product falls back to one unit); epilogue is shared
-  /// CPU work.
+  /// the pool's worker threads for any shape (ragged layers are padded in
+  /// worker-local scratch); epilogue is shared CPU work. Spawns a
+  /// throwaway executor — prefer the PoolExecutor overload in loops.
   Matrix<double> forward(DevicePool<double>& pool,
+                         ConstMatrixView<double> activations,
+                         bool relu = true) const;
+
+  /// Multi-unit forward over a caller-owned persistent executor: no
+  /// thread churn, and the weight tiles are dealt with affinity, so
+  /// repeated forwards of the same layer skip the weight re-load latency
+  /// on tiles still resident from the previous batch.
+  Matrix<double> forward(PoolExecutor<double>& exec,
                          ConstMatrixView<double> activations,
                          bool relu = true) const;
 
@@ -62,8 +70,16 @@ class Mlp {
                          ConstMatrixView<double> batch) const;
 
   /// Forward pass across a multi-unit pool (layers stay sequential; each
-  /// layer's weight product parallelizes over output strips).
+  /// layer's weight product parallelizes over output strips). One
+  /// executor serves the whole forward, so thread startup is paid once
+  /// per pass, not once per layer.
   Matrix<double> forward(DevicePool<double>& pool,
+                         ConstMatrixView<double> batch) const;
+
+  /// Forward pass over a caller-owned persistent executor: an inference
+  /// server keeps one executor alive across requests and pays thread
+  /// startup never and weight-tile load latency only on first touch.
+  Matrix<double> forward(PoolExecutor<double>& exec,
                          ConstMatrixView<double> batch) const;
 
  private:

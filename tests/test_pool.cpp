@@ -230,6 +230,125 @@ TEST(PoolRuntime, BatchSharedBPoolFallsBackOnRaggedShapes) {
   for (std::size_t t = 0; t < got.size(); ++t) EXPECT_EQ(got[t], expect[t]);
 }
 
+// The ragged pool path's worker-local scratch must charge exactly what
+// the single-device ragged path charges — aggregate counters, not just
+// output bits, in both tall and weak modes.
+TEST(PoolRuntime, RaggedPoolMatmulMatchesSerialCounters) {
+  auto a = random_matrix(13, 22, 14);
+  auto b = random_matrix(22, 9, 15);
+  for (bool tall : {true, false}) {
+    typename Device<double>::Config cfg{
+        .m = 16, .latency = 19, .allow_tall = tall};
+    Device<double> single(cfg);
+    auto expect = tcu::linalg::matmul_tcu(single, a.view(), b.view());
+    DevicePool<double> pool(3, cfg);
+    auto got = tcu::linalg::matmul_tcu_pool(pool, a.view(), b.view());
+    EXPECT_EQ(got, expect) << "tall=" << tall;
+    const Counters agg = pool.aggregate();
+    const Counters& ref = single.counters();
+    EXPECT_EQ(agg.tensor_calls, ref.tensor_calls) << "tall=" << tall;
+    EXPECT_EQ(agg.tensor_rows, ref.tensor_rows) << "tall=" << tall;
+    EXPECT_EQ(agg.tensor_time, ref.tensor_time) << "tall=" << tall;
+    EXPECT_EQ(agg.tensor_macs, ref.tensor_macs) << "tall=" << tall;
+    EXPECT_EQ(agg.latency_time, ref.latency_time) << "tall=" << tall;
+    EXPECT_EQ(agg.cpu_ops, ref.cpu_ops) << "tall=" << tall;
+  }
+}
+
+// Persistent mode: one executor dealing two rounds (join between them)
+// must be bit-identical — outputs and per-unit counters — to two fresh
+// executors, because join() reseeds the projections from the live units.
+TEST(PoolRuntime, PersistentExecutorReuseMatchesFreshExecutors) {
+  const std::size_t d = 96;
+  auto a = random_matrix(d, d, 11);
+  auto b = random_matrix(d, d, 12);
+  typename Device<double>::Config cfg{.m = 256, .latency = 17};
+
+  DevicePool<double> pool_reused(3, cfg);
+  PoolExecutor<double> exec(pool_reused);
+  auto r1 = tcu::linalg::matmul_tcu_pool(exec, a.view(), b.view());
+  auto r2 = tcu::linalg::matmul_tcu_pool(exec, b.view(), a.view());
+
+  DevicePool<double> pool_fresh(3, cfg);
+  auto f1 = tcu::linalg::matmul_tcu_pool(pool_fresh, a.view(), b.view());
+  auto f2 = tcu::linalg::matmul_tcu_pool(pool_fresh, b.view(), a.view());
+
+  EXPECT_EQ(r1, f1);
+  EXPECT_EQ(r2, f2);
+  for (std::size_t u = 0; u < pool_reused.size(); ++u) {
+    const Counters& ru = pool_reused.unit(u).counters();
+    const Counters& fu = pool_fresh.unit(u).counters();
+    EXPECT_EQ(ru.tensor_calls, fu.tensor_calls) << "unit " << u;
+    EXPECT_EQ(ru.tensor_time, fu.tensor_time) << "unit " << u;
+    EXPECT_EQ(ru.tensor_macs, fu.tensor_macs) << "unit " << u;
+    EXPECT_EQ(ru.latency_time, fu.latency_time) << "unit " << u;
+  }
+}
+
+// The resident-tile model on a single device: a tagged call whose key
+// matches the resident operand skips the load latency and counts a hit;
+// untagged calls displace the resident tile.
+TEST(PoolRuntime, DeviceResidentTileSkipsLatencyOnHit) {
+  Device<double> dev({.m = 16, .latency = 5});
+  Matrix<double> a(4, 4, 1.0), b(4, 4, 2.0), c(4, 4);
+
+  dev.gemm_resident(42, a.view(), b.view(), c.view());  // load
+  EXPECT_EQ(dev.counters().latency_time, 5u);
+  EXPECT_EQ(dev.counters().resident_hits, 0u);
+
+  dev.gemm_resident(42, a.view(), b.view(), c.view());  // hit
+  EXPECT_EQ(dev.counters().latency_time, 5u);
+  EXPECT_EQ(dev.counters().resident_hits, 1u);
+  EXPECT_EQ(dev.counters().latency_saved, 5u);
+  EXPECT_EQ(dev.resident_key(), 42u);
+
+  dev.gemm_resident(43, a.view(), b.view(), c.view());  // new tile: load
+  EXPECT_EQ(dev.counters().latency_time, 10u);
+
+  dev.gemm(a.view(), b.view(), c.view());  // untagged: displaces
+  EXPECT_EQ(dev.resident_key(), 0u);
+  dev.gemm_resident(43, a.view(), b.view(), c.view());  // reload
+  EXPECT_EQ(dev.counters().latency_time, 20u);
+  EXPECT_EQ(dev.counters().resident_hits, 1u);
+}
+
+// Affinity scheduling end to end: a steady stream of batches against one
+// resident B pays each tile's load latency once, not once per round. The
+// dealer routes every strip back to the lane holding its tile, the
+// devices' resident-hit counters record the savings, and the outputs stay
+// bit-identical to the single-device schedule.
+TEST(PoolRuntime, AffinityServesResidentTilesAcrossRounds) {
+  const std::uint64_t ell = 100;
+  auto b = random_matrix(8, 16, 70);  // s = 8: two single-tile strips
+  std::vector<Matrix<double>> batch;
+  for (int t = 0; t < 4; ++t) batch.push_back(random_matrix(8, 8, 80 + t));
+  const int rounds = 5;
+
+  Device<double> single({.m = 64, .latency = ell});
+  DevicePool<double> pool(2, {.m = 64, .latency = ell});
+  PoolExecutor<double> exec(pool);
+  for (int r = 0; r < rounds; ++r) {
+    auto expect = tcu::linalg::matmul_batch_shared_b(single, batch, b.view());
+    auto got = tcu::linalg::matmul_batch_shared_b(exec, batch, b.view());
+    ASSERT_EQ(got.size(), expect.size());
+    for (std::size_t t = 0; t < got.size(); ++t) EXPECT_EQ(got[t], expect[t]);
+  }
+
+  const Counters agg = pool.aggregate();
+  // 2 tiles loaded in round 1; every later round hits both.
+  EXPECT_EQ(agg.resident_hits, 2u * (rounds - 1));
+  EXPECT_EQ(agg.latency_saved, 2u * (rounds - 1) * ell);
+  EXPECT_EQ(agg.latency_time, 2u * ell);
+  // PR 1's dealer (the single-device reference) reloads B every round.
+  EXPECT_EQ(single.counters().latency_time, 2u * rounds * ell);
+  EXPECT_LT(agg.latency_time, single.counters().latency_time);
+  // The saving is pure latency: everything else matches the serial totals.
+  EXPECT_EQ(agg.tensor_macs, single.counters().tensor_macs);
+  EXPECT_EQ(agg.tensor_calls, single.counters().tensor_calls);
+  EXPECT_EQ(agg.tensor_time + agg.latency_saved,
+            single.counters().tensor_time);
+}
+
 TEST(PoolRuntime, MlpForwardPoolMatchesSingleDevice) {
   tcu::util::Xoshiro256 rng(31);
   const std::size_t width = 16;

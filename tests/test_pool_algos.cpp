@@ -1,0 +1,285 @@
+// Pool-parallel algorithm paths (Strassen, transitive closure, APSD,
+// DFT) against their single-device counterparts: identical output bits
+// and identical aggregate counters — the determinism contract of the
+// worker-thread runtime extended beyond dense matmul. The DFT is the one
+// documented exception: splitting its single tall call per level across p
+// units re-pays the Fourier-tile load latency per unit, so everything
+// except the latency term matches (and a 1-unit pool matches exactly).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/pool.hpp"
+#include "dft/dft.hpp"
+#include "graph/apsd.hpp"
+#include "graph/closure.hpp"
+#include "linalg/strassen.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using tcu::Counters;
+using tcu::Device;
+using tcu::DevicePool;
+using tcu::Matrix;
+using tcu::PoolExecutor;
+
+Matrix<double> random_matrix(std::size_t r, std::size_t c,
+                             std::uint64_t seed) {
+  tcu::util::Xoshiro256 rng(seed);
+  Matrix<double> out(r, c);
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < c; ++j) out(i, j) = rng.uniform(-1, 1);
+  }
+  return out;
+}
+
+/// Random digraph adjacency (0/1, int64 storage).
+tcu::graph::AdjMatrix random_digraph(std::size_t n, double p,
+                                     std::uint64_t seed) {
+  tcu::util::Xoshiro256 rng(seed);
+  tcu::graph::AdjMatrix adj(n, n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j && rng.uniform(0, 1) < p) adj(i, j) = 1;
+    }
+  }
+  return adj;
+}
+
+/// Random connected undirected graph: a ring plus random chords.
+tcu::graph::AdjMatrix random_connected(std::size_t n, double p,
+                                       std::uint64_t seed) {
+  tcu::util::Xoshiro256 rng(seed);
+  tcu::graph::AdjMatrix adj(n, n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j = (i + 1) % n;
+    adj(i, j) = adj(j, i) = 1;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (rng.uniform(0, 1) < p) adj(i, j) = adj(j, i) = 1;
+    }
+  }
+  return adj;
+}
+
+void expect_counters_eq(const Counters& got, const Counters& want) {
+  EXPECT_EQ(got.tensor_calls, want.tensor_calls);
+  EXPECT_EQ(got.tensor_rows, want.tensor_rows);
+  EXPECT_EQ(got.tensor_time, want.tensor_time);
+  EXPECT_EQ(got.tensor_macs, want.tensor_macs);
+  EXPECT_EQ(got.latency_time, want.latency_time);
+  EXPECT_EQ(got.cpu_ops, want.cpu_ops);
+}
+
+TEST(PoolAlgos, StrassenPoolMatchesSerialBitExactly) {
+  for (int p0 : {7, 8}) {
+    for (std::size_t units : {1u, 3u}) {
+      const std::size_t d = 32;
+      auto a = random_matrix(d, d, 100 + p0);
+      auto b = random_matrix(d, d, 200 + p0);
+      Device<double> dev({.m = 16, .latency = 9});
+      auto expect = tcu::linalg::matmul_strassen_tcu(dev, a.view(), b.view(),
+                                                     {.p0 = p0});
+      DevicePool<double> pool(units, {.m = 16, .latency = 9});
+      auto got = tcu::linalg::matmul_strassen_tcu_pool(pool, a.view(),
+                                                       b.view(), {.p0 = p0});
+      EXPECT_EQ(got, expect) << "p0=" << p0 << " units=" << units;
+      expect_counters_eq(pool.aggregate(), dev.counters());
+    }
+  }
+}
+
+TEST(PoolAlgos, StrassenPoolHandlesPaddedSizes) {
+  const std::size_t d = 20;  // pads to 32
+  auto a = random_matrix(d, d, 300);
+  auto b = random_matrix(d, d, 301);
+  Device<double> dev({.m = 16, .latency = 4});
+  auto expect = tcu::linalg::matmul_strassen_tcu(dev, a.view(), b.view());
+  DevicePool<double> pool(2, {.m = 16, .latency = 4});
+  auto got = tcu::linalg::matmul_strassen_tcu_pool(pool, a.view(), b.view());
+  EXPECT_EQ(got, expect);
+  expect_counters_eq(pool.aggregate(), dev.counters());
+}
+
+TEST(PoolAlgos, StrassenPoolSplitsWorkAcrossUnits) {
+  const std::size_t d = 64;
+  auto a = random_matrix(d, d, 310);
+  auto b = random_matrix(d, d, 311);
+  Device<double> dev({.m = 16, .latency = 2});
+  (void)tcu::linalg::matmul_strassen_tcu(dev, a.view(), b.view());
+  DevicePool<double> pool(4, {.m = 16, .latency = 2});
+  (void)tcu::linalg::matmul_strassen_tcu_pool(pool, a.view(), b.view());
+  for (std::size_t u = 0; u < pool.size(); ++u) {
+    EXPECT_GT(pool.unit(u).counters().tensor_calls, 0u) << "unit " << u;
+  }
+  EXPECT_LT(pool.makespan(), dev.counters().time());
+}
+
+TEST(PoolAlgos, ClosurePoolMatchesSerial) {
+  for (std::size_t n : {24u, 30u}) {  // 30: exercises the padded path
+    auto adj = random_digraph(n, 0.15, 400 + n);
+    tcu::graph::AdjMatrix serial_d = adj;
+    Device<tcu::graph::Vert> dev({.m = 64, .latency = 7});
+    tcu::graph::closure_tcu(dev, serial_d.view());
+
+    tcu::graph::AdjMatrix pool_d = adj;
+    DevicePool<tcu::graph::Vert> pool(3, {.m = 64, .latency = 7});
+    tcu::graph::closure_tcu(pool, pool_d.view());
+
+    EXPECT_EQ(pool_d, serial_d) << "n=" << n;
+    expect_counters_eq(pool.aggregate(), dev.counters());
+    EXPECT_EQ(pool_d, tcu::graph::closure_bfs_oracle(adj.view())) << "n=" << n;
+  }
+}
+
+TEST(PoolAlgos, ClosurePoolReusedExecutorAcrossCalls) {
+  // One persistent executor across two closure computations is
+  // bit-identical to two throwaway executors.
+  auto adj = random_digraph(32, 0.1, 500);
+  DevicePool<tcu::graph::Vert> pool_a(2, {.m = 64, .latency = 3});
+  DevicePool<tcu::graph::Vert> pool_b(2, {.m = 64, .latency = 3});
+
+  tcu::graph::AdjMatrix da1 = adj, da2 = adj, db1 = adj, db2 = adj;
+  PoolExecutor<tcu::graph::Vert> exec(pool_a);
+  tcu::graph::closure_tcu(exec, da1.view());
+  tcu::graph::closure_tcu(exec, da2.view());
+  tcu::graph::closure_tcu(pool_b, db1.view());
+  tcu::graph::closure_tcu(pool_b, db2.view());
+
+  EXPECT_EQ(da1, db1);
+  EXPECT_EQ(da2, db2);
+  for (std::size_t u = 0; u < pool_a.size(); ++u) {
+    expect_counters_eq(pool_a.unit(u).counters(),
+                       pool_b.unit(u).counters());
+  }
+}
+
+TEST(PoolAlgos, ApsdPoolMatchesSerial) {
+  for (bool strassen : {false, true}) {
+    const std::size_t n = 18;
+    auto adj = random_connected(n, 0.1, 600);
+    Device<std::int64_t> dev({.m = 16, .latency = 5});
+    auto expect = tcu::graph::apsd_seidel(dev, adj.view(),
+                                          {.use_strassen = strassen});
+    DevicePool<std::int64_t> pool(3, {.m = 16, .latency = 5});
+    auto got = tcu::graph::apsd_seidel(pool, adj.view(),
+                                       {.use_strassen = strassen});
+    EXPECT_EQ(got, expect) << "strassen=" << strassen;
+    expect_counters_eq(pool.aggregate(), dev.counters());
+
+    Counters oracle_counters;
+    auto bfs = tcu::graph::apsd_bfs(adj.view(), oracle_counters);
+    EXPECT_EQ(got, bfs) << "strassen=" << strassen;
+  }
+}
+
+TEST(PoolAlgos, DftPoolOneUnitMatchesSerialExactly) {
+  using tcu::dft::Complex;
+  tcu::util::Xoshiro256 rng(700);
+  Matrix<Complex> serial_batch(3, 24);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t j = 0; j < 24; ++j) {
+      serial_batch(r, j) = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    }
+  }
+  Matrix<Complex> pool_batch = serial_batch;
+
+  Device<Complex> dev({.m = 16, .latency = 11});
+  tcu::dft::dft_batch_tcu(dev, serial_batch.view());
+
+  DevicePool<Complex> pool(1, {.m = 16, .latency = 11});
+  tcu::dft::dft_batch_tcu(pool, pool_batch.view());
+
+  EXPECT_EQ(pool_batch, serial_batch);
+  expect_counters_eq(pool.aggregate(), dev.counters());
+}
+
+TEST(PoolAlgos, DftPoolMultiUnitMatchesSerialModuloReloadLatency) {
+  using tcu::dft::Complex;
+  tcu::util::Xoshiro256 rng(701);
+  const std::size_t b = 4, len = 40;
+  Matrix<Complex> serial_batch(b, len);
+  for (std::size_t r = 0; r < b; ++r) {
+    for (std::size_t j = 0; j < len; ++j) {
+      serial_batch(r, j) = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    }
+  }
+  Matrix<Complex> pool_batch = serial_batch;
+
+  Device<Complex> dev({.m = 16, .latency = 11});
+  tcu::dft::dft_batch_tcu(dev, serial_batch.view());
+
+  DevicePool<Complex> pool(3, {.m = 16, .latency = 11});
+  tcu::dft::dft_batch_tcu(pool, pool_batch.view());
+
+  // Bit-identical outputs: the row split does not change any FP op order.
+  EXPECT_EQ(pool_batch, serial_batch);
+  const Counters agg = pool.aggregate();
+  const Counters& ref = dev.counters();
+  // Everything but the per-unit tile re-load latency matches exactly.
+  EXPECT_EQ(agg.tensor_macs, ref.tensor_macs);
+  EXPECT_EQ(agg.tensor_rows, ref.tensor_rows);
+  EXPECT_EQ(agg.cpu_ops, ref.cpu_ops);
+  EXPECT_EQ(agg.tensor_time - agg.latency_time,
+            ref.tensor_time - ref.latency_time);
+  EXPECT_GE(agg.latency_time, ref.latency_time);
+  // The overhead is exactly l per extra chunk.
+  EXPECT_EQ(agg.latency_time - ref.latency_time,
+            (agg.tensor_calls - ref.tensor_calls) * 11u);
+}
+
+// Weak-model units charge l per square call either way, and the pool's
+// chunk boundaries fall on tile multiples, so the chunked schedule's
+// counters match the serial ones in EVERY field — including latency.
+TEST(PoolAlgos, DftPoolWeakModeMatchesSerialExactly) {
+  using tcu::dft::Complex;
+  tcu::util::Xoshiro256 rng(703);
+  const std::size_t b = 3, len = 48;
+  Matrix<Complex> serial_batch(b, len);
+  for (std::size_t r = 0; r < b; ++r) {
+    for (std::size_t j = 0; j < len; ++j) {
+      serial_batch(r, j) = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    }
+  }
+  Matrix<Complex> pool_batch = serial_batch;
+  typename Device<Complex>::Config cfg{
+      .m = 16, .latency = 13, .allow_tall = false};
+
+  Device<Complex> dev(cfg);
+  tcu::dft::dft_batch_tcu(dev, serial_batch.view());
+
+  DevicePool<Complex> pool(2, cfg);
+  tcu::dft::dft_batch_tcu(pool, pool_batch.view());
+
+  EXPECT_EQ(pool_batch, serial_batch);
+  expect_counters_eq(pool.aggregate(), dev.counters());
+  EXPECT_EQ(pool.aggregate().tensor_calls, dev.counters().tensor_calls);
+}
+
+TEST(PoolAlgos, DftPoolInverseRoundTrips) {
+  using tcu::dft::Complex;
+  tcu::util::Xoshiro256 rng(702);
+  const std::size_t b = 2, len = 32;
+  Matrix<Complex> batch(b, len);
+  for (std::size_t r = 0; r < b; ++r) {
+    for (std::size_t j = 0; j < len; ++j) {
+      batch(r, j) = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    }
+  }
+  Matrix<Complex> original = batch;
+  DevicePool<Complex> pool(2, {.m = 16, .latency = 3});
+  tcu::dft::dft_batch_tcu(pool, batch.view());
+  tcu::dft::idft_batch_tcu(pool, batch.view());
+  for (std::size_t r = 0; r < b; ++r) {
+    for (std::size_t j = 0; j < len; ++j) {
+      EXPECT_NEAR(batch(r, j).real(), original(r, j).real(), 1e-9);
+      EXPECT_NEAR(batch(r, j).imag(), original(r, j).imag(), 1e-9);
+    }
+  }
+}
+
+}  // namespace
