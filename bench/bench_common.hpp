@@ -63,10 +63,16 @@ inline Matrix<std::int64_t> random_int_matrix(std::size_t r, std::size_t c,
 struct PoolBenchRecord {
   std::string name;
   std::size_t p = 0;
+  /// The units' resident-tile LRU capacity c (Device::Config). 1 is the
+  /// single-slot model; the bench_residency sweep varies it.
+  std::size_t cache_capacity = 1;
   std::uint64_t sim_cost = 0;
   double sim_speedup = 0.0;
   bool counters_match = false;
-  /// Extra metric columns (e.g. latency totals, resident hits).
+  std::uint64_t resident_hits = 0;   ///< aggregate resident-tile hits
+  std::uint64_t latency_saved = 0;   ///< latency charges skipped by hits
+  std::uint64_t evictions = 0;       ///< LRU displacements under pressure
+  /// Extra metric columns (e.g. latency totals).
   std::vector<std::pair<std::string, double>> extra;
 };
 
@@ -84,9 +90,13 @@ class PoolBenchJson {
     for (std::size_t i = 0; i < records_.size(); ++i) {
       const PoolBenchRecord& r = records_[i];
       out << "  {\"name\": \"" << r.name << "\", \"p\": " << r.p
+          << ", \"cache_capacity\": " << r.cache_capacity
           << ", \"sim_cost\": " << r.sim_cost
           << ", \"sim_speedup\": " << r.sim_speedup
-          << ", \"counters_match\": " << (r.counters_match ? "true" : "false");
+          << ", \"counters_match\": " << (r.counters_match ? "true" : "false")
+          << ", \"resident_hits\": " << r.resident_hits
+          << ", \"latency_saved\": " << r.latency_saved
+          << ", \"evictions\": " << r.evictions;
       for (const auto& [key, value] : r.extra) {
         out << ", \"" << key << "\": " << value;
       }

@@ -143,12 +143,18 @@ void BM_BatchAffinity(benchmark::State& state) {
 
   const tcu::Counters affine = pool_affine.aggregate();
   const tcu::Counters plain = pool_plain.aggregate();
-  // Affinity must strictly reduce the simulated latency cost, and the
-  // saving must be exactly the recorded hits times l.
+  // Affinity must strictly reduce the simulated latency cost, the saving
+  // must be exactly the recorded hits times l, and — the PR 2 regression
+  // guard — the capacity-1 single-tile-chain hit count must stay at its
+  // closed form: every strip hits its lane's tile in every round after
+  // the first.
+  const std::uint64_t expected_hits =
+      static_cast<std::uint64_t>(units) * (rounds - 1);
   const bool latency_reduced =
       affine.latency_time < plain.latency_time &&
       affine.latency_time + affine.latency_saved == plain.latency_time &&
-      affine.tensor_macs == plain.tensor_macs;
+      affine.tensor_macs == plain.tensor_macs &&
+      affine.resident_hits == expected_hits;
 
   state.counters["units"] = static_cast<double>(units);
   state.counters["wall_seconds"] = wall_seconds;
@@ -164,14 +170,17 @@ void BM_BatchAffinity(benchmark::State& state) {
   json_out.add(
       {.name = "batch_affinity",
        .p = units,
+       .cache_capacity = 1,
        .sim_cost = pool_affine.makespan(),
        .sim_speedup = static_cast<double>(plain.time()) /
                       static_cast<double>(pool_affine.makespan()),
        .counters_match = latency_reduced,
+       .resident_hits = affine.resident_hits,
+       .latency_saved = affine.latency_saved,
+       .evictions = affine.evictions,
        .extra = {{"latency_plain", static_cast<double>(plain.latency_time)},
-                 {"latency_affine", static_cast<double>(affine.latency_time)},
-                 {"resident_hits", static_cast<double>(affine.resident_hits)},
-                 {"latency_saved", static_cast<double>(affine.latency_saved)}}});
+                 {"latency_affine",
+                  static_cast<double>(affine.latency_time)}}});
 }
 
 }  // namespace

@@ -18,8 +18,9 @@ struct Counters {
   std::uint64_t tensor_time = 0;      ///< sum of (n*sqrt(m) + l) charges
   std::uint64_t tensor_macs = 0;      ///< sum of n*m elementary products
   std::uint64_t latency_time = 0;     ///< latency-only portion (loads * l)
-  std::uint64_t resident_hits = 0;    ///< calls served by the resident tile
+  std::uint64_t resident_hits = 0;    ///< calls served by a resident tile
   std::uint64_t latency_saved = 0;    ///< latency charges skipped by hits
+  std::uint64_t evictions = 0;        ///< resident tiles displaced by loads
 
   // --- CPU / RAM ---
   std::uint64_t cpu_ops = 0;          ///< unit-cost RAM operations
@@ -50,6 +51,11 @@ struct Counters {
     latency_saved += latency_skipped;
   }
 
+  /// A tile load displaced the least-recently-used resident tile (the
+  /// cache was at capacity). Untagged invalidation is not counted — only
+  /// genuine capacity pressure.
+  void count_eviction() { evictions += 1; }
+
   void reset() { *this = Counters{}; }
 
   Counters& operator+=(const Counters& other) {
@@ -60,6 +66,7 @@ struct Counters {
     latency_time += other.latency_time;
     resident_hits += other.resident_hits;
     latency_saved += other.latency_saved;
+    evictions += other.evictions;
     cpu_ops += other.cpu_ops;
     systolic_cycles += other.systolic_cycles;
     return *this;

@@ -24,6 +24,7 @@
 #include <stdexcept>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "core/counters.hpp"
 #include "core/matrix.hpp"
@@ -58,6 +59,67 @@ inline std::size_t exact_sqrt(std::size_t v) {
   return root;
 }
 
+/// A small LRU set of resident-tile keys: the model of a tensor core that
+/// holds `capacity` right-operand tiles at once. Capacity 1 reproduces the
+/// single resident slot of the original model bit-for-bit. Keys are
+/// caller-chosen nonzero identities (0 = "no tile"); lookup is a linear
+/// scan, which beats any indexed structure at the 1-8 entry sizes real
+/// boards motivate. The same class serves as the device's ground truth
+/// and as the scheduler's per-lane prediction mirror (core/pool.hpp), so
+/// the two can never disagree about LRU transitions.
+class TileCache {
+ public:
+  explicit TileCache(std::size_t capacity = 1) : capacity_(capacity) {
+    if (capacity_ == 0) {
+      throw std::invalid_argument("TileCache: capacity must be >= 1");
+    }
+    entries_.reserve(capacity_);
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return entries_.size(); }
+
+  bool contains(std::uint64_t key) const {
+    for (const std::uint64_t k : entries_) {
+      if (k == key) return true;
+    }
+    return false;
+  }
+
+  /// Access `key`: on a hit the key moves to most-recently-used position
+  /// and true is returned; on a miss the key is inserted as MRU — the
+  /// least-recently-used entry is dropped if the cache is full, reported
+  /// through `*evicted` — and false is returned.
+  bool touch(std::uint64_t key, bool* evicted = nullptr) {
+    if (evicted) *evicted = false;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i] == key) {
+        entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
+        entries_.push_back(key);
+        return true;
+      }
+    }
+    if (entries_.size() == capacity_) {
+      entries_.erase(entries_.begin());
+      if (evicted) *evicted = true;
+    }
+    entries_.push_back(key);
+    return false;
+  }
+
+  void clear() { entries_.clear(); }
+
+  /// The most-recently-used key, or 0 when the cache is empty.
+  std::uint64_t mru() const { return entries_.empty() ? 0 : entries_.back(); }
+
+  /// Keys in LRU -> MRU order (for mirroring by the scheduler).
+  const std::vector<std::uint64_t>& entries() const { return entries_; }
+
+ private:
+  std::size_t capacity_;
+  std::vector<std::uint64_t> entries_;  ///< front = LRU, back = MRU
+};
+
 template <typename T>
 class Device {
  public:
@@ -72,13 +134,16 @@ class Device {
     std::size_t m = 256;        ///< tile area; sqrt(m) x sqrt(m) right operand
     std::uint64_t latency = 0;  ///< the model parameter l
     bool allow_tall = true;     ///< false = weak TCU model (square calls only)
+    std::size_t resident_tiles = 1;  ///< LRU capacity c of the tile cache
     std::string name = "tcu";
   };
 
   explicit Device(Config cfg) : Device(std::move(cfg), reference_engine()) {}
 
   Device(Config cfg, Engine engine)
-      : cfg_(std::move(cfg)), engine_(std::move(engine)) {
+      : cfg_(std::move(cfg)),
+        engine_(std::move(engine)),
+        cache_(cfg_.resident_tiles) {
     if (cfg_.m == 0) throw std::invalid_argument("Device: m must be >= 1");
     s_ = exact_sqrt(cfg_.m);
     if (!engine_) throw std::invalid_argument("Device: null engine");
@@ -94,20 +159,24 @@ class Device {
   /// C: n x s. Charges n*s + l model time (tall mode) or ceil(n/s)*(m + l)
   /// (weak mode). Rows are processed even when n < s, but a full tile is
   /// charged: the hardware pipeline cannot be shortened below its depth.
-  /// The right operand of an untagged call displaces any resident tile.
+  /// The right operand of an untagged call is anonymous, so it invalidates
+  /// the *entire* resident set — the unit can no longer vouch for any of
+  /// its tiles.
   void gemm(ConstMatrixView<T> A, ConstMatrixView<T> B, MatrixView<T> C,
             bool accumulate = false) {
-    resident_key_ = kNoResident;
+    cache_.clear();
     gemm_charged(A, B, C, accumulate, /*first_hit=*/false, /*tracked=*/false);
   }
 
   /// Like `gemm`, but the right operand carries a caller-chosen nonzero
-  /// identity `key`. If `key` matches the tile already resident on the
-  /// unit, the load latency l is *not* charged again (the model charges l
-  /// per tile load; a resident model is streamed for free, §3's asymmetry
-  /// property) and the hit is counted. Otherwise the tile is loaded,
-  /// charged in full, and becomes resident. In weak mode the square calls
-  /// of one split share the tile, so only the first pays l.
+  /// identity `key`. If `key` is a member of the unit's resident set, the
+  /// load latency l is *not* charged again (the model charges l per tile
+  /// load; a resident model is streamed for free, §3's asymmetry property)
+  /// and the hit is counted. Otherwise the tile is loaded, charged in
+  /// full, and becomes the most-recently-used resident — displacing the
+  /// LRU tile (counted in Counters::evictions) when the cache is at its
+  /// configured capacity. In weak mode the square calls of one split
+  /// share the tile, so only the first pays l.
   void gemm_resident(std::uint64_t key, ConstMatrixView<T> A,
                      ConstMatrixView<T> B, MatrixView<T> C,
                      bool accumulate = false) {
@@ -115,13 +184,27 @@ class Device {
       gemm(A, B, C, accumulate);
       return;
     }
-    const bool hit = (key == resident_key_);
-    resident_key_ = key;
+    bool evicted = false;
+    const bool hit = cache_.touch(key, &evicted);
+    if (evicted) counters_.count_eviction();
     gemm_charged(A, B, C, accumulate, hit, /*tracked=*/true);
   }
 
-  /// Identity of the resident right operand (0 = none / unknown).
-  std::uint64_t resident_key() const { return resident_key_; }
+  /// Identity of the most-recently-used resident operand (0 = none).
+  std::uint64_t resident_key() const { return cache_.mru(); }
+
+  /// The unit's resident set (LRU -> MRU order); the scheduler mirrors
+  /// this to predict hits without touching the worker thread.
+  const TileCache& tile_cache() const { return cache_; }
+
+  /// Configured residency capacity c.
+  std::size_t cache_capacity() const { return cache_.capacity(); }
+
+  /// Drop every resident tile (no eviction is counted: this is an explicit
+  /// invalidation, not capacity pressure). PoolExecutor re-anchors with
+  /// this when a failed task leaves the declared chain unfinished, so the
+  /// scheduler's prediction can never drift from the unit's state.
+  void evict_all() { cache_.clear(); }
 
   static constexpr std::uint64_t kNoResident = 0;
 
@@ -137,7 +220,7 @@ class Device {
   void reset() {
     counters_.reset();
     trace_.clear();
-    resident_key_ = kNoResident;
+    cache_.clear();
   }
 
   /// Charge `ops` unit-cost RAM operations (the algorithms' CPU work).
@@ -215,8 +298,8 @@ class Device {
 
   Config cfg_;
   Engine engine_;
+  TileCache cache_;
   std::size_t s_ = 0;
-  std::uint64_t resident_key_ = kNoResident;
   Counters counters_;
   Trace trace_;
   bool tracing_ = false;

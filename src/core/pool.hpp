@@ -124,14 +124,17 @@ class DevicePool {
 /// executor amortizes thread startup across an entire Mlp forward, a batch
 /// of matmuls, or a recursion tree.
 ///
-/// `submit_affine` implements tile-affinity scheduling: a task declares
-/// the resident-operand key its first tensor call reuses (`enter_key`)
-/// and the key its last call leaves resident (`exit_key`). The dealer
-/// tracks, per lane, the key the queued work will leave resident, and
-/// charges a task `cost - l` on a lane predicted to already hold its
-/// entry tile — so work chasing a hot B tile lands where the tile is and
-/// the per-tile load latency is genuinely skipped (Device::gemm_resident
-/// elides the charge and counts the hit).
+/// `submit_affine` implements chain-aware tile-affinity scheduling: a
+/// task declares its *tile chain* — the ordered resident-operand keys its
+/// tensor calls will touch. The dealer keeps, per lane, a mirror of the
+/// unit's TileCache advanced through everything already queued, replays
+/// the candidate chain against each mirror to count predicted hits, and
+/// charges the task `cost - hits * l` on each lane — so work lands where
+/// its tiles already live and every predicted saving is genuinely
+/// realized (Device::gemm_resident runs the identical LRU transitions,
+/// elides the charges, and counts the hits). With capacity-1 caches and
+/// single-tile chains this degenerates to the original
+/// (enter_key, exit_key) affinity dealer bit-for-bit.
 template <typename T>
 class PoolExecutor {
  public:
@@ -142,8 +145,11 @@ class PoolExecutor {
   explicit PoolExecutor(DevicePool<T>& pool)
       : pool_(pool),
         latency_(pool.unit(0).latency()),
-        projected_(pool.size()),
-        lane_key_(pool.size()) {
+        projected_(pool.size()) {
+    lane_cache_.reserve(pool.size());
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      lane_cache_.emplace_back(pool.unit(i).cache_capacity());
+    }
     // Seed projections (and resident-tile predictions) from the live unit
     // state so dealing continues the greedy schedule of any work already
     // on the units.
@@ -188,33 +194,44 @@ class PoolExecutor {
     return best;
   }
 
-  /// Tile-affinity dealing. `projected_cost` is the task's full simulated
-  /// tensor time including one load latency for its entry tile;
-  /// `enter_key` identifies the resident operand its first call reuses
-  /// (0 = none) and `exit_key` the one its last call leaves resident. The
-  /// dealer charges the task `cost - l` on lanes predicted to already hold
-  /// the entry tile, then picks the lane with the smallest projected
-  /// completion (ties toward the lowest index) — greedy least-loaded that
-  /// routes work back to its hot tile whenever loads are close. Returns
-  /// the chosen unit index.
+  /// Chain-aware tile-affinity dealing. `projected_cost` is the task's
+  /// full simulated tensor time including one load latency per chain
+  /// entry; `chain` lists, in call order, the resident-operand key of
+  /// every tagged tensor call the task will issue (a 0 entry marks an
+  /// untagged call, which invalidates the predicted set exactly as
+  /// Device::gemm does). Each lane's mirrored cache is advanced through
+  /// the chain to count predicted hits; the task is charged
+  /// `cost - hits * l` there and the lane with the smallest projected
+  /// completion wins (ties toward the lowest index). The winner's mirror
+  /// keeps the replayed state, so later chains see exactly what the unit
+  /// will hold. Returns the chosen unit index.
   std::size_t submit_affine(std::uint64_t projected_cost,
-                            std::uint64_t enter_key, std::uint64_t exit_key,
+                            const std::vector<std::uint64_t>& chain,
                             Task task) {
     std::size_t best = 0;
     std::uint64_t best_done = 0;
+    TileCache best_cache(1);
     for (std::size_t i = 0; i < projected_.size(); ++i) {
-      std::uint64_t eff = projected_cost;
-      if (enter_key != 0 && lane_key_[i] == enter_key) {
-        eff -= std::min(latency_, eff);
+      TileCache sim = lane_cache_[i];
+      std::uint64_t hits = 0;
+      for (const std::uint64_t key : chain) {
+        if (key == 0) {
+          sim.clear();
+        } else if (sim.touch(key)) {
+          ++hits;
+        }
       }
+      std::uint64_t eff = projected_cost;
+      eff -= std::min(hits * latency_, eff);
       const std::uint64_t done = projected_[i] + eff;
       if (i == 0 || done < best_done) {
         best = i;
         best_done = done;
+        best_cache = std::move(sim);
       }
     }
     projected_[best] = best_done;
-    lane_key_[best] = exit_key;
+    lane_cache_[best] = std::move(best_cache);
     enqueue(best, std::move(task));
     return best;
   }
@@ -222,8 +239,20 @@ class PoolExecutor {
   /// Enqueue on a specific unit's lane (for schedules computed elsewhere).
   void submit_to(std::size_t unit, std::uint64_t projected_cost, Task task) {
     projected_.at(unit) += projected_cost;
-    lane_key_[unit] = 0;  // untagged work displaces the resident tile
+    // Untagged work invalidates the unit's whole resident set.
+    lane_cache_[unit].clear();
     enqueue(unit, std::move(task));
+  }
+
+  /// Drop every resident tile on every unit *and* every prediction
+  /// mirror. Callable only while the executor is quiescent (before the
+  /// first submit or after a join), when the submitting thread may touch
+  /// the units safely.
+  void evict_all() {
+    for (std::size_t i = 0; i < pool_.size(); ++i) {
+      pool_.unit(i).evict_all();
+      lane_cache_[i].clear();
+    }
   }
 
   /// Barrier: wait until every queue has drained and every worker is idle,
@@ -242,7 +271,14 @@ class PoolExecutor {
       std::lock_guard<std::mutex> lock(error_mu_);
       error = std::exchange(first_error_, nullptr);
     }
-    if (error) std::rethrow_exception(error);
+    if (error) {
+      // A failed task abandoned its declared chain mid-flight, so the
+      // residency the dealer promised later tasks never materialized.
+      // Re-anchor both sides at the empty set (Device::evict_all) so the
+      // prediction cannot drift from unit state on the recovery path.
+      evict_all();
+      std::rethrow_exception(error);
+    }
   }
 
  private:
@@ -265,13 +301,15 @@ class PoolExecutor {
     lane.cv.notify_one();
   }
 
-  /// Re-anchor the submit-side predictions on the units' actual state.
-  /// Safe whenever all workers are idle (construction and join): the
-  /// drained workers' writes happen-before the idle wait returned.
+  /// Re-anchor the submit-side predictions on the units' actual state:
+  /// projections from the live counters, prediction mirrors as copies of
+  /// the live tile caches. Safe whenever all workers are idle
+  /// (construction and join): the drained workers' writes happen-before
+  /// the idle wait returned.
   void reseed() {
     for (std::size_t i = 0; i < pool_.size(); ++i) {
       projected_[i] = pool_.unit(i).counters().tensor_time;
-      lane_key_[i] = pool_.unit(i).resident_key();
+      lane_cache_[i] = pool_.unit(i).tile_cache();
     }
   }
 
@@ -314,7 +352,7 @@ class PoolExecutor {
   DevicePool<T>& pool_;
   std::uint64_t latency_;                 ///< the units' load latency l
   std::vector<std::uint64_t> projected_;  ///< submit-thread-only state
-  std::vector<std::uint64_t> lane_key_;   ///< predicted resident tile/lane
+  std::vector<TileCache> lane_cache_;     ///< predicted resident set/lane
   std::vector<std::unique_ptr<Lane>> lanes_;
   std::mutex error_mu_;
   std::exception_ptr first_error_;

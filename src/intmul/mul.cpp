@@ -3,6 +3,8 @@
 #include <stdexcept>
 
 #include "linalg/dense.hpp"
+#include "linalg/toeplitz.hpp"
+#include "util/karatsuba_plan.hpp"
 
 namespace tcu::intmul {
 
@@ -45,75 +47,32 @@ BigInt mul_schoolbook_ram(const BigInt& a, const BigInt& b,
 BigInt mul_schoolbook_tcu(Device<std::int64_t>& dev, const BigInt& a,
                           const BigInt& b) {
   if (a.is_zero() || b.is_zero()) return {};
-  const std::size_t s = dev.tile_dim();
-  // Pad both operands to a common limb count n', a multiple of s.
-  const std::size_t raw = std::max(a.limb_count(), b.limb_count());
-  const std::size_t np = ((raw + s - 1) / s) * s;
-
-  // A': every length-s window of the zero-padded limb sequence.
-  Matrix<std::int64_t> ap(np + s - 1, s, 0);
-  for (std::size_t i = 0; i < ap.rows(); ++i) {
-    for (std::size_t t = 0; t < s; ++t) {
-      const std::int64_t u = static_cast<std::int64_t>(i) -
-                             static_cast<std::int64_t>(s) + 1 +
-                             static_cast<std::int64_t>(t);
-      if (u >= 0 && u < static_cast<std::int64_t>(a.limb_count())) {
-        ap(i, t) = a.limbs()[static_cast<std::size_t>(u)];
-      }
-    }
-  }
-  // B': limbs column-major, reversed within each column.
-  Matrix<std::int64_t> bp(s, np / s, 0);
-  for (std::size_t t = 0; t < s; ++t) {
-    for (std::size_t j = 0; j < np / s; ++j) {
-      const std::size_t v = j * s + (s - 1 - t);
-      if (v < b.limb_count()) bp(t, j) = b.limbs()[v];
-    }
-  }
-  dev.charge_cpu(ap.rows() * s + s * (np / s));
-
-  Matrix<std::int64_t> cp =
-      linalg::matmul_tcu(dev, ap.view(), bp.view());
-
-  // Coefficient h of the product = sum of C' over i = h - j*s.
-  std::vector<std::int64_t> coeffs(2 * np - 1, 0);
-  for (std::size_t j = 0; j < cp.cols(); ++j) {
-    for (std::size_t i = 0; i < cp.rows(); ++i) {
-      const std::size_t h = i + j * s;
-      if (h < coeffs.size()) coeffs[h] += cp(i, j);
-    }
-  }
-  dev.charge_cpu(cp.rows() * cp.cols() + coeffs.size());
-  return carry_evaluate(coeffs);
+  // The banded-Toeplitz kernel is shared with poly/: limbs in, the full
+  // coefficient convolution out, then the carry pass evaluates at 2^16.
+  const std::vector<std::int64_t> av(a.limbs().begin(), a.limbs().end());
+  const std::vector<std::int64_t> bv(b.limbs().begin(), b.limbs().end());
+  return carry_evaluate(linalg::conv_toeplitz_tcu(dev, av, bv));
 }
 
 namespace {
 
-template <typename MulBase>
-BigInt karatsuba_rec(const BigInt& a, const BigInt& b,
-                     std::size_t threshold_limbs, Counters& counters,
-                     const MulBase& base) {
-  const std::size_t n = std::max(a.limb_count(), b.limb_count());
-  if (n <= threshold_limbs || n < 2) return base(a, b);
-  const std::size_t half = (n + 1) / 2;
-
-  const BigInt a0 = a.low_limbs(half), a1 = a.high_limbs(half);
-  const BigInt b0 = b.low_limbs(half), b1 = b.high_limbs(half);
-  counters.charge_cpu(2 * n);
-
-  BigInt z0 = karatsuba_rec(a0, b0, threshold_limbs, counters, base);
-  BigInt z2 = karatsuba_rec(a1, b1, threshold_limbs, counters, base);
-  const BigInt sa = a0 + a1;
-  const BigInt sb = b0 + b1;
-  counters.charge_cpu(2 * half);
-  BigInt z1 = karatsuba_rec(sa, sb, threshold_limbs, counters, base);
-  z1 = z1 - z0 - z2;
-  counters.charge_cpu(4 * half);
-
-  BigInt out = z2.shifted_limbs(2 * half) + z1.shifted_limbs(half) + z0;
-  counters.charge_cpu(4 * half);
-  return out;
-}
+/// Karatsuba over limb vectors for the shared serial recursion and the
+/// depth-limited unroll engine (util/karatsuba_plan.hpp).
+struct BigIntKaratsubaOps {
+  using Value = BigInt;
+  static std::size_t size(const BigInt& v) { return v.limb_count(); }
+  static BigInt low(const BigInt& v, std::size_t half) {
+    return v.low_limbs(half);
+  }
+  static BigInt high(const BigInt& v, std::size_t half) {
+    return v.high_limbs(half);
+  }
+  static BigInt add(const BigInt& x, const BigInt& y) { return x + y; }
+  static BigInt sub(const BigInt& x, const BigInt& y) { return x - y; }
+  static BigInt shift(const BigInt& v, std::size_t count) {
+    return v.shifted_limbs(count);
+  }
+};
 
 }  // namespace
 
@@ -122,19 +81,51 @@ BigInt mul_karatsuba_ram(const BigInt& a, const BigInt& b, Counters& counters,
   if (threshold_limbs < 1) {
     throw std::invalid_argument("mul_karatsuba_ram: threshold must be >= 1");
   }
-  return karatsuba_rec(a, b, threshold_limbs, counters,
-                       [&counters](const BigInt& x, const BigInt& y) {
-                         return mul_schoolbook_ram(x, y, counters);
-                       });
+  return util::karatsuba_serial<BigIntKaratsubaOps>(
+      a, b, threshold_limbs, counters,
+      [&counters](const BigInt& x, const BigInt& y) {
+        return mul_schoolbook_ram(x, y, counters);
+      });
 }
 
 BigInt mul_karatsuba_tcu(Device<std::int64_t>& dev, const BigInt& a,
                          const BigInt& b, std::size_t threshold_limbs) {
   if (threshold_limbs == 0) threshold_limbs = 4 * dev.tile_dim();
-  return karatsuba_rec(a, b, threshold_limbs, dev.counters(),
-                       [&dev](const BigInt& x, const BigInt& y) {
-                         return mul_schoolbook_tcu(dev, x, y);
-                       });
+  return util::karatsuba_serial<BigIntKaratsubaOps>(
+      a, b, threshold_limbs, dev.counters(),
+      [&dev](const BigInt& x, const BigInt& y) {
+        return mul_schoolbook_tcu(dev, x, y);
+      });
+}
+
+BigInt mul_karatsuba_tcu_pool(PoolExecutor<std::int64_t>& exec,
+                              const BigInt& a, const BigInt& b,
+                              std::size_t threshold_limbs) {
+  DevicePool<std::int64_t>& pool = exec.pool();
+  if (threshold_limbs == 0) {
+    threshold_limbs = 4 * pool.unit(0).tile_dim();
+  }
+  const std::size_t n = std::max(a.limb_count(), b.limb_count());
+  const std::size_t depth =
+      util::karatsuba_unroll_depth(n, threshold_limbs, exec.size());
+  util::KaratsubaPlan<BigIntKaratsubaOps> plan;
+  auto root = util::karatsuba_plan<BigIntKaratsubaOps>(
+      pool, plan, a, b, threshold_limbs, depth);
+  return util::karatsuba_run_plan<BigIntKaratsubaOps>(
+      exec, plan, root,
+      [threshold_limbs](Device<std::int64_t>& unit, const BigInt& x,
+                        const BigInt& y) {
+        return util::karatsuba_serial<BigIntKaratsubaOps>(
+            x, y, threshold_limbs, unit.counters(),
+            [&unit](const BigInt& u, const BigInt& v) {
+              return mul_schoolbook_tcu(unit, u, v);
+            });
+      },
+      [&pool, threshold_limbs](const BigInt& x, const BigInt& y) {
+        return util::karatsuba_toeplitz_cost(
+            pool.unit(0), std::max(x.limb_count(), y.limb_count()),
+            threshold_limbs);
+      });
 }
 
 }  // namespace tcu::intmul

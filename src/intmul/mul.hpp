@@ -29,6 +29,7 @@
 #include <cstdint>
 
 #include "core/device.hpp"
+#include "core/pool.hpp"
 #include "intmul/bigint.hpp"
 
 namespace tcu::intmul {
@@ -51,5 +52,16 @@ BigInt mul_karatsuba_ram(const BigInt& a, const BigInt& b, Counters& counters,
 /// kappa sqrt(m)-bit base case with kappa' = kappa/4 = 16-bit limbs.
 BigInt mul_karatsuba_tcu(Device<std::int64_t>& dev, const BigInt& a,
                          const BigInt& b, std::size_t threshold_limbs = 0);
+
+/// Pool-parallel Theorem 10: the top levels of Karatsuba's call tree are
+/// unrolled on the submitting thread (linear work on the shared CPU,
+/// charged as in the serial recursion) and the independent subtree
+/// products are dealt across the executor's units, each running the
+/// serial recursion with the Theorem 9 base case. Product and aggregate
+/// counters are bit-identical to `mul_karatsuba_tcu` on one device for
+/// every unit count.
+BigInt mul_karatsuba_tcu_pool(PoolExecutor<std::int64_t>& exec,
+                              const BigInt& a, const BigInt& b,
+                              std::size_t threshold_limbs = 0);
 
 }  // namespace tcu::intmul

@@ -111,15 +111,18 @@ std::vector<Matrix<T>> matmul_batch_shared_b(
 
 /// Multi-unit batched product with a throwaway executor per call. Tile
 /// affinity still applies across calls — the units remember their
-/// resident tiles — but thread startup is re-paid; prefer the
-/// PoolExecutor overload in serving loops.
+/// resident sets — but thread startup is re-paid; prefer the
+/// PoolExecutor overload in serving loops. A deep shared B (chain k > 1)
+/// can pass `{.affinity = true, .split_chains = true}` to split the
+/// chains at tile granularity when the cache capacity is below k.
 template <typename T>
 std::vector<Matrix<T>> matmul_batch_shared_b(
     DevicePool<T>& pool, const std::vector<Matrix<T>>& batch,
-    std::type_identity_t<ConstMatrixView<T>> B) {
+    std::type_identity_t<ConstMatrixView<T>> B,
+    PoolMatmulOptions opts = {.affinity = true}) {
   if (batch.empty()) return {};
   PoolExecutor<T> exec(pool);
-  return matmul_batch_shared_b(exec, batch, B);
+  return matmul_batch_shared_b(exec, batch, B, opts);
 }
 
 }  // namespace tcu::linalg

@@ -28,8 +28,10 @@
 //     repeated products against the same weights (batches, nn forwards)
 //     cheaper than PR 1's reload-every-call schedule.
 
+#include <algorithm>
 #include <cstdint>
 #include <type_traits>
+#include <vector>
 
 #include "core/pool.hpp"
 #include "linalg/dense.hpp"
@@ -38,8 +40,9 @@ namespace tcu::linalg {
 
 struct PoolMatmulOptions {
   /// Tag B tiles with resident-operand keys (their storage address) and
-  /// deal strips with tile affinity. Off by default: untagged dealing is
-  /// PR 1's pure least-loaded schedule.
+  /// deal strips with tile affinity: every strip declares its full chain
+  /// of B-tile keys and the dealer scores lanes by predicted LRU hits.
+  /// Off by default: untagged dealing is the pure least-loaded schedule.
   ///
   /// The key is an *identity token*, not a content hash: a resident hit
   /// is only meaningful when the same storage still holds the same tile.
@@ -49,6 +52,20 @@ struct PoolMatmulOptions {
   /// affinity calls would inherit stale residency and undercount load
   /// latency; use untagged calls (or fresh pools) for such churn.
   bool affinity = false;
+
+  /// Split each strip's chain at tile granularity: one task per B tile,
+  /// each computing a partial product that the shared CPU combines after
+  /// the join. This lets a deep B (chain k > 1) both parallelize across
+  /// lanes and fit each lane's share of the tiles in a cache with c < k,
+  /// so repeated products pay each tile's load once per owning lane
+  /// instead of once per strip visit. Opt-in because the partial-sum
+  /// combine reassociates the floating-point accumulation: outputs are
+  /// run- and p-deterministic (and exact for integral T), but may differ
+  /// from the fused chain by rounding. The partials hold k_tiles copies
+  /// of C until the join — size the cache (or keep fused chains) for
+  /// very deep B instead. Requires `affinity`; ignored for single-tile
+  /// chains.
+  bool split_chains = false;
 };
 
 /// True iff A * B can run on the pool fast path without padding. The pool
@@ -104,13 +121,97 @@ void ragged_strip(Device<T>& unit, ConstMatrixView<T> A, ConstMatrixView<T> B,
       });
 }
 
+/// Tile-granular schedule for deep chains (split_chains): one task per
+/// (B tile, output strip) pair, submitted tile-major and each declaring
+/// its single-tile chain, so the dealer routes every visit to the lane
+/// whose cache holds (or will hold) that tile. Each task writes its own
+/// padded partial product; the shared CPU combines partials in ascending
+/// tile order after the join — a deterministic, p-independent summation
+/// (bit-identical to running the same mode on one unit; exact for
+/// integral T).
+template <typename T>
+void matmul_pool_tile_split(PoolExecutor<T>& exec, ConstMatrixView<T> A,
+                            ConstMatrixView<T> B, MatrixView<T> C) {
+  DevicePool<T>& pool = exec.pool();
+  const Device<T>& unit0 = pool.unit(0);
+  const std::size_t s = unit0.tile_dim();
+  const std::size_t p = A.rows, q = A.cols, r = B.cols;
+  const std::size_t k_tiles = (q + s - 1) / s;
+  const std::size_t strips = (r + s - 1) / s;
+  const std::uint64_t tile_cost = strip_tile_cost(unit0, p, /*affinity=*/true);
+
+  // All partials are allocated up front so the tasks' captured pointers
+  // stay stable; entry (kb/s)*strips + (jb/s) holds tile (kb, jb)'s
+  // padded p x s contribution to strip jb.
+  std::vector<Matrix<T>> partials;
+  partials.reserve(k_tiles * strips);
+  for (std::size_t i = 0; i < k_tiles * strips; ++i) {
+    partials.emplace_back(p, s, T{});
+  }
+
+  std::size_t ti = 0;
+  for (std::size_t kb = 0; kb < q; kb += s) {
+    for (std::size_t jb = 0; jb < r; jb += s, ++ti) {
+      Matrix<T>* out = &partials[ti];
+      const std::uint64_t key = reinterpret_cast<std::uintptr_t>(&B(kb, jb));
+      auto task = [A, B, out, kb, jb, s, key](Device<T>& unit) {
+        const std::size_t kw = std::min(s, A.cols - kb);
+        const std::size_t jw = std::min(s, B.cols - jb);
+        if (kw == s && jw == s) {
+          unit.gemm_resident(key, A.subview(0, kb, A.rows, s),
+                             B.subview(kb, jb, s, s), out->view(),
+                             /*accumulate=*/false);
+          return;
+        }
+        // Ragged edge tile: zero-pad operands into task-local scratch,
+        // charged exactly like the fused ragged path's per-tile work.
+        Matrix<T> b_tile(s, s, T{});
+        for (std::size_t i = 0; i < kw; ++i) {
+          for (std::size_t j = 0; j < jw; ++j) b_tile(i, j) = B(kb + i, jb + j);
+        }
+        Matrix<T> a_strip(A.rows, s, T{});
+        for (std::size_t i = 0; i < A.rows; ++i) {
+          for (std::size_t k = 0; k < kw; ++k) a_strip(i, k) = A(i, kb + k);
+        }
+        unit.charge_cpu(kw * jw + A.rows * kw);
+        unit.gemm_resident(key, a_strip.view().as_const(),
+                           b_tile.view().as_const(), out->view(),
+                           /*accumulate=*/false);
+      };
+      exec.submit_affine(tile_cost, {key}, std::move(task));
+    }
+  }
+  exec.join();
+
+  // Shared-CPU combine, ascending tile order per strip: the summation
+  // order depends only on the tiling, never on the dealing.
+  for (std::size_t jb = 0; jb < r; jb += s) {
+    const std::size_t jw = std::min(s, r - jb);
+    for (std::size_t kb = 0; kb < q; kb += s) {
+      const Matrix<T>& part = partials[(kb / s) * strips + (jb / s)];
+      for (std::size_t i = 0; i < p; ++i) {
+        for (std::size_t j = 0; j < jw; ++j) {
+          if (kb == 0) {
+            C(i, jb + j) = part(i, j);
+          } else {
+            C(i, jb + j) += part(i, j);
+          }
+        }
+      }
+      pool.charge_cpu(p * jw);
+    }
+  }
+}
+
 }  // namespace detail
 
 /// C = A * B dealt across the executor's units, one task per output column
 /// strip; any shapes (the final partial strip is padded in worker-local
 /// scratch). The caller-owned executor is reused — submit and join only,
 /// no thread churn — and the barrier at the end leaves the executor ready
-/// for the next round.
+/// for the next round. With affinity every strip declares its B-tile
+/// chain; with `split_chains` deep chains are additionally split into
+/// per-tile tasks with a CPU combine (see PoolMatmulOptions).
 template <typename T>
 void matmul_tcu_pool_into(PoolExecutor<T>& exec,
                           std::type_identity_t<ConstMatrixView<T>> A,
@@ -133,13 +234,20 @@ void matmul_tcu_pool_into(PoolExecutor<T>& exec,
   const std::uint64_t k_tiles = (q + s - 1) / s;
   const std::uint64_t strip_cost = k_tiles * tile_cost;
 
-  const bool tag = opts.affinity && k_tiles > 0;
+  if (opts.affinity && opts.split_chains && k_tiles > 1) {
+    detail::matmul_pool_tile_split(exec, A, B, C);
+    return;
+  }
+
   for (std::size_t jb = 0; jb < r; jb += s) {
-    // Entry/exit resident keys: the first and last B tile of the chain.
-    const std::uint64_t enter_key =
-        tag ? reinterpret_cast<std::uintptr_t>(&B(0, jb)) : 0;
-    const std::uint64_t exit_key =
-        tag ? reinterpret_cast<std::uintptr_t>(&B((k_tiles - 1) * s, jb)) : 0;
+    // The strip's full tile chain: one key per B tile, in call order.
+    std::vector<std::uint64_t> chain;
+    if (opts.affinity) {
+      chain.reserve(k_tiles);
+      for (std::size_t kb = 0; kb < q; kb += s) {
+        chain.push_back(reinterpret_cast<std::uintptr_t>(&B(kb, jb)));
+      }
+    }
     auto task = [A, B, C, jb, s, ragged, affinity = opts.affinity](
                     Device<T>& unit) {
       if (ragged) {
@@ -160,7 +268,7 @@ void matmul_tcu_pool_into(PoolExecutor<T>& exec,
       }
     };
     if (opts.affinity) {
-      exec.submit_affine(strip_cost, enter_key, exit_key, std::move(task));
+      exec.submit_affine(strip_cost, chain, std::move(task));
     } else {
       exec.submit(strip_cost, std::move(task));
     }

@@ -1,0 +1,79 @@
+#pragma once
+// Banded-Toeplitz coefficient convolution on the tensor unit — the §4.7
+// kernel behind Theorem 9, generalized over the coefficient type.
+//
+// The schoolbook product of two coefficient sequences is one matrix
+// product. With s = sqrt(m) and both sequences zero-padded to a common
+// length n' (a multiple of s):
+//
+//   * A' ((n'+s-1) x s) holds every length-s window of the zero-padded
+//     sequence a: A'[i][t] = a_{i-s+1+t};
+//   * B' (s x n'/s) holds b's entries column-major, reversed within each
+//     column: B'[t][j] = b_{js+s-1-t};
+//   * C' = A' B' accumulates exactly the products a_u b_v with
+//     u + v = i + j s, so coefficient h of the convolution is the sum of
+//     C' along the anti-diagonal i = h - j s.
+//
+// `tcu::intmul` instantiates this with int64 limbs (followed by a carry
+// pass); `tcu::poly`'s Karatsuba base case instantiates it with double
+// coefficients directly. Cost: O(n'^2/sqrt(m) + (n'/m) l).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/device.hpp"
+#include "core/matrix.hpp"
+#include "linalg/dense.hpp"
+
+namespace tcu::linalg {
+
+/// Full linear convolution of `a` and `b` (lengths n'a, n'b >= 1) via one
+/// banded-Toeplitz tensor product. Returns 2*n' - 1 coefficients where n'
+/// is the common padded length — the tail beyond a.size()+b.size()-1 is
+/// exact zeros from the padding.
+template <typename T>
+std::vector<T> conv_toeplitz_tcu(Device<T>& dev, const std::vector<T>& a,
+                                 const std::vector<T>& b) {
+  const std::size_t s = dev.tile_dim();
+  // Pad both operands to a common length n', a multiple of s.
+  const std::size_t raw = std::max<std::size_t>(
+      {a.size(), b.size(), std::size_t{1}});
+  const std::size_t np = ((raw + s - 1) / s) * s;
+
+  // A': every length-s window of the zero-padded coefficient sequence.
+  Matrix<T> ap(np + s - 1, s, T{});
+  for (std::size_t i = 0; i < ap.rows(); ++i) {
+    for (std::size_t t = 0; t < s; ++t) {
+      const std::int64_t u = static_cast<std::int64_t>(i) -
+                             static_cast<std::int64_t>(s) + 1 +
+                             static_cast<std::int64_t>(t);
+      if (u >= 0 && u < static_cast<std::int64_t>(a.size())) {
+        ap(i, t) = a[static_cast<std::size_t>(u)];
+      }
+    }
+  }
+  // B': coefficients column-major, reversed within each column.
+  Matrix<T> bp(s, np / s, T{});
+  for (std::size_t t = 0; t < s; ++t) {
+    for (std::size_t j = 0; j < np / s; ++j) {
+      const std::size_t v = j * s + (s - 1 - t);
+      if (v < b.size()) bp(t, j) = b[v];
+    }
+  }
+  dev.charge_cpu(ap.rows() * s + s * (np / s));
+
+  Matrix<T> cp = matmul_tcu(dev, ap.view(), bp.view());
+
+  // Coefficient h of the product = sum of C' over i = h - j*s.
+  std::vector<T> coeffs(2 * np - 1, T{});
+  for (std::size_t j = 0; j < cp.cols(); ++j) {
+    for (std::size_t i = 0; i < cp.rows(); ++i) {
+      const std::size_t h = i + j * s;
+      if (h < coeffs.size()) coeffs[h] += cp(i, j);
+    }
+  }
+  dev.charge_cpu(cp.rows() * cp.cols() + coeffs.size());
+  return coeffs;
+}
+
+}  // namespace tcu::linalg

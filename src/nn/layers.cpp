@@ -52,12 +52,14 @@ Matrix<double> DenseLayer::forward(DevicePool<double>& pool,
 
 Matrix<double> DenseLayer::forward(PoolExecutor<double>& exec,
                                    ConstMatrixView<double> activations,
-                                   bool relu) const {
+                                   bool relu,
+                                   const linalg::PoolMatmulOptions& opts)
+    const {
   if (activations.cols != weights_.rows()) {
     throw std::invalid_argument("DenseLayer: activation width mismatch");
   }
-  Matrix<double> out = linalg::matmul_tcu_pool(
-      exec, activations, weights_.view(), {.affinity = true});
+  Matrix<double> out =
+      linalg::matmul_tcu_pool(exec, activations, weights_.view(), opts);
   apply_epilogue(out, bias_, relu);
   exec.pool().charge_cpu(out.rows() * out.cols() * (relu ? 2 : 1));
   return out;
@@ -91,13 +93,14 @@ Matrix<double> Mlp::forward(DevicePool<double>& pool,
 }
 
 Matrix<double> Mlp::forward(PoolExecutor<double>& exec,
-                            ConstMatrixView<double> batch) const {
+                            ConstMatrixView<double> batch,
+                            const linalg::PoolMatmulOptions& opts) const {
   if (layers_.empty()) throw std::invalid_argument("Mlp: no layers");
   Matrix<double> cur = materialize(batch);
   exec.pool().charge_cpu(batch.rows * batch.cols);
   for (std::size_t l = 0; l < layers_.size(); ++l) {
     const bool relu = l + 1 < layers_.size();
-    cur = layers_[l].forward(exec, cur.view(), relu);
+    cur = layers_[l].forward(exec, cur.view(), relu, opts);
   }
   return cur;
 }

@@ -21,6 +21,7 @@
 #include "core/device.hpp"
 #include "core/matrix.hpp"
 #include "core/pool.hpp"
+#include "linalg/parallel.hpp"
 
 namespace tcu::nn {
 
@@ -47,12 +48,18 @@ class DenseLayer {
                          bool relu = true) const;
 
   /// Multi-unit forward over a caller-owned persistent executor: no
-  /// thread churn, and the weight tiles are dealt with affinity, so
-  /// repeated forwards of the same layer skip the weight re-load latency
-  /// on tiles still resident from the previous batch.
+  /// thread churn, and every weight strip declares its full B-tile chain,
+  /// so repeated forwards of the same layer skip the weight re-load
+  /// latency on every tile still resident from the previous batch (a
+  /// chain of k tiles stays fully hot on its lane once the units'
+  /// `resident_tiles` capacity is >= k). `opts` tunes the dealing — e.g.
+  /// `{.affinity = true, .split_chains = true}` splits deep chains at
+  /// tile granularity (CPU combine of partials) when capacity < k.
   Matrix<double> forward(PoolExecutor<double>& exec,
                          ConstMatrixView<double> activations,
-                         bool relu = true) const;
+                         bool relu = true,
+                         const linalg::PoolMatmulOptions& opts = {
+                             .affinity = true}) const;
 
  private:
   Matrix<double> weights_;
@@ -78,9 +85,14 @@ class Mlp {
 
   /// Forward pass over a caller-owned persistent executor: an inference
   /// server keeps one executor alive across requests and pays thread
-  /// startup never and weight-tile load latency only on first touch.
+  /// startup never and weight-tile load latency only on first touch —
+  /// with enough `resident_tiles` capacity, every layer's whole chain of
+  /// weight tiles stays resident on its lane across requests. `opts` is
+  /// forwarded to every layer's strip dealing (see DenseLayer::forward).
   Matrix<double> forward(PoolExecutor<double>& exec,
-                         ConstMatrixView<double> batch) const;
+                         ConstMatrixView<double> batch,
+                         const linalg::PoolMatmulOptions& opts = {
+                             .affinity = true}) const;
 
  private:
   std::vector<DenseLayer> layers_;

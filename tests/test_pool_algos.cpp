@@ -15,7 +15,9 @@
 #include "dft/dft.hpp"
 #include "graph/apsd.hpp"
 #include "graph/closure.hpp"
+#include "intmul/mul.hpp"
 #include "linalg/strassen.hpp"
+#include "poly/poly_mul.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -258,6 +260,90 @@ TEST(PoolAlgos, DftPoolWeakModeMatchesSerialExactly) {
   EXPECT_EQ(pool_batch, serial_batch);
   expect_counters_eq(pool.aggregate(), dev.counters());
   EXPECT_EQ(pool.aggregate().tensor_calls, dev.counters().tensor_calls);
+}
+
+// Karatsuba's call tree is Strassen-shaped: the unrolled top levels run
+// (and charge) on the shared CPU, the recorded subtree products are dealt
+// across units, and the product plus the aggregate counters must be
+// bit-identical to the serial Theorem 10 recursion at every unit count.
+TEST(PoolAlgos, KaratsubaIntmulPoolMatchesSerialBitExactly) {
+  tcu::util::Xoshiro256 rng(800);
+  const auto a = tcu::intmul::BigInt::random_bits(4096, rng);
+  const auto b = tcu::intmul::BigInt::random_bits(3500, rng);
+
+  Device<std::int64_t> dev({.m = 64, .latency = 9});
+  const auto expect = tcu::intmul::mul_karatsuba_tcu(dev, a, b);
+
+  for (std::size_t units : {1u, 2u, 4u}) {
+    DevicePool<std::int64_t> pool(units, {.m = 64, .latency = 9});
+    PoolExecutor<std::int64_t> exec(pool);
+    const auto got = tcu::intmul::mul_karatsuba_tcu_pool(exec, a, b);
+    EXPECT_EQ(got, expect) << "units=" << units;
+    expect_counters_eq(pool.aggregate(), dev.counters());
+    if (units > 1) {
+      // The subtrees really spread out.
+      EXPECT_GT(pool.unit(1).counters().tensor_calls, 0u);
+    }
+  }
+}
+
+TEST(PoolAlgos, KaratsubaPolyPoolMatchesSerialBitExactly) {
+  tcu::util::Xoshiro256 rng(810);
+  // Integer-valued coefficients: Karatsuba's reassociation stays exact,
+  // so the TCU routes can be compared bit-for-bit and against RAM.
+  std::vector<double> a(300), b(257);
+  for (auto& v : a) v = static_cast<double>(rng.uniform_int(-9, 9));
+  for (auto& v : b) v = static_cast<double>(rng.uniform_int(-9, 9));
+
+  Counters ram_counters;
+  const auto oracle = tcu::poly::multiply_ram(a, b, ram_counters);
+
+  Device<double> dev({.m = 16, .latency = 5});
+  const auto expect = tcu::poly::multiply_karatsuba_tcu(dev, a, b);
+  EXPECT_EQ(expect, oracle);  // exact: integer-valued inputs
+
+  for (std::size_t units : {1u, 3u}) {
+    DevicePool<double> pool(units, {.m = 16, .latency = 5});
+    PoolExecutor<double> exec(pool);
+    const auto got = tcu::poly::multiply_karatsuba_tcu_pool(exec, a, b);
+    EXPECT_EQ(got, expect) << "units=" << units;
+    expect_counters_eq(pool.aggregate(), dev.counters());
+  }
+
+  // The RAM Karatsuba agrees too (same reassociation, exact values).
+  Counters kara_ram;
+  EXPECT_EQ(tcu::poly::multiply_karatsuba_ram(a, b, kara_ram), oracle);
+  EXPECT_GT(kara_ram.cpu_ops, 0u);
+}
+
+TEST(PoolAlgos, KaratsubaPoolReusedExecutorAcrossProducts) {
+  tcu::util::Xoshiro256 rng(820);
+  const auto a = tcu::intmul::BigInt::random_bits(2048, rng);
+  const auto b = tcu::intmul::BigInt::random_bits(2048, rng);
+  const auto c = tcu::intmul::BigInt::random_bits(1024, rng);
+
+  DevicePool<std::int64_t> pool_reused(2, {.m = 64, .latency = 3});
+  DevicePool<std::int64_t> pool_fresh(2, {.m = 64, .latency = 3});
+  tcu::intmul::BigInt r1, r2, f1, f2;
+  {
+    PoolExecutor<std::int64_t> exec(pool_reused);
+    r1 = tcu::intmul::mul_karatsuba_tcu_pool(exec, a, b);
+    r2 = tcu::intmul::mul_karatsuba_tcu_pool(exec, r1, c);
+  }
+  {
+    PoolExecutor<std::int64_t> exec1(pool_fresh);
+    f1 = tcu::intmul::mul_karatsuba_tcu_pool(exec1, a, b);
+  }
+  {
+    PoolExecutor<std::int64_t> exec2(pool_fresh);
+    f2 = tcu::intmul::mul_karatsuba_tcu_pool(exec2, f1, c);
+  }
+  EXPECT_EQ(r1, f1);
+  EXPECT_EQ(r2, f2);
+  for (std::size_t u = 0; u < pool_reused.size(); ++u) {
+    expect_counters_eq(pool_reused.unit(u).counters(),
+                       pool_fresh.unit(u).counters());
+  }
 }
 
 TEST(PoolAlgos, DftPoolInverseRoundTrips) {
