@@ -120,6 +120,22 @@ class TileCache {
   std::vector<std::uint64_t> entries_;  ///< front = LRU, back = MRU
 };
 
+/// Build a symbolic resident-tile key: `tag` namespaces the id space and
+/// lands in bits 63..48, `id` identifies the tile's *content* within it.
+/// The default keys used by the pool matmul are storage addresses;
+/// user-space virtual addresses stay below 2^57 even on 57-bit-VA
+/// systems (x86-64 5-level paging, arm64 LVA), so any tag >= 0x0200
+/// yields keys >= 2^57 that can never collide with an address key — pick
+/// tags in that range (the DFT level tiles use 0xD517, the
+/// Gaussian-elimination panel strips 0x6E47; distinct tags can never
+/// collide with each other). A symbolic key must follow the same
+/// identity contract as an address key: equal keys promise equal tile
+/// content.
+constexpr std::uint64_t make_tile_key(std::uint16_t tag, std::uint64_t id) {
+  return (static_cast<std::uint64_t>(tag) << 48) |
+         (id & ((std::uint64_t{1} << 48) - 1));
+}
+
 template <typename T>
 class Device {
  public:

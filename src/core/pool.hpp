@@ -199,7 +199,11 @@ class PoolExecutor {
   /// entry; `chain` lists, in call order, the resident-operand key of
   /// every tagged tensor call the task will issue (a 0 entry marks an
   /// untagged call, which invalidates the predicted set exactly as
-  /// Device::gemm does). Each lane's mirrored cache is advanced through
+  /// Device::gemm does). Keys are storage addresses for long-lived
+  /// weights, or symbolic identities built with `make_tile_key` for
+  /// operands whose storage is transient or reused (the DFT level tiles,
+  /// Gaussian elimination's per-pivot panel strips) — the two spaces
+  /// cannot collide. Each lane's mirrored cache is advanced through
   /// the chain to count predicted hits; the task is charged
   /// `cost - hits * l` there and the lane with the smallest projected
   /// completion wins (ties toward the lowest index). The winner's mirror

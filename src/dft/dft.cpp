@@ -5,6 +5,8 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "linalg/parallel.hpp"
+
 namespace tcu::dft {
 
 namespace {
@@ -41,6 +43,14 @@ std::size_t choose_factor(std::size_t len, std::size_t s) {
 struct DftCtx {
   CplxDevice* dev = nullptr;
   PoolExecutor<Complex>* exec = nullptr;
+  /// DftOptions::affinity: tag each level's Fourier tile with its
+  /// symbolic content key (make_tile_key(kDftTileTag, n)), so repeated
+  /// levels and transforms keep the tile resident. Off = the historical
+  /// untagged accounting (the Theorem 7 contract pinned by the PR 2
+  /// benches): the serial path pays l once per level — there is no
+  /// needless reload *within* a call to fix — and the pool path re-pays l
+  /// per extra chunk.
+  bool affinity = false;
 
   std::size_t tile_dim() const {
     return dev ? dev->tile_dim() : exec->pool().unit(0).tile_dim();
@@ -54,15 +64,27 @@ struct DftCtx {
     }
   }
 
-  /// C = A * B for a tall A and one resident tile B, row-split over the
-  /// pool's units (barrier at the end: the caller immediately reads C).
-  /// Chunk boundaries are multiples of sqrt(m), so the charged rows — and
-  /// on weak-model units the square-call count — sum to exactly the
-  /// serial call's charges.
-  void gemm(ConstMatrixView<Complex> A, ConstMatrixView<Complex> B,
-            MatrixView<Complex> C) const {
+  /// C = A * B for a tall A and one resident tile B (identity `key`),
+  /// row-split over the pool's units (barrier at the end: the caller
+  /// immediately reads C). Chunk boundaries are multiples of sqrt(m), so
+  /// the charged rows — and on weak-model units the square-call count —
+  /// sum to exactly the serial call's charges. With affinity each chunk
+  /// declares `key` as its chain, so the dealer routes it to a lane
+  /// already holding the level's tile and the load latency is paid once
+  /// per lane instead of once per chunk. This dealer deliberately does
+  /// NOT route through matmul_tcu_pool_into's row_chunks mode: the DFT
+  /// issues raw device calls (sub-tile remainder rows ride the last
+  /// chunk's tall call unpadded), while the Theorem 2 tiling would pad
+  /// them in scratch and charge the extra CPU work — the serial
+  /// counters the pool contract pins would change.
+  void gemm(std::uint64_t key, ConstMatrixView<Complex> A,
+            ConstMatrixView<Complex> B, MatrixView<Complex> C) const {
     if (dev) {
-      dev->gemm(A, B, C);
+      if (affinity) {
+        dev->gemm_resident(key, A, B, C);
+      } else {
+        dev->gemm(A, B, C);
+      }
       return;
     }
     DevicePool<Complex>& pool = exec->pool();
@@ -78,10 +100,19 @@ struct DftCtx {
       // The last chunk also absorbs the sub-tile remainder rows.
       const std::size_t nr =
           (c + 1 == chunks) ? rows - r0 : tile_cnt * s;
-      exec->submit(projected_gemm_cost(unit0, nr),
-                   [A, B, C, r0, nr](Device<Complex>& unit) {
-                     unit.gemm(A.row_block(r0, nr), B, C.row_block(r0, nr));
-                   });
+      if (affinity) {
+        exec->submit_affine(
+            tcu::linalg::detail::strip_tile_cost(unit0, nr, true), {key},
+            [A, B, C, r0, nr, key](Device<Complex>& unit) {
+              unit.gemm_resident(key, A.row_block(r0, nr), B,
+                                 C.row_block(r0, nr));
+            });
+      } else {
+        exec->submit(projected_gemm_cost(unit0, nr),
+                     [A, B, C, r0, nr](Device<Complex>& unit) {
+                       unit.gemm(A.row_block(r0, nr), B, C.row_block(r0, nr));
+                     });
+      }
       r0 += nr;
     }
     exec->join();
@@ -125,7 +156,8 @@ void ct_level(const DftCtx& ctx, MatrixView<Complex> batch, std::size_t n1,
   ctx.charge_cpu(b * len);
 
   Matrix<Complex> transformed(b * n2, s, Complex{});
-  ctx.gemm(gathered.view(), w_tile.view(), transformed.view());
+  ctx.gemm(make_tile_key(kDftTileTag, n1), gathered.view(), w_tile.view(),
+           transformed.view());
 
   // Twiddle + scatter into the next level's contiguous layout:
   // next(r*n1 + k1, j2) = transformed(r*n2 + j2, k1) * w_len^{k1*j2}.
@@ -213,7 +245,8 @@ void dft_batch_rec(const DftCtx& ctx, MatrixView<Complex> batch) {
       for (std::size_t j = 0; j < len; ++j) padded(r, j) = batch(r, j);
     }
     Matrix<Complex> out(b, s, Complex{});
-    ctx.gemm(padded.view(), w_tile.view(), out.view());
+    ctx.gemm(make_tile_key(kDftTileTag, len), padded.view(), w_tile.view(),
+             out.view());
     for (std::size_t r = 0; r < b; ++r) {
       for (std::size_t j = 0; j < len; ++j) batch(r, j) = out(r, j);
     }
@@ -340,20 +373,25 @@ void idft_batch_with_ctx(const DftCtx& ctx, MatrixView<Complex> batch) {
 
 }  // namespace
 
-void dft_batch_tcu(CplxDevice& dev, MatrixView<Complex> batch) {
-  dft_batch_with_ctx(DftCtx{.dev = &dev}, batch);
+void dft_batch_tcu(CplxDevice& dev, MatrixView<Complex> batch,
+                   const DftOptions& opts) {
+  dft_batch_with_ctx(DftCtx{.dev = &dev, .affinity = opts.affinity}, batch);
 }
 
-void idft_batch_tcu(CplxDevice& dev, MatrixView<Complex> batch) {
-  idft_batch_with_ctx(DftCtx{.dev = &dev}, batch);
+void idft_batch_tcu(CplxDevice& dev, MatrixView<Complex> batch,
+                    const DftOptions& opts) {
+  idft_batch_with_ctx(DftCtx{.dev = &dev, .affinity = opts.affinity}, batch);
 }
 
-void dft_batch_tcu(PoolExecutor<Complex>& exec, MatrixView<Complex> batch) {
-  dft_batch_with_ctx(DftCtx{.exec = &exec}, batch);
+void dft_batch_tcu(PoolExecutor<Complex>& exec, MatrixView<Complex> batch,
+                   const DftOptions& opts) {
+  dft_batch_with_ctx(DftCtx{.exec = &exec, .affinity = opts.affinity}, batch);
 }
 
-void idft_batch_tcu(PoolExecutor<Complex>& exec, MatrixView<Complex> batch) {
-  idft_batch_with_ctx(DftCtx{.exec = &exec}, batch);
+void idft_batch_tcu(PoolExecutor<Complex>& exec, MatrixView<Complex> batch,
+                    const DftOptions& opts) {
+  idft_batch_with_ctx(DftCtx{.exec = &exec, .affinity = opts.affinity},
+                      batch);
 }
 
 void dft_batch_tcu(DevicePool<Complex>& pool, MatrixView<Complex> batch) {
@@ -381,28 +419,31 @@ CVec dft_tcu(CplxDevice& dev, const CVec& x, bool inverse) {
   return y;
 }
 
-Matrix<Complex> dft2_tcu(CplxDevice& dev, ConstMatrixView<Complex> x,
-                         bool inverse) {
+namespace {
+
+Matrix<Complex> dft2_with_ctx(const DftCtx& ctx, ConstMatrixView<Complex> x,
+                              bool inverse) {
   Matrix<Complex> rows = materialize(x);
-  dev.charge_cpu(x.rows * x.cols);
+  ctx.charge_cpu(x.rows * x.cols);
   if (inverse) {
-    idft_batch_tcu(dev, rows.view());
+    idft_batch_with_ctx(ctx, rows.view());
   } else {
-    dft_batch_tcu(dev, rows.view());
+    dft_batch_with_ctx(ctx, rows.view());
   }
   Matrix<Complex> cols = transposed(rows.view().as_const());
-  dev.charge_cpu(x.rows * x.cols);
+  ctx.charge_cpu(x.rows * x.cols);
   if (inverse) {
-    idft_batch_tcu(dev, cols.view());
+    idft_batch_with_ctx(ctx, cols.view());
   } else {
-    dft_batch_tcu(dev, cols.view());
+    dft_batch_with_ctx(ctx, cols.view());
   }
   Matrix<Complex> out = transposed(cols.view().as_const());
-  dev.charge_cpu(x.rows * x.cols);
+  ctx.charge_cpu(x.rows * x.cols);
   return out;
 }
 
-CVec circular_convolve_tcu(CplxDevice& dev, const CVec& a, const CVec& b) {
+CVec circular_convolve_with_ctx(const DftCtx& ctx, const CVec& a,
+                                const CVec& b) {
   if (a.size() != b.size()) {
     throw std::invalid_argument("circular_convolve: length mismatch");
   }
@@ -413,29 +454,72 @@ CVec circular_convolve_tcu(CplxDevice& dev, const CVec& a, const CVec& b) {
     batch(0, j) = a[j];
     batch(1, j) = b[j];
   }
-  dft_batch_tcu(dev, batch.view());
+  dft_batch_with_ctx(ctx, batch.view());
   Matrix<Complex> prod(1, n);
   for (std::size_t j = 0; j < n; ++j) prod(0, j) = batch(0, j) * batch(1, j);
-  dev.charge_cpu(n);
-  idft_batch_tcu(dev, prod.view());
+  ctx.charge_cpu(n);
+  idft_batch_with_ctx(ctx, prod.view());
   CVec out(n);
   for (std::size_t j = 0; j < n; ++j) out[j] = prod(0, j);
   return out;
 }
 
-Matrix<Complex> circular_convolve2_tcu(CplxDevice& dev,
-                                       ConstMatrixView<Complex> a,
-                                       ConstMatrixView<Complex> kernel) {
+Matrix<Complex> circular_convolve2_with_ctx(const DftCtx& ctx,
+                                            ConstMatrixView<Complex> a,
+                                            ConstMatrixView<Complex> kernel) {
   if (a.rows != kernel.rows || a.cols != kernel.cols) {
     throw std::invalid_argument("circular_convolve2: shape mismatch");
   }
-  Matrix<Complex> fa = dft2_tcu(dev, a, false);
-  Matrix<Complex> fk = dft2_tcu(dev, kernel, false);
+  Matrix<Complex> fa = dft2_with_ctx(ctx, a, false);
+  Matrix<Complex> fk = dft2_with_ctx(ctx, kernel, false);
   for (std::size_t i = 0; i < fa.rows(); ++i) {
     for (std::size_t j = 0; j < fa.cols(); ++j) fa(i, j) *= fk(i, j);
   }
-  dev.charge_cpu(fa.rows() * fa.cols());
-  return dft2_tcu(dev, fa.view(), true);
+  ctx.charge_cpu(fa.rows() * fa.cols());
+  return dft2_with_ctx(ctx, fa.view(), true);
+}
+
+}  // namespace
+
+Matrix<Complex> dft2_tcu(CplxDevice& dev, ConstMatrixView<Complex> x,
+                         bool inverse, const DftOptions& opts) {
+  return dft2_with_ctx(DftCtx{.dev = &dev, .affinity = opts.affinity}, x,
+                       inverse);
+}
+
+Matrix<Complex> dft2_tcu(PoolExecutor<Complex>& exec,
+                         ConstMatrixView<Complex> x, bool inverse,
+                         const DftOptions& opts) {
+  return dft2_with_ctx(DftCtx{.exec = &exec, .affinity = opts.affinity}, x,
+                       inverse);
+}
+
+CVec circular_convolve_tcu(CplxDevice& dev, const CVec& a, const CVec& b,
+                           const DftOptions& opts) {
+  return circular_convolve_with_ctx(
+      DftCtx{.dev = &dev, .affinity = opts.affinity}, a, b);
+}
+
+CVec circular_convolve_tcu(PoolExecutor<Complex>& exec, const CVec& a,
+                           const CVec& b, const DftOptions& opts) {
+  return circular_convolve_with_ctx(
+      DftCtx{.exec = &exec, .affinity = opts.affinity}, a, b);
+}
+
+Matrix<Complex> circular_convolve2_tcu(CplxDevice& dev,
+                                       ConstMatrixView<Complex> a,
+                                       ConstMatrixView<Complex> kernel,
+                                       const DftOptions& opts) {
+  return circular_convolve2_with_ctx(
+      DftCtx{.dev = &dev, .affinity = opts.affinity}, a, kernel);
+}
+
+Matrix<Complex> circular_convolve2_tcu(PoolExecutor<Complex>& exec,
+                                       ConstMatrixView<Complex> a,
+                                       ConstMatrixView<Complex> kernel,
+                                       const DftOptions& opts) {
+  return circular_convolve2_with_ctx(
+      DftCtx{.exec = &exec, .affinity = opts.affinity}, a, kernel);
 }
 
 }  // namespace tcu::dft

@@ -38,6 +38,29 @@ using Complex = std::complex<double>;
 using CVec = std::vector<Complex>;
 using CplxDevice = Device<Complex>;
 
+/// Key namespace of the Cooley-Tukey level tiles (see make_tile_key): the
+/// tile of a level is the Fourier matrix W_n zero-padded to the device
+/// tile, whose content is fully determined by n — so
+/// `make_tile_key(kDftTileTag, n)` is a stable identity shared by every
+/// level, call, and transform direction that uses W_n.
+inline constexpr std::uint16_t kDftTileTag = 0xD517;
+
+/// Tuning for the batched-transform pipelines.
+struct DftOptions {
+  /// Tag each level's Fourier tile with its symbolic content key and
+  /// issue `gemm_resident` instead of untagged `gemm`, so consecutive
+  /// levels sharing W_n (every level of a smooth length splits by the
+  /// same factor) and repeated transforms keep the tile resident instead
+  /// of reloading it; on the pool path the chunked calls of one level
+  /// declare the key as their chain, so each lane pays the level's tile
+  /// load once while it stays cached. Off by default: the untagged
+  /// accounting (l per level serially, plus one reload per extra chunk on
+  /// the pool path) is the Theorem 7 contract the PR 2 benches pinned.
+  /// The stencil pipelines (§4.6), whose batched transforms re-visit the
+  /// same levels many times per call, turn this on.
+  bool affinity = false;
+};
+
 /// Naive O(n^2) DFT on the RAM model (test oracle and small baseline).
 CVec dft_naive(const CVec& x, Counters& counters, bool inverse = false);
 
@@ -51,10 +74,12 @@ CVec dft_tcu(CplxDevice& dev, const CVec& x, bool inverse = false);
 
 /// Batched forward DFT: every row of `batch` (b x len) is transformed in
 /// place. All rows share each level's tensor calls.
-void dft_batch_tcu(CplxDevice& dev, MatrixView<Complex> batch);
+void dft_batch_tcu(CplxDevice& dev, MatrixView<Complex> batch,
+                   const DftOptions& opts = {});
 
 /// Batched inverse DFT (conjugation trick + 1/len scaling), in place.
-void idft_batch_tcu(CplxDevice& dev, MatrixView<Complex> batch);
+void idft_batch_tcu(CplxDevice& dev, MatrixView<Complex> batch,
+                    const DftOptions& opts = {});
 
 /// Multi-unit batched DFT: each Cooley-Tukey level's single tall tensor
 /// product is split into contiguous row chunks (boundaries on multiples
@@ -69,21 +94,37 @@ void idft_batch_tcu(DevicePool<Complex>& pool, MatrixView<Complex> batch);
 
 /// Same, over a caller-owned persistent executor (one thread spawn for
 /// the whole recursion / a stream of transforms).
-void dft_batch_tcu(PoolExecutor<Complex>& exec, MatrixView<Complex> batch);
-void idft_batch_tcu(PoolExecutor<Complex>& exec, MatrixView<Complex> batch);
+void dft_batch_tcu(PoolExecutor<Complex>& exec, MatrixView<Complex> batch,
+                   const DftOptions& opts = {});
+void idft_batch_tcu(PoolExecutor<Complex>& exec, MatrixView<Complex> batch,
+                    const DftOptions& opts = {});
 
 /// 2-D DFT of an r x c matrix: DFT of every row, then of every column.
 Matrix<Complex> dft2_tcu(CplxDevice& dev, ConstMatrixView<Complex> x,
-                         bool inverse = false);
+                         bool inverse = false, const DftOptions& opts = {});
+
+/// Pool 2-D DFT: both batched passes run their levels row-chunked across
+/// the executor's units (same contract as the pool dft_batch_tcu).
+Matrix<Complex> dft2_tcu(PoolExecutor<Complex>& exec,
+                         ConstMatrixView<Complex> x, bool inverse = false,
+                         const DftOptions& opts = {});
 
 /// Circular convolution of equal-length vectors via the convolution
 /// theorem (three DFTs + pointwise product).
-CVec circular_convolve_tcu(CplxDevice& dev, const CVec& a, const CVec& b);
+CVec circular_convolve_tcu(CplxDevice& dev, const CVec& a, const CVec& b,
+                           const DftOptions& opts = {});
+CVec circular_convolve_tcu(PoolExecutor<Complex>& exec, const CVec& a,
+                           const CVec& b, const DftOptions& opts = {});
 
 /// 2-D circular convolution of equal-shape matrices.
 Matrix<Complex> circular_convolve2_tcu(CplxDevice& dev,
                                        ConstMatrixView<Complex> a,
-                                       ConstMatrixView<Complex> kernel);
+                                       ConstMatrixView<Complex> kernel,
+                                       const DftOptions& opts = {});
+Matrix<Complex> circular_convolve2_tcu(PoolExecutor<Complex>& exec,
+                                       ConstMatrixView<Complex> a,
+                                       ConstMatrixView<Complex> kernel,
+                                       const DftOptions& opts = {});
 
 /// The n x n symmetric Fourier matrix W with W[r][c] = exp(-2 pi i rc/n).
 Matrix<Complex> fourier_matrix(std::size_t n, bool inverse = false);

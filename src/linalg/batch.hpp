@@ -73,6 +73,17 @@ std::vector<Matrix<T>> unstack_batch(const Matrix<T>& product,
 /// have the same shape (rows x B.rows). Returns one output per input;
 /// the tensor unit sees a single stacked tall operand per weight tile, so
 /// the latency l is charged once per weight tile, never per batch item.
+/// B's tiles are residency-tagged by storage address: a previously
+/// untagged product here invalidated the device's whole TileCache and
+/// re-paid every tile load on the next batched call against the same B,
+/// undercounting the §3 asymmetry property the API exists for. Repeated
+/// calls now hit resident tiles (given `resident_tiles` capacity), with a
+/// single call's charges unchanged. The key-identity caveat of
+/// `PoolMatmulOptions::affinity` applies: B must be long-lived, unchanged
+/// storage. Callers that mutate B or churn allocations between calls
+/// must call `Device::evict_all()` between them (or use the untagged
+/// `matmul_tcu` directly) — an address key on recycled storage would
+/// otherwise claim residency for different content.
 template <typename T>
 std::vector<Matrix<T>> matmul_batch_shared_b(
     Device<T>& dev, const std::vector<Matrix<T>>& batch,
@@ -81,7 +92,8 @@ std::vector<Matrix<T>> matmul_batch_shared_b(
   detail::validate_batch(batch, B);
   Matrix<T> stacked = detail::stack_batch(batch);
   dev.charge_cpu(stacked.rows() * stacked.cols());
-  Matrix<T> product = matmul_tcu(dev, stacked.view(), B);
+  Matrix<T> product(stacked.rows(), B.cols, T{});
+  matmul_tcu_resident_into(dev, stacked.view(), B, product.view());
   dev.charge_cpu(product.rows() * product.cols());
   return detail::unstack_batch(product, batch.size(), batch.front().rows());
 }

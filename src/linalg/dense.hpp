@@ -10,13 +10,22 @@
 // (semiring lower-bound discussion in Theorem 2's proof).
 
 #include <algorithm>
-#include <type_traits>
 #include <cstdint>
+#include <functional>
+#include <type_traits>
 
 #include "core/device.hpp"
 #include "core/matrix.hpp"
 
 namespace tcu::linalg {
+
+/// Identity of B's tile at element origin (kb, jb) for residency tagging.
+/// An empty function means "key each tile by its storage address" — valid
+/// while B is long-lived and unchanged between calls. Callers whose B is a
+/// transient repack of long-lived weights (conv2d's im2col filter bank)
+/// supply a key derived from the underlying storage instead, so repeated
+/// calls keep hitting across rebuilds of the repack.
+using TileKeyFn = std::function<std::uint64_t(std::size_t kb, std::size_t jb)>;
 
 /// RAM baseline: definition-based multiplication, charges one unit per
 /// multiply-accumulate to `counters`. Works for any p x q times q x r.
@@ -79,6 +88,46 @@ void ragged_strip_into(Device<T>& dev, ConstMatrixView<T> A,
   dev.charge_cpu(p * jw);
 }
 
+/// The whole Theorem 2 schedule — aligned fast path and ragged scratch
+/// path — around a caller-supplied tensor-call body, so the untagged and
+/// residency-tagged products run the bit-identical tiling and can never
+/// drift apart. `do_gemm(kb, jb, a, b, c, accumulate)` issues the call.
+template <typename T, typename GemmFn>
+void tiled_matmul_into(Device<T>& dev, ConstMatrixView<T> A,
+                       ConstMatrixView<T> B, MatrixView<T> C,
+                       GemmFn&& do_gemm) {
+  if (A.cols != B.rows || C.rows != A.rows || C.cols != B.cols) {
+    throw std::invalid_argument("matmul_tcu: shape mismatch");
+  }
+  const std::size_t s = dev.tile_dim();
+  const std::size_t p = A.rows, q = A.cols, r = B.cols;
+  const bool ragged = (p % s) || (q % s) || (r % s);
+
+  if (!ragged) {
+    for (std::size_t jb = 0; jb < r; jb += s) {
+      for (std::size_t kb = 0; kb < q; kb += s) {
+        do_gemm(kb, jb, A.subview(0, kb, p, s), B.subview(kb, jb, s, s),
+                C.subview(0, jb, p, s), /*accumulate=*/kb != 0);
+      }
+    }
+    return;
+  }
+
+  // Ragged path: pad each operand tile/strip into scratch buffers.
+  Matrix<T> b_tile(s, s, T{});
+  Matrix<T> a_strip(p, s, T{});
+  Matrix<T> c_strip(p, s, T{});
+  for (std::size_t jb = 0; jb < r; jb += s) {
+    ragged_strip_into(
+        dev, A, B, C, jb, b_tile, a_strip, c_strip,
+        [&do_gemm, jb](std::size_t kb, ConstMatrixView<T> a,
+                       ConstMatrixView<T> b, MatrixView<T> c,
+                       bool accumulate) {
+          do_gemm(kb, jb, a, b, c, accumulate);
+        });
+  }
+}
+
 }  // namespace detail
 
 /// Theorem 2 (and Corollary 1 for rectangular shapes): C += A * B computed
@@ -90,35 +139,12 @@ template <typename T>
 void matmul_tcu_into(Device<T>& dev, std::type_identity_t<ConstMatrixView<T>> A,
                      std::type_identity_t<ConstMatrixView<T>> B,
                      std::type_identity_t<MatrixView<T>> C) {
-  if (A.cols != B.rows || C.rows != A.rows || C.cols != B.cols) {
-    throw std::invalid_argument("matmul_tcu: shape mismatch");
-  }
-  const std::size_t s = dev.tile_dim();
-  const std::size_t p = A.rows, q = A.cols, r = B.cols;
-  const bool ragged = (p % s) || (q % s) || (r % s);
-
-  if (!ragged) {
-    for (std::size_t jb = 0; jb < r; jb += s) {
-      for (std::size_t kb = 0; kb < q; kb += s) {
-        dev.gemm(A.subview(0, kb, p, s), B.subview(kb, jb, s, s),
-                 C.subview(0, jb, p, s), /*accumulate=*/kb != 0);
-      }
-    }
-    return;
-  }
-
-  // Ragged path: pad each operand tile/strip into scratch buffers.
-  Matrix<T> b_tile(s, s, T{});
-  Matrix<T> a_strip(p, s, T{});
-  Matrix<T> c_strip(p, s, T{});
-  for (std::size_t jb = 0; jb < r; jb += s) {
-    detail::ragged_strip_into(
-        dev, A, B, C, jb, b_tile, a_strip, c_strip,
-        [&dev](std::size_t, ConstMatrixView<T> a, ConstMatrixView<T> b,
-               MatrixView<T> c, bool accumulate) {
-          dev.gemm(a, b, c, accumulate);
-        });
-  }
+  detail::tiled_matmul_into(
+      dev, A, B, C,
+      [&dev](std::size_t, std::size_t, ConstMatrixView<T> a,
+             ConstMatrixView<T> b, MatrixView<T> c, bool accumulate) {
+        dev.gemm(a, b, c, accumulate);
+      });
 }
 
 /// Allocating wrapper for `matmul_tcu_into`.
@@ -127,6 +153,43 @@ Matrix<T> matmul_tcu(Device<T>& dev, std::type_identity_t<ConstMatrixView<T>> A,
                      std::type_identity_t<ConstMatrixView<T>> B) {
   Matrix<T> C(A.rows, B.cols, T{});
   matmul_tcu_into(dev, A, B, C.view());
+  return C;
+}
+
+/// Theorem 2 with residency-tagged weight tiles: identical call structure
+/// and charges to `matmul_tcu_into`, but every B tile carries its identity
+/// key, so the device's TileCache can serve repeated products against the
+/// same weights without re-paying the load latency — one load per tile
+/// while it stays resident (`Counters::resident_hits` records the reuse),
+/// and in the weak model the square calls of one tall split share their
+/// tile's single load. This is the serial half of the §3 asymmetry
+/// property the pool's affinity dealer realizes across lanes.
+template <typename T>
+void matmul_tcu_resident_into(Device<T>& dev,
+                              std::type_identity_t<ConstMatrixView<T>> A,
+                              std::type_identity_t<ConstMatrixView<T>> B,
+                              std::type_identity_t<MatrixView<T>> C,
+                              const TileKeyFn& tile_key = {}) {
+  detail::tiled_matmul_into(
+      dev, A, B, C,
+      [&dev, &B, &tile_key](std::size_t kb, std::size_t jb,
+                            ConstMatrixView<T> a, ConstMatrixView<T> b,
+                            MatrixView<T> c, bool accumulate) {
+        const std::uint64_t key =
+            tile_key ? tile_key(kb, jb)
+                     : reinterpret_cast<std::uintptr_t>(&B(kb, jb));
+        dev.gemm_resident(key, a, b, c, accumulate);
+      });
+}
+
+/// Allocating wrapper for `matmul_tcu_resident_into`.
+template <typename T>
+Matrix<T> matmul_tcu_resident(Device<T>& dev,
+                              std::type_identity_t<ConstMatrixView<T>> A,
+                              std::type_identity_t<ConstMatrixView<T>> B,
+                              const TileKeyFn& tile_key = {}) {
+  Matrix<T> C(A.rows, B.cols, T{});
+  matmul_tcu_resident_into(dev, A, B, C.view(), tile_key);
   return C;
 }
 

@@ -28,8 +28,23 @@
 
 #include "core/device.hpp"
 #include "core/matrix.hpp"
+#include "core/pool.hpp"
+#include "linalg/parallel.hpp"
 
 namespace tcu::linalg {
+
+/// Key namespace of the kernel-D weight strips (see make_tile_key): the
+/// weight of block column j in outer iteration k is X'_j, freshly
+/// rewritten every pivot, so its identity is the *pair* (k, j) — never
+/// the storage address, which is reused across pivots with different
+/// content. Keys are call-local: `ge_forward_tcu` evicts all residency on
+/// entry so a previous elimination's keys can never produce phantom hits.
+inline constexpr std::uint16_t kGePanelTag = 0x6E47;
+
+inline constexpr std::uint64_t ge_panel_key(std::size_t kb, std::size_t jb) {
+  return make_tile_key(kGePanelTag,
+                       (static_cast<std::uint64_t>(kb) << 24) | jb);
+}
 
 /// Figure 2: unblocked forward elimination, in place; charges one unit per
 /// innermost update to `counters`.
@@ -52,9 +67,13 @@ void ge_forward_naive(MatrixView<T> c, Counters& counters) {
 
 namespace ge_detail {
 
+// The Figure 4 kernels as pure computations returning their update
+// counts; the caller charges the cost to whichever counter owns the work
+// (the device on the serial path, the shared CPU on the pool path).
+
 /// Kernel A (Figure 4): eliminate within the diagonal block.
 template <typename T>
-void kernel_a(Device<T>& dev, MatrixView<T> X) {
+std::uint64_t kernel_a_ops(MatrixView<T> X) {
   const std::size_t s = X.rows;
   std::uint64_t updates = 0;
   for (std::size_t k = 0; k + 1 < s; ++k) {
@@ -65,16 +84,21 @@ void kernel_a(Device<T>& dev, MatrixView<T> X) {
       }
     }
   }
-  dev.charge_cpu(updates);
+  return updates;
+}
+
+template <typename T>
+void kernel_a(Device<T>& dev, MatrixView<T> X) {
+  dev.charge_cpu(kernel_a_ops(X));
 }
 
 /// Kernel B (Figure 4): update a row-panel block X using the diagonal
 /// block Y, then emit the rescaled strip X' = -X / diag(Y) consumed by
 /// kernel D as the TCU weight matrix.
 template <typename T>
-void kernel_b(Device<T>& dev, MatrixView<T> X,
-              std::type_identity_t<ConstMatrixView<T>> Y,
-              MatrixView<T> Xp) {
+std::uint64_t kernel_b_ops(MatrixView<T> X,
+                           std::type_identity_t<ConstMatrixView<T>> Y,
+                           MatrixView<T> Xp) {
   const std::size_t s = X.rows;
   std::uint64_t updates = 0;
   for (std::size_t k = 0; k + 1 < s; ++k) {
@@ -91,14 +115,21 @@ void kernel_b(Device<T>& dev, MatrixView<T> X,
       ++updates;
     }
   }
-  dev.charge_cpu(updates);
+  return updates;
+}
+
+template <typename T>
+void kernel_b(Device<T>& dev, MatrixView<T> X,
+              std::type_identity_t<ConstMatrixView<T>> Y,
+              MatrixView<T> Xp) {
+  dev.charge_cpu(kernel_b_ops(X, Y, Xp));
 }
 
 /// Kernel C (Figure 4): partially eliminate a column-panel block X using
 /// the diagonal block Y.
 template <typename T>
-void kernel_c(Device<T>& dev, MatrixView<T> X,
-              std::type_identity_t<ConstMatrixView<T>> Y) {
+std::uint64_t kernel_c_ops(MatrixView<T> X,
+                           std::type_identity_t<ConstMatrixView<T>> Y) {
   const std::size_t s = X.rows;
   std::uint64_t updates = 0;
   for (std::size_t k = 0; k < s; ++k) {
@@ -109,7 +140,13 @@ void kernel_c(Device<T>& dev, MatrixView<T> X,
       }
     }
   }
-  dev.charge_cpu(updates);
+  return updates;
+}
+
+template <typename T>
+void kernel_c(Device<T>& dev, MatrixView<T> X,
+              std::type_identity_t<ConstMatrixView<T>> Y) {
+  dev.charge_cpu(kernel_c_ops(X, Y));
 }
 
 }  // namespace ge_detail
@@ -117,6 +154,12 @@ void kernel_c(Device<T>& dev, MatrixView<T> X,
 /// Figure 4 / Theorem 4: blocked forward elimination on the TCU, in place.
 /// Requires the matrix dimension to be a multiple of sqrt(m) (use
 /// `make_augmented` to embed an arbitrary system into such a size).
+/// Kernel D tags X'_j as the resident weight of its block column — the
+/// Theorem 4 accounting loads each weight once per (k, j) and streams the
+/// whole column panel past it, so in the weak model the square calls of
+/// one panel share the single load (`Counters::resident_hits` counts the
+/// reuse) instead of re-paying l per call as the previously untagged
+/// `gemm` did. Tall-mode charges are unchanged (one call, one load).
 template <typename T>
 void ge_forward_tcu(Device<T>& dev, MatrixView<T> X) {
   const std::size_t r = X.rows;
@@ -126,6 +169,9 @@ void ge_forward_tcu(Device<T>& dev, MatrixView<T> X) {
     throw std::invalid_argument(
         "ge_forward_tcu: dimension must be a multiple of sqrt(m)");
   }
+  // The (k, j) keys are call-local: drop any residency a previous
+  // elimination left behind so equal keys cannot alias different X'_j.
+  dev.evict_all();
   const std::size_t t = r / s;
   Matrix<T> xp(s, r, T{});  // the X' strip of Figure 4
   for (std::size_t kb = 0; kb < t; ++kb) {
@@ -146,12 +192,80 @@ void ge_forward_tcu(Device<T>& dev, MatrixView<T> X) {
     const std::size_t top = (kb + 1) * s;
     const std::size_t tall_rows = r - top;
     for (std::size_t jb = kb + 1; jb < t; ++jb) {
-      dev.gemm(X.subview(top, kb * s, tall_rows, s),
-               xp.subview(0, jb * s, s, s),
-               X.subview(top, jb * s, tall_rows, s),
-               /*accumulate=*/true);
+      dev.gemm_resident(ge_panel_key(kb, jb),
+                        X.subview(top, kb * s, tall_rows, s),
+                        xp.subview(0, jb * s, s, s),
+                        X.subview(top, jb * s, tall_rows, s),
+                        /*accumulate=*/true);
     }
   }
+}
+
+/// Theorem 4 across the pool: per outer iteration k, kernels A-C (the
+/// pivot row and column, CPU-bound) run on the submitting thread against
+/// the shared CPU counter, and each trailing block column's kernel-D
+/// update — one tall `gemm_resident` on a panel disjoint from every other
+/// j — is one pool task dealt with `submit_affine` on its X'_j chain. The
+/// barrier per pivot is required (iteration k+1 reads what D wrote); the
+/// caller-owned persistent executor makes it cheap across all r/sqrt(m)
+/// pivots, mirroring the closure refactor. Outputs and aggregate
+/// counters (including resident_hits/latency: every key is unique per
+/// (k, j), so dealing cannot create or destroy hits) are bit-identical to
+/// `ge_forward_tcu` at every unit count — except `Counters::evictions`,
+/// which is schedule-dependent: each active lane's first insertion fills
+/// an empty cache without displacing anything, so the aggregate eviction
+/// count shrinks with the number of lanes the panels land on.
+template <typename T>
+void ge_forward_tcu_pool(PoolExecutor<T>& exec, MatrixView<T> X) {
+  DevicePool<T>& pool = exec.pool();
+  const Device<T>& unit0 = pool.unit(0);
+  const std::size_t r = X.rows;
+  const std::size_t s = unit0.tile_dim();
+  if (X.cols != r) throw std::invalid_argument("ge_forward_tcu: square input");
+  if (r % s != 0) {
+    throw std::invalid_argument(
+        "ge_forward_tcu: dimension must be a multiple of sqrt(m)");
+  }
+  exec.evict_all();  // call-local keys, exactly as on the serial path
+  const std::size_t t = r / s;
+  Matrix<T> xp(s, r, T{});
+  for (std::size_t kb = 0; kb < t; ++kb) {
+    pool.charge_cpu(ge_detail::kernel_a_ops(X.subview(kb * s, kb * s, s, s)));
+    for (std::size_t jb = kb + 1; jb < t; ++jb) {
+      pool.charge_cpu(ge_detail::kernel_b_ops(
+          X.subview(kb * s, jb * s, s, s), X.subview(kb * s, kb * s, s, s),
+          xp.subview(0, jb * s, s, s)));
+    }
+    for (std::size_t ib = kb + 1; ib < t; ++ib) {
+      pool.charge_cpu(ge_detail::kernel_c_ops(
+          X.subview(ib * s, kb * s, s, s), X.subview(kb * s, kb * s, s, s)));
+    }
+    if (kb + 1 == t) break;
+    const std::size_t top = (kb + 1) * s;
+    const std::size_t tall_rows = r - top;
+    const std::uint64_t cost =
+        detail::strip_tile_cost(unit0, tall_rows, /*affinity=*/true);
+    for (std::size_t jb = kb + 1; jb < t; ++jb) {
+      const std::uint64_t key = ge_panel_key(kb, jb);
+      auto xp_view = xp.view();
+      exec.submit_affine(
+          cost, {key},
+          [X, xp_view, key, top, tall_rows, kb, jb, s](Device<T>& unit) {
+            unit.gemm_resident(key, X.subview(top, kb * s, tall_rows, s),
+                               xp_view.subview(0, jb * s, s, s),
+                               X.subview(top, jb * s, tall_rows, s),
+                               /*accumulate=*/true);
+          });
+    }
+    exec.join();
+  }
+}
+
+/// Pool forward elimination with a throwaway executor for the call.
+template <typename T>
+void ge_forward_tcu_pool(DevicePool<T>& pool, MatrixView<T> X) {
+  PoolExecutor<T> exec(pool);
+  ge_forward_tcu_pool(exec, X);
 }
 
 /// Build the (R x R) augmented matrix of Figure 2 for the system A x = b

@@ -66,6 +66,33 @@ struct PoolMatmulOptions {
   /// very deep B instead. Requires `affinity`; ignored for single-tile
   /// chains.
   bool split_chains = false;
+
+  /// Optional identity override for B's tiles (element origin (kb, jb) ->
+  /// key): empty means "key by storage address", the right default for a
+  /// long-lived B. Callers whose B is a transient repack of long-lived
+  /// weights (conv2d's filter bank) key on the underlying storage so
+  /// residency survives the repack being rebuilt between calls. Symbolic
+  /// keys (`make_tile_key`) must honor the same contract: equal keys,
+  /// equal tile content.
+  TileKeyFn tile_key = {};
+
+  /// Split the tall dimension into up to this many tile-aligned row
+  /// chunks per output strip, each (chunk, strip) pair its own task
+  /// declaring the strip's full chain — the schedule conv2d's im2col
+  /// strips use to parallelize products with fewer strips than units
+  /// (the DFT levels run the analogous split, but over raw device calls
+  /// without the Theorem 2 scratch accounting, so they keep their own
+  /// dealer in dft.cpp). Chunk boundaries fall on multiples of sqrt(m)
+  /// and each chunk re-runs the whole chain, so outputs stay
+  /// bit-identical while the latency split changes by exactly l per
+  /// extra call (paid on first touch or saved on a resident hit; the
+  /// counters_match relation of the PR 4 benches). Clamped to the
+  /// available full tile-rows; 1 is the classic one-task-per-strip
+  /// dealing, and 0 (the default) means "auto" — no split here, the
+  /// unit count in conv2d_tcu_pool — so an explicit 1 stays reachable
+  /// through wrappers that auto-split. Aligned shapes only — ignored
+  /// for ragged inputs and in split_chains mode.
+  std::size_t row_chunks = 0;
 };
 
 /// True iff A * B can run on the pool fast path without padding. The pool
@@ -99,22 +126,23 @@ std::uint64_t strip_tile_cost(const Device<T>& unit, std::uint64_t rows,
 /// One ragged output strip on a pool worker: task-local scratch around
 /// the shared per-strip body of the single-unit ragged path
 /// (detail::ragged_strip_into), so outputs and counter totals stay
-/// bit-identical to serial by construction.
+/// bit-identical to serial by construction. `keys` holds the strip's
+/// B-tile identities indexed by tile (kb / s); empty = untagged dealing.
 template <typename T>
 void ragged_strip(Device<T>& unit, ConstMatrixView<T> A, ConstMatrixView<T> B,
-                  MatrixView<T> C, std::size_t jb, bool affinity) {
+                  MatrixView<T> C, std::size_t jb,
+                  const std::vector<std::uint64_t>& keys) {
   const std::size_t s = unit.tile_dim();
   Matrix<T> b_tile(s, s, T{});
   Matrix<T> a_strip(A.rows, s, T{});
   Matrix<T> c_strip(A.rows, s, T{});
   ragged_strip_into(
       unit, A, B, C, jb, b_tile, a_strip, c_strip,
-      [&unit, B, jb, affinity](std::size_t kb, ConstMatrixView<T> a,
-                               ConstMatrixView<T> b, MatrixView<T> c,
-                               bool accumulate) {
-        if (affinity) {
-          unit.gemm_resident(reinterpret_cast<std::uintptr_t>(&B(kb, jb)),
-                             a, b, c, accumulate);
+      [&unit, &keys, s](std::size_t kb, ConstMatrixView<T> a,
+                        ConstMatrixView<T> b, MatrixView<T> c,
+                        bool accumulate) {
+        if (!keys.empty()) {
+          unit.gemm_resident(keys[kb / s], a, b, c, accumulate);
         } else {
           unit.gemm(a, b, c, accumulate);
         }
@@ -131,7 +159,8 @@ void ragged_strip(Device<T>& unit, ConstMatrixView<T> A, ConstMatrixView<T> B,
 /// integral T).
 template <typename T>
 void matmul_pool_tile_split(PoolExecutor<T>& exec, ConstMatrixView<T> A,
-                            ConstMatrixView<T> B, MatrixView<T> C) {
+                            ConstMatrixView<T> B, MatrixView<T> C,
+                            const TileKeyFn& tile_key) {
   DevicePool<T>& pool = exec.pool();
   const Device<T>& unit0 = pool.unit(0);
   const std::size_t s = unit0.tile_dim();
@@ -153,7 +182,9 @@ void matmul_pool_tile_split(PoolExecutor<T>& exec, ConstMatrixView<T> A,
   for (std::size_t kb = 0; kb < q; kb += s) {
     for (std::size_t jb = 0; jb < r; jb += s, ++ti) {
       Matrix<T>* out = &partials[ti];
-      const std::uint64_t key = reinterpret_cast<std::uintptr_t>(&B(kb, jb));
+      const std::uint64_t key =
+          tile_key ? tile_key(kb, jb)
+                   : reinterpret_cast<std::uintptr_t>(&B(kb, jb));
       auto task = [A, B, out, kb, jb, s, key](Device<T>& unit) {
         const std::size_t kw = std::min(s, A.cols - kb);
         const std::size_t jw = std::min(s, B.cols - jb);
@@ -235,43 +266,70 @@ void matmul_tcu_pool_into(PoolExecutor<T>& exec,
   const std::uint64_t strip_cost = k_tiles * tile_cost;
 
   if (opts.affinity && opts.split_chains && k_tiles > 1) {
-    detail::matmul_pool_tile_split(exec, A, B, C);
+    detail::matmul_pool_tile_split(exec, A, B, C, opts.tile_key);
     return;
   }
 
-  for (std::size_t jb = 0; jb < r; jb += s) {
-    // The strip's full tile chain: one key per B tile, in call order.
-    std::vector<std::uint64_t> chain;
-    if (opts.affinity) {
+  // Tall-dimension split (row_chunks > 1, aligned shapes): each chunk
+  // re-runs every strip's chain over its own row block.
+  const std::size_t row_tiles = p / s;
+  const std::size_t chunks =
+      ragged ? 1
+             : std::max<std::size_t>(
+                   1, std::min(std::max<std::size_t>(opts.row_chunks, 1),
+                               row_tiles));
+
+  // Each strip's full tile chain — one key per B tile, in call order —
+  // is invariant across chunks, so build it once per strip up front (the
+  // submit loop is the serialized scheduling path).
+  std::vector<std::vector<std::uint64_t>> chains((r + s - 1) / s);
+  if (opts.affinity) {
+    for (std::size_t jb = 0; jb < r; jb += s) {
+      std::vector<std::uint64_t>& chain = chains[jb / s];
       chain.reserve(k_tiles);
       for (std::size_t kb = 0; kb < q; kb += s) {
-        chain.push_back(reinterpret_cast<std::uintptr_t>(&B(kb, jb)));
+        chain.push_back(opts.tile_key
+                            ? opts.tile_key(kb, jb)
+                            : reinterpret_cast<std::uintptr_t>(&B(kb, jb)));
       }
     }
-    auto task = [A, B, C, jb, s, ragged, affinity = opts.affinity](
-                    Device<T>& unit) {
-      if (ragged) {
-        detail::ragged_strip(unit, A, B, C, jb, affinity);
-        return;
-      }
-      for (std::size_t kb = 0; kb < A.cols; kb += s) {
-        if (affinity) {
-          unit.gemm_resident(reinterpret_cast<std::uintptr_t>(&B(kb, jb)),
-                             A.subview(0, kb, A.rows, s),
-                             B.subview(kb, jb, s, s),
-                             C.subview(0, jb, A.rows, s),
-                             /*accumulate=*/kb != 0);
-        } else {
-          unit.gemm(A.subview(0, kb, A.rows, s), B.subview(kb, jb, s, s),
-                    C.subview(0, jb, A.rows, s), /*accumulate=*/kb != 0);
+  }
+
+  std::size_t r0 = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t nr =
+        chunks == 1 ? p : (row_tiles / chunks + (c < row_tiles % chunks)) * s;
+    const std::uint64_t chunk_cost =
+        chunks == 1 ? strip_cost
+                    : k_tiles * detail::strip_tile_cost(unit0, nr,
+                                                        opts.affinity);
+    for (std::size_t jb = 0; jb < r; jb += s) {
+      const std::vector<std::uint64_t>& chain = chains[jb / s];
+      auto task = [A, B, C, jb, s, ragged, r0, nr,
+                   keys = chain](Device<T>& unit) {
+        if (ragged) {
+          detail::ragged_strip(unit, A, B, C, jb, keys);
+          return;
         }
+        for (std::size_t kb = 0; kb < A.cols; kb += s) {
+          if (!keys.empty()) {
+            unit.gemm_resident(keys[kb / s], A.subview(r0, kb, nr, s),
+                               B.subview(kb, jb, s, s),
+                               C.subview(r0, jb, nr, s),
+                               /*accumulate=*/kb != 0);
+          } else {
+            unit.gemm(A.subview(r0, kb, nr, s), B.subview(kb, jb, s, s),
+                      C.subview(r0, jb, nr, s), /*accumulate=*/kb != 0);
+          }
+        }
+      };
+      if (opts.affinity) {
+        exec.submit_affine(chunk_cost, chain, std::move(task));
+      } else {
+        exec.submit(chunk_cost, std::move(task));
       }
-    };
-    if (opts.affinity) {
-      exec.submit_affine(strip_cost, chain, std::move(task));
-    } else {
-      exec.submit(strip_cost, std::move(task));
     }
+    r0 += nr;
   }
   exec.join();
 }

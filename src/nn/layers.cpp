@@ -36,8 +36,13 @@ Matrix<double> DenseLayer::forward(Device<double>& dev,
   if (activations.cols != weights_.rows()) {
     throw std::invalid_argument("DenseLayer: activation width mismatch");
   }
+  // The weights are the layer's long-lived resident operand, so their
+  // tiles carry identity keys (storage addresses): repeated forwards on
+  // a device whose cache covers the weight tiles skip the re-load
+  // latency, the same contract the executor path realizes per lane. A
+  // single forward's charges are unchanged.
   Matrix<double> out =
-      linalg::matmul_tcu(dev, activations, weights_.view());
+      linalg::matmul_tcu_resident(dev, activations, weights_.view());
   apply_epilogue(out, bias_, relu);
   dev.charge_cpu(out.rows() * out.cols() * (relu ? 2 : 1));
   return out;
@@ -123,52 +128,146 @@ void check_conv_shapes(ConstMatrixView<double> input, std::size_t channels,
   }
 }
 
+/// The im2col lowering, laid out tile-aligned: `cols` (output positions x
+/// filter taps) and `bank` (taps x output channels) are zero-padded up to
+/// multiples of sqrt(m), so the GEMM below is one aligned Theorem 2
+/// schedule on every path (the padding contributes exact zeros and only
+/// lower-order CPU work, charged by the caller via `cpu_ops`).
+struct ConvLowering {
+  std::size_t h = 0, w = 0, oh = 0, ow = 0, patch = 0, channels_out = 0;
+  std::size_t rows_p = 0, patch_p = 0, cout_p = 0;  // tile-aligned shape
+  Matrix<double> cols, bank;
+  std::uint64_t cpu_ops = 0;  ///< lowering cost, charged by the caller
+};
+
+ConvLowering lower_conv(std::size_t s, ConstMatrixView<double> input,
+                        std::size_t channels_in,
+                        ConstMatrixView<double> filters, std::size_t kh,
+                        std::size_t kw) {
+  check_conv_shapes(input, channels_in, filters, kh, kw);
+  ConvLowering lo;
+  lo.h = input.rows / channels_in;
+  lo.w = input.cols;
+  lo.oh = lo.h - kh + 1;
+  lo.ow = lo.w - kw + 1;
+  lo.patch = channels_in * kh * kw;
+  lo.channels_out = filters.rows;
+  auto pad = [s](std::size_t n) { return ((n + s - 1) / s) * s; };
+  lo.rows_p = pad(lo.oh * lo.ow);
+  lo.patch_p = pad(lo.patch);
+  lo.cout_p = pad(lo.channels_out);
+
+  // im2col: one row per output position, one column per filter tap.
+  lo.cols = Matrix<double>(lo.rows_p, lo.patch_p, 0.0);
+  for (std::size_t oy = 0; oy < lo.oh; ++oy) {
+    for (std::size_t ox = 0; ox < lo.ow; ++ox) {
+      std::size_t t = 0;
+      for (std::size_t c = 0; c < channels_in; ++c) {
+        for (std::size_t dy = 0; dy < kh; ++dy) {
+          for (std::size_t dx = 0; dx < kw; ++dx) {
+            lo.cols(oy * lo.ow + ox, t++) = input(c * lo.h + oy + dy, ox + dx);
+          }
+        }
+      }
+    }
+  }
+  lo.bank = Matrix<double>(lo.patch_p, lo.cout_p, 0.0);
+  for (std::size_t c = 0; c < lo.channels_out; ++c) {
+    for (std::size_t t = 0; t < lo.patch; ++t) lo.bank(t, c) = filters(c, t);
+  }
+  lo.cpu_ops = static_cast<std::uint64_t>(lo.rows_p) * lo.patch_p +
+               static_cast<std::uint64_t>(lo.patch_p) * lo.cout_p;
+  return lo;
+}
+
+/// Identity of the bank tile at origin (kb, jb), keyed on the caller's
+/// `filters` storage — not on the per-call bank repack — so residency
+/// survives across conv2d calls against the same filters. Tile origins
+/// are clamped into the real bank region by construction (every aligned
+/// tile origin satisfies kb < patch, jb < channels_out), and bank(t, c)
+/// mirrors filters(c, t), so the keyed element is &filters(jb, kb).
+linalg::TileKeyFn conv_bank_key(ConstMatrixView<double> filters) {
+  return [filters](std::size_t kb, std::size_t jb) -> std::uint64_t {
+    return static_cast<std::uint64_t>(
+        reinterpret_cast<std::uintptr_t>(&filters(jb, kb)));
+  };
+}
+
+/// Fold the aligned GEMM result back to (channels_out * oh) x ow.
+Matrix<double> conv_relayout(const ConvLowering& lo,
+                             const Matrix<double>& gem) {
+  Matrix<double> out(lo.channels_out * lo.oh, lo.ow);
+  for (std::size_t c = 0; c < lo.channels_out; ++c) {
+    for (std::size_t oy = 0; oy < lo.oh; ++oy) {
+      for (std::size_t ox = 0; ox < lo.ow; ++ox) {
+        out(c * lo.oh + oy, ox) = gem(oy * lo.ow + ox, c);
+      }
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 Matrix<double> conv2d_tcu(Device<double>& dev, ConstMatrixView<double> input,
                           std::size_t channels_in,
                           ConstMatrixView<double> filters, std::size_t kh,
                           std::size_t kw) {
-  check_conv_shapes(input, channels_in, filters, kh, kw);
-  const std::size_t h = input.rows / channels_in;
-  const std::size_t w = input.cols;
-  const std::size_t oh = h - kh + 1;
-  const std::size_t ow = w - kw + 1;
-  const std::size_t patch = channels_in * kh * kw;
+  ConvLowering lo = lower_conv(dev.tile_dim(), input, channels_in, filters,
+                               kh, kw);
+  dev.charge_cpu(lo.cpu_ops);
 
-  // im2col: one row per output position, one column per filter tap.
-  Matrix<double> cols(oh * ow, patch);
-  for (std::size_t oy = 0; oy < oh; ++oy) {
-    for (std::size_t ox = 0; ox < ow; ++ox) {
-      std::size_t t = 0;
-      for (std::size_t c = 0; c < channels_in; ++c) {
-        for (std::size_t dy = 0; dy < kh; ++dy) {
-          for (std::size_t dx = 0; dx < kw; ++dx) {
-            cols(oy * ow + ox, t++) = input(c * h + oy + dy, ox + dx);
-          }
-        }
-      }
-    }
-  }
-  dev.charge_cpu(oh * ow * patch);
+  // Tall GEMM: every output position streams past the resident filters,
+  // whose tiles carry stable identity keys — the bank's load latency is
+  // charged once per tile load, not per call touching it.
+  Matrix<double> gem(lo.rows_p, lo.cout_p, 0.0);
+  linalg::matmul_tcu_resident_into(dev, lo.cols.view(), lo.bank.view(),
+                                   gem.view(), conv_bank_key(filters));
 
-  // Tall GEMM: every output position streams past the resident filters.
-  Matrix<double> bank = transposed(filters);  // (patch x channels_out)
-  dev.charge_cpu(filters.rows * filters.cols);
-  Matrix<double> gem = linalg::matmul_tcu(dev, cols.view(), bank.view());
-
-  // Re-layout to (channels_out * oh) x ow.
-  const std::size_t channels_out = filters.rows;
-  Matrix<double> out(channels_out * oh, ow);
-  for (std::size_t c = 0; c < channels_out; ++c) {
-    for (std::size_t oy = 0; oy < oh; ++oy) {
-      for (std::size_t ox = 0; ox < ow; ++ox) {
-        out(c * oh + oy, ox) = gem(oy * ow + ox, c);
-      }
-    }
-  }
-  dev.charge_cpu(channels_out * oh * ow);
+  Matrix<double> out = conv_relayout(lo, gem);
+  dev.charge_cpu(lo.channels_out * lo.oh * lo.ow);
   return out;
+}
+
+Matrix<double> conv2d_tcu_pool(PoolExecutor<double>& exec,
+                               ConstMatrixView<double> input,
+                               std::size_t channels_in,
+                               ConstMatrixView<double> filters,
+                               std::size_t kh, std::size_t kw,
+                               const linalg::PoolMatmulOptions& opts) {
+  DevicePool<double>& pool = exec.pool();
+  const std::size_t s = pool.unit(0).tile_dim();
+  ConvLowering lo = lower_conv(s, input, channels_in, filters, kh, kw);
+  pool.charge_cpu(lo.cpu_ops);
+
+  Matrix<double> gem(lo.rows_p, lo.cout_p, 0.0);
+
+  // One shared dealer serves both modes: split_chains fans the bank out
+  // as (tile, strip) tasks with a CPU combine; otherwise the im2col rows
+  // are split into up to p tile-aligned chunks (the DFT levels' schedule)
+  // so the product parallelizes even with fewer output strips than
+  // units. Bank tiles are keyed on the caller's filters storage either
+  // way. row_chunks 0 ("auto") becomes the unit count; explicit values
+  // (including 1, the one-task-per-strip schedule) are honored.
+  linalg::PoolMatmulOptions gemm_opts = opts;
+  gemm_opts.tile_key = conv_bank_key(filters);
+  if (gemm_opts.row_chunks == 0) gemm_opts.row_chunks = pool.size();
+  linalg::matmul_tcu_pool_into(exec, lo.cols.view(), lo.bank.view(),
+                               gem.view(), gemm_opts);
+
+  Matrix<double> out = conv_relayout(lo, gem);
+  pool.charge_cpu(lo.channels_out * lo.oh * lo.ow);
+  return out;
+}
+
+Matrix<double> conv2d_tcu_pool(DevicePool<double>& pool,
+                               ConstMatrixView<double> input,
+                               std::size_t channels_in,
+                               ConstMatrixView<double> filters,
+                               std::size_t kh, std::size_t kw,
+                               const linalg::PoolMatmulOptions& opts) {
+  PoolExecutor<double> exec(pool);
+  return conv2d_tcu_pool(exec, input, channels_in, filters, kh, kw, opts);
 }
 
 Matrix<double> conv2d_ram(ConstMatrixView<double> input,

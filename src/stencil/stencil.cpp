@@ -4,16 +4,22 @@
 #include <vector>
 
 #include "dft/dft.hpp"
+#include "stencil/stencil_ctx.hpp"
 
 namespace tcu::stencil {
 
 namespace {
 
+/// Execution handle threading the Lemma 1 / Lemma 2 pipeline through
+/// either a single device or a pool executor — the residency-tagged DFT
+/// dispatch shared with the 1-D pipeline (see stencil_ctx.hpp).
+using StencilCtx = detail::DftDispatch;
+
 /// Linear 2-D convolution of real matrices a (ra x ca) and b (rb x cb)
 /// into (ra+rb-1) x (ca+cb-1), computed as a circular convolution of
 /// exactly that size on the tensor unit (no wrap-around can occur at full
 /// size). Used by the Lemma 2 polynomial powering.
-Matrix<double> conv2_linear_tcu(Device<Complex>& dev,
+Matrix<double> conv2_linear_tcu(const StencilCtx& ctx,
                                 ConstMatrixView<double> a,
                                 ConstMatrixView<double> b) {
   const std::size_t out_rows = a.rows + b.rows - 1;
@@ -33,26 +39,26 @@ Matrix<double> conv2_linear_tcu(Device<Complex>& dev,
   for (std::size_t i = 0; i < b.rows; ++i) {
     for (std::size_t j = 0; j < b.cols; ++j) pb(i, j) = b(i, j);
   }
-  dev.charge_cpu(2 * rows * cols);
-  auto full = tcu::dft::circular_convolve2_tcu(dev, pa.view(), pb.view());
+  ctx.charge_cpu(2 * rows * cols);
+  auto full = ctx.circular_convolve2(pa.view(), pb.view());
   Matrix<double> out(out_rows, out_cols);
   for (std::size_t i = 0; i < out_rows; ++i) {
     for (std::size_t j = 0; j < out_cols; ++j) {
       out(i, j) = full(i, j).real();
     }
   }
-  dev.charge_cpu(out_rows * out_cols);
+  ctx.charge_cpu(out_rows * out_cols);
   return out;
 }
 
 /// Convolution power by repeated squaring (the P(x,y)^k of Lemma 2).
-Matrix<double> kernel_power(Device<Complex>& dev, const Kernel3& w,
+Matrix<double> kernel_power(const StencilCtx& ctx, const Kernel3& w,
                             std::size_t k) {
   if (k == 1) return w;
-  Matrix<double> half = kernel_power(dev, w, k / 2);
-  Matrix<double> sq = conv2_linear_tcu(dev, half.view(), half.view());
+  Matrix<double> half = kernel_power(ctx, w, k / 2);
+  Matrix<double> sq = conv2_linear_tcu(ctx, half.view(), half.view());
   if (k % 2 == 0) return sq;
-  return conv2_linear_tcu(dev, sq.view(), w.view());
+  return conv2_linear_tcu(ctx, sq.view(), w.view());
 }
 
 void check_kernel(const Kernel3& w) {
@@ -65,13 +71,13 @@ void check_kernel(const Kernel3& w) {
 /// vertically in `stack` ((count*N) x N). The row pass transforms all
 /// rows of all blocks with one batched call per DFT level; the column
 /// pass transposes each block, batches again, and transposes back.
-void dft2_stacked(Device<Complex>& dev, MatrixView<Complex> stack,
+void dft2_stacked(const StencilCtx& ctx, MatrixView<Complex> stack,
                   std::size_t block, bool inverse) {
   auto pass = [&](MatrixView<Complex> rows) {
     if (inverse) {
-      tcu::dft::idft_batch_tcu(dev, rows);
+      ctx.idft_batch(rows);
     } else {
-      tcu::dft::dft_batch_tcu(dev, rows);
+      ctx.dft_batch(rows);
     }
   };
   pass(stack);
@@ -84,7 +90,7 @@ void dft2_stacked(Device<Complex>& dev, MatrixView<Complex> stack,
       }
     }
   }
-  dev.charge_cpu(stack.rows * block);
+  ctx.charge_cpu(stack.rows * block);
   pass(stack);
   for (std::size_t bidx = 0; bidx < count; ++bidx) {
     auto blk = stack.subview(bidx * block, 0, block, block);
@@ -94,7 +100,114 @@ void dft2_stacked(Device<Complex>& dev, MatrixView<Complex> stack,
       }
     }
   }
-  dev.charge_cpu(stack.rows * block);
+  ctx.charge_cpu(stack.rows * block);
+}
+
+Matrix<double> weight_matrix_impl(const StencilCtx& ctx, const Kernel3& w,
+                                  std::size_t k) {
+  check_kernel(w);
+  if (k == 0) throw std::invalid_argument("stencil: k must be >= 1");
+  return kernel_power(ctx, w, k);
+}
+
+Matrix<double> stencil_impl(const StencilCtx& ctx,
+                            ConstMatrixView<double> grid, const Kernel3& w,
+                            std::size_t k) {
+  check_kernel(w);
+  if (k == 0) throw std::invalid_argument("stencil: k must be >= 1");
+  const std::size_t rows = grid.rows, cols = grid.cols;
+  if (rows == 0 || cols == 0) return Matrix<double>(rows, cols);
+
+  // Zero-pad the grid to a multiple of k per side (exact for the
+  // zero-boundary semantics).
+  const std::size_t pr = ((rows + k - 1) / k) * k;
+  const std::size_t pc = ((cols + k - 1) / k) * k;
+  Matrix<double> padded(pr, pc, 0.0);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) padded(i, j) = grid(i, j);
+  }
+  ctx.charge_cpu(pr * pc);
+
+  // Lemma 2: the unrolled weight matrix.
+  Matrix<double> W = weight_matrix_impl(ctx, w, k);
+  const std::size_t N = 3 * k;  // block neighbourhood / convolution size
+
+  // Kernel for correlation-as-convolution at size N:
+  // Kf[(-a) mod N][(-b) mod N] = W[k+a][k+b].
+  Matrix<Complex> kf(N, N, Complex{});
+  for (std::int64_t a = -static_cast<std::int64_t>(k);
+       a <= static_cast<std::int64_t>(k); ++a) {
+    for (std::int64_t b = -static_cast<std::int64_t>(k);
+         b <= static_cast<std::int64_t>(k); ++b) {
+      const std::size_t u = static_cast<std::size_t>(
+          ((-a) % static_cast<std::int64_t>(N) + static_cast<std::int64_t>(N)) %
+          static_cast<std::int64_t>(N));
+      const std::size_t v = static_cast<std::size_t>(
+          ((-b) % static_cast<std::int64_t>(N) + static_cast<std::int64_t>(N)) %
+          static_cast<std::int64_t>(N));
+      kf(u, v) = W(static_cast<std::size_t>(k + a),
+                   static_cast<std::size_t>(k + b));
+    }
+  }
+  ctx.charge_cpu((2 * k + 1) * (2 * k + 1));
+  Matrix<Complex> fk = ctx.dft2(kf.view(), false);
+
+  // Assemble every block's 3k x 3k neighbourhood, stacked vertically so
+  // the batched DFT shares tensor calls across all blocks (Lemma 1).
+  const std::size_t br = pr / k, bc = pc / k;
+  const std::size_t count = br * bc;
+  Matrix<Complex> stack(count * N, N, Complex{});
+  for (std::size_t rb = 0; rb < br; ++rb) {
+    for (std::size_t cb = 0; cb < bc; ++cb) {
+      const std::size_t bidx = rb * bc + cb;
+      for (std::size_t i = 0; i < N; ++i) {
+        const std::int64_t gi = static_cast<std::int64_t>(rb * k + i) -
+                                static_cast<std::int64_t>(k);
+        if (gi < 0 || gi >= static_cast<std::int64_t>(pr)) continue;
+        for (std::size_t j = 0; j < N; ++j) {
+          const std::int64_t gj = static_cast<std::int64_t>(cb * k + j) -
+                                  static_cast<std::int64_t>(k);
+          if (gj < 0 || gj >= static_cast<std::int64_t>(pc)) continue;
+          stack(bidx * N + i, j) =
+              padded(static_cast<std::size_t>(gi),
+                     static_cast<std::size_t>(gj));
+        }
+      }
+    }
+  }
+  ctx.charge_cpu(count * N * N);
+
+  // Forward transform of all neighbourhoods, pointwise multiply with the
+  // kernel spectrum, inverse transform.
+  dft2_stacked(ctx, stack.view(), N, /*inverse=*/false);
+  for (std::size_t bidx = 0; bidx < count; ++bidx) {
+    for (std::size_t i = 0; i < N; ++i) {
+      for (std::size_t j = 0; j < N; ++j) {
+        stack(bidx * N + i, j) *= fk(i, j);
+      }
+    }
+  }
+  ctx.charge_cpu(count * N * N);
+  dft2_stacked(ctx, stack.view(), N, /*inverse=*/true);
+
+  // Extract the centre k x k of each block.
+  Matrix<double> out(rows, cols, 0.0);
+  for (std::size_t rb = 0; rb < br; ++rb) {
+    for (std::size_t cb = 0; cb < bc; ++cb) {
+      const std::size_t bidx = rb * bc + cb;
+      for (std::size_t i = 0; i < k; ++i) {
+        const std::size_t gi = rb * k + i;
+        if (gi >= rows) continue;
+        for (std::size_t j = 0; j < k; ++j) {
+          const std::size_t gj = cb * k + j;
+          if (gj >= cols) continue;
+          out(gi, gj) = stack(bidx * N + k + i, k + j).real();
+        }
+      }
+    }
+  }
+  ctx.charge_cpu(count * k * k);
+  return out;
 }
 
 }  // namespace
@@ -180,109 +293,26 @@ Matrix<double> weight_matrix_unrolled(const Kernel3& w, std::size_t k,
 
 Matrix<double> weight_matrix_tcu(Device<Complex>& dev, const Kernel3& w,
                                  std::size_t k) {
-  check_kernel(w);
-  if (k == 0) throw std::invalid_argument("stencil: k must be >= 1");
-  return kernel_power(dev, w, k);
+  return weight_matrix_impl(StencilCtx{.dev = &dev}, w, k);
 }
 
 Matrix<double> stencil_tcu(Device<Complex>& dev,
                            ConstMatrixView<double> grid, const Kernel3& w,
                            std::size_t k) {
-  check_kernel(w);
-  if (k == 0) throw std::invalid_argument("stencil: k must be >= 1");
-  const std::size_t rows = grid.rows, cols = grid.cols;
-  if (rows == 0 || cols == 0) return Matrix<double>(rows, cols);
+  return stencil_impl(StencilCtx{.dev = &dev}, grid, w, k);
+}
 
-  // Zero-pad the grid to a multiple of k per side (exact for the
-  // zero-boundary semantics).
-  const std::size_t pr = ((rows + k - 1) / k) * k;
-  const std::size_t pc = ((cols + k - 1) / k) * k;
-  Matrix<double> padded(pr, pc, 0.0);
-  for (std::size_t i = 0; i < rows; ++i) {
-    for (std::size_t j = 0; j < cols; ++j) padded(i, j) = grid(i, j);
-  }
-  dev.charge_cpu(pr * pc);
+Matrix<double> stencil_tcu_pool(PoolExecutor<Complex>& exec,
+                                ConstMatrixView<double> grid,
+                                const Kernel3& w, std::size_t k) {
+  return stencil_impl(StencilCtx{.exec = &exec}, grid, w, k);
+}
 
-  // Lemma 2: the unrolled weight matrix.
-  Matrix<double> W = weight_matrix_tcu(dev, w, k);
-  const std::size_t N = 3 * k;  // block neighbourhood / convolution size
-
-  // Kernel for correlation-as-convolution at size N:
-  // Kf[(-a) mod N][(-b) mod N] = W[k+a][k+b].
-  Matrix<Complex> kf(N, N, Complex{});
-  for (std::int64_t a = -static_cast<std::int64_t>(k);
-       a <= static_cast<std::int64_t>(k); ++a) {
-    for (std::int64_t b = -static_cast<std::int64_t>(k);
-         b <= static_cast<std::int64_t>(k); ++b) {
-      const std::size_t u = static_cast<std::size_t>(
-          ((-a) % static_cast<std::int64_t>(N) + static_cast<std::int64_t>(N)) %
-          static_cast<std::int64_t>(N));
-      const std::size_t v = static_cast<std::size_t>(
-          ((-b) % static_cast<std::int64_t>(N) + static_cast<std::int64_t>(N)) %
-          static_cast<std::int64_t>(N));
-      kf(u, v) = W(static_cast<std::size_t>(k + a),
-                   static_cast<std::size_t>(k + b));
-    }
-  }
-  dev.charge_cpu((2 * k + 1) * (2 * k + 1));
-  Matrix<Complex> fk = tcu::dft::dft2_tcu(dev, kf.view(), false);
-
-  // Assemble every block's 3k x 3k neighbourhood, stacked vertically so
-  // the batched DFT shares tensor calls across all blocks (Lemma 1).
-  const std::size_t br = pr / k, bc = pc / k;
-  const std::size_t count = br * bc;
-  Matrix<Complex> stack(count * N, N, Complex{});
-  for (std::size_t rb = 0; rb < br; ++rb) {
-    for (std::size_t cb = 0; cb < bc; ++cb) {
-      const std::size_t bidx = rb * bc + cb;
-      for (std::size_t i = 0; i < N; ++i) {
-        const std::int64_t gi = static_cast<std::int64_t>(rb * k + i) -
-                                static_cast<std::int64_t>(k);
-        if (gi < 0 || gi >= static_cast<std::int64_t>(pr)) continue;
-        for (std::size_t j = 0; j < N; ++j) {
-          const std::int64_t gj = static_cast<std::int64_t>(cb * k + j) -
-                                  static_cast<std::int64_t>(k);
-          if (gj < 0 || gj >= static_cast<std::int64_t>(pc)) continue;
-          stack(bidx * N + i, j) =
-              padded(static_cast<std::size_t>(gi),
-                     static_cast<std::size_t>(gj));
-        }
-      }
-    }
-  }
-  dev.charge_cpu(count * N * N);
-
-  // Forward transform of all neighbourhoods, pointwise multiply with the
-  // kernel spectrum, inverse transform.
-  dft2_stacked(dev, stack.view(), N, /*inverse=*/false);
-  for (std::size_t bidx = 0; bidx < count; ++bidx) {
-    for (std::size_t i = 0; i < N; ++i) {
-      for (std::size_t j = 0; j < N; ++j) {
-        stack(bidx * N + i, j) *= fk(i, j);
-      }
-    }
-  }
-  dev.charge_cpu(count * N * N);
-  dft2_stacked(dev, stack.view(), N, /*inverse=*/true);
-
-  // Extract the centre k x k of each block.
-  Matrix<double> out(rows, cols, 0.0);
-  for (std::size_t rb = 0; rb < br; ++rb) {
-    for (std::size_t cb = 0; cb < bc; ++cb) {
-      const std::size_t bidx = rb * bc + cb;
-      for (std::size_t i = 0; i < k; ++i) {
-        const std::size_t gi = rb * k + i;
-        if (gi >= rows) continue;
-        for (std::size_t j = 0; j < k; ++j) {
-          const std::size_t gj = cb * k + j;
-          if (gj >= cols) continue;
-          out(gi, gj) = stack(bidx * N + k + i, k + j).real();
-        }
-      }
-    }
-  }
-  dev.charge_cpu(count * k * k);
-  return out;
+Matrix<double> stencil_tcu_pool(DevicePool<Complex>& pool,
+                                ConstMatrixView<double> grid,
+                                const Kernel3& w, std::size_t k) {
+  PoolExecutor<Complex> exec(pool);
+  return stencil_tcu_pool(exec, grid, w, k);
 }
 
 }  // namespace tcu::stencil

@@ -32,6 +32,7 @@
 
 #include "core/device.hpp"
 #include "core/matrix.hpp"
+#include "core/pool.hpp"
 
 namespace tcu::stencil {
 
@@ -61,9 +62,33 @@ Matrix<double> weight_matrix_tcu(Device<Complex>& dev, const Kernel3& w,
 
 /// Lemma 1 + Theorem 8: the full (n, k)-stencil via blocked convolution
 /// with batched DFTs. Any grid size (padded to a multiple of k with
-/// zeros, which is exact for the zero-boundary semantics).
+/// zeros, which is exact for the zero-boundary semantics). Every DFT
+/// level's Fourier tile is residency-tagged (DftOptions::affinity): the
+/// Theta(n/k^2) batched transforms re-visit the same levels many times
+/// per call, so the tile stays resident instead of reloading — the
+/// serial path shows strictly positive `Counters::resident_hits`.
 Matrix<double> stencil_tcu(Device<Complex>& dev,
                            ConstMatrixView<double> grid, const Kernel3& w,
                            std::size_t k);
+
+/// Multi-unit stencil over a caller-owned persistent executor: each DFT
+/// level's single tall tensor product is row-chunked across the pool's
+/// units, and every chunk declares the level's Fourier-tile key as its
+/// chain — so batched transforms pay each level's tile load once per
+/// lane while it stays cached, not once per chunk. Outputs are
+/// bit-identical to `stencil_tcu` at every unit count, and so is every
+/// aggregate counter except the documented chunking effect on the
+/// latency split: with `calls` the aggregate tensor-call count,
+/// `latency_time + latency_saved - serial.latency_time ==
+/// (calls - serial.tensor_calls) * l` (a 1-unit pool matches serial in
+/// every field).
+Matrix<double> stencil_tcu_pool(PoolExecutor<Complex>& exec,
+                                ConstMatrixView<double> grid,
+                                const Kernel3& w, std::size_t k);
+
+/// Same, with a throwaway executor spawned for the call.
+Matrix<double> stencil_tcu_pool(DevicePool<Complex>& pool,
+                                ConstMatrixView<double> grid,
+                                const Kernel3& w, std::size_t k);
 
 }  // namespace tcu::stencil

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/device.hpp"
+#include "core/pool.hpp"
 #include "dft/dft.hpp"
 
 namespace tcu::stencil {
@@ -28,10 +29,25 @@ std::vector<double> weight_vector_tcu(Device<dft::Complex>& dev,
                                       const std::array<double, 3>& w,
                                       std::size_t k);
 
-/// Blocked-convolution evaluation (the 1-D Lemma 1 + Theorem 8).
+/// Blocked-convolution evaluation (the 1-D Lemma 1 + Theorem 8). DFT
+/// level tiles are residency-tagged, exactly as in the 2-D pipeline.
 std::vector<double> stencil1d_tcu(Device<dft::Complex>& dev,
                                   const std::vector<double>& signal,
                                   const std::array<double, 3>& w,
                                   std::size_t k);
+
+/// Multi-unit 1-D stencil: same contract as `stencil_tcu_pool` — outputs
+/// bit-identical to the serial path at every unit count, counters
+/// matching modulo the documented chunked-call latency split.
+std::vector<double> stencil1d_tcu_pool(PoolExecutor<dft::Complex>& exec,
+                                       const std::vector<double>& signal,
+                                       const std::array<double, 3>& w,
+                                       std::size_t k);
+
+/// Same, with a throwaway executor spawned for the call.
+std::vector<double> stencil1d_tcu_pool(DevicePool<dft::Complex>& pool,
+                                       const std::vector<double>& signal,
+                                       const std::array<double, 3>& w,
+                                       std::size_t k);
 
 }  // namespace tcu::stencil
