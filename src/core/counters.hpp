@@ -21,6 +21,7 @@ struct Counters {
   std::uint64_t resident_hits = 0;    ///< calls served by a resident tile
   std::uint64_t latency_saved = 0;    ///< latency charges skipped by hits
   std::uint64_t evictions = 0;        ///< resident tiles displaced by loads
+  std::uint64_t tagged_calls = 0;     ///< calls issued with a residency key
 
   // --- CPU / RAM ---
   std::uint64_t cpu_ops = 0;          ///< unit-cost RAM operations
@@ -67,6 +68,7 @@ struct Counters {
     resident_hits += other.resident_hits;
     latency_saved += other.latency_saved;
     evictions += other.evictions;
+    tagged_calls += other.tagged_calls;
     cpu_ops += other.cpu_ops;
     systolic_cycles += other.systolic_cycles;
     return *this;

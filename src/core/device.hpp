@@ -28,6 +28,7 @@
 
 #include "core/counters.hpp"
 #include "core/matrix.hpp"
+#include "core/observer.hpp"
 #include "core/trace.hpp"
 
 namespace tcu {
@@ -163,6 +164,14 @@ class Device {
     if (cfg_.m == 0) throw std::invalid_argument("Device: m must be >= 1");
     s_ = exact_sqrt(cfg_.m);
     if (!engine_) throw std::invalid_argument("Device: null engine");
+#ifdef TCU_CHECK
+    // Debug-mode contract checking: every device is born with a checker
+    // shadowing its resident set and counters (src/check/contract.cpp).
+    auto_checker_.reset(check::make_auto_checker(cfg_.name.c_str(),
+                                                 cfg_.latency, s_,
+                                                 cfg_.allow_tall,
+                                                 cache_.capacity()));
+#endif
   }
 
   std::size_t m() const { return cfg_.m; }
@@ -180,8 +189,10 @@ class Device {
   /// its tiles.
   void gemm(ConstMatrixView<T> A, ConstMatrixView<T> B, MatrixView<T> C,
             bool accumulate = false) {
+    validate_shapes(A, B, C);  // reject before mutating the resident set
     cache_.clear();
     gemm_charged(A, B, C, accumulate, /*first_hit=*/false, /*tracked=*/false);
+    notify_gemm(kNoResident, /*tagged=*/false);
   }
 
   /// Like `gemm`, but the right operand carries a caller-chosen nonzero
@@ -200,10 +211,12 @@ class Device {
       gemm(A, B, C, accumulate);
       return;
     }
+    validate_shapes(A, B, C);  // reject before mutating the resident set
     bool evicted = false;
     const bool hit = cache_.touch(key, &evicted);
     if (evicted) counters_.count_eviction();
     gemm_charged(A, B, C, accumulate, hit, /*tracked=*/true);
+    notify_gemm(key, /*tagged=*/true);
   }
 
   /// Identity of the most-recently-used resident operand (0 = none).
@@ -220,7 +233,10 @@ class Device {
   /// invalidation, not capacity pressure). PoolExecutor re-anchors with
   /// this when a failed task leaves the declared chain unfinished, so the
   /// scheduler's prediction can never drift from the unit's state.
-  void evict_all() { cache_.clear(); }
+  void evict_all() {
+    cache_.clear();
+    if (auto* obs = observer()) obs->on_evict_all();
+  }
 
   static constexpr std::uint64_t kNoResident = 0;
 
@@ -237,6 +253,23 @@ class Device {
     counters_.reset();
     trace_.clear();
     cache_.clear();
+    if (auto* obs = observer()) obs->on_reset();
+  }
+
+  /// The observer receiving this device's events: an explicitly attached
+  /// one (set_observer) wins over the TCU_CHECK auto-attached checker.
+  check::UnitObserver* observer() const {
+    return observer_ ? observer_ : auto_checker_.get();
+  }
+
+  /// Attach (or with nullptr, detach) an explicit observer; returns the
+  /// previous explicit observer so scoped attachments can restore it.
+  /// Only call while the device is quiescent. The auto-attached checker
+  /// is masked while an explicit observer is set and told to resync,
+  /// since it misses the masked events.
+  check::UnitObserver* set_observer(check::UnitObserver* obs) {
+    if (auto* auto_obs = auto_checker_.get()) auto_obs->on_desync();
+    return std::exchange(observer_, obs);
   }
 
   /// Charge `ops` unit-cost RAM operations (the algorithms' CPU work).
@@ -288,7 +321,8 @@ class Device {
     validate_shapes(A, B, C);
     const std::uint64_t n = A.rows;
     if (cfg_.allow_tall || n <= s_) {
-      issue(A, B, C, accumulate, std::max<std::uint64_t>(n, s_), first_hit);
+      issue(A, B, C, accumulate, std::max<std::uint64_t>(n, s_), first_hit,
+            tracked);
       return;
     }
     // Weak model: split the tall operand into square tiles (Section 5).
@@ -296,20 +330,28 @@ class Device {
     for (std::size_t r0 = 0; r0 < n; r0 += s_) {
       const std::size_t rows = std::min(s_, static_cast<std::size_t>(n) - r0);
       issue(A.row_block(r0, rows), B, C.row_block(r0, rows), accumulate, s_,
-            hit);
+            hit, tracked);
       hit = tracked;  // the tile stays resident for the rest of the split
     }
   }
 
   void issue(ConstMatrixView<T> A, ConstMatrixView<T> B, MatrixView<T> C,
-             bool accumulate, std::uint64_t charged_rows, bool hit = false) {
+             bool accumulate, std::uint64_t charged_rows, bool hit,
+             bool tagged) {
     engine_(A, B, C, accumulate, counters_);
     if (hit) {
       counters_.charge_resident_hit(charged_rows, s_, cfg_.latency);
     } else {
       counters_.charge_tensor_call(charged_rows, s_, cfg_.latency);
     }
+    if (tagged) ++counters_.tagged_calls;
     if (tracing_) trace_.record(charged_rows, s_, accumulate);
+  }
+
+  void notify_gemm(std::uint64_t key, bool tagged) {
+    if (auto* obs = observer()) {
+      obs->on_gemm(key, tagged, counters_, cache_.entries());
+    }
   }
 
   Config cfg_;
@@ -319,6 +361,8 @@ class Device {
   Counters counters_;
   Trace trace_;
   bool tracing_ = false;
+  check::UnitObserver* observer_ = nullptr;  ///< explicit, non-owning
+  check::OwnedChecker auto_checker_;         ///< TCU_CHECK auto-attach
 };
 
 /// Closed-form model cost of one tall tensor call (for bench predictions).

@@ -1,0 +1,131 @@
+#pragma once
+// Instrumentation seam for the (m, l)-TCU contract checker.
+//
+// The model's correctness story rests on conventions the type system
+// cannot see: long-lived right operands must be tagged with
+// `gemm_resident`, a `submit_affine` chain must list exactly the keys its
+// task touches, and per-unit counters must satisfy closed-form
+// conservation laws. `UnitObserver` is the hook through which a checker
+// watches one `Device` — every tensor call, invalidation, reset, and
+// (through `PoolExecutor`) task bracket and join barrier — without the
+// core headers depending on the checker. The production build carries
+// only a null-pointer test per event; `src/check/contract.hpp` provides
+// the real implementation, and building with -DTCU_CHECK=ON attaches one
+// checker per device automatically.
+//
+// Threading contract: a device's observer is invoked only from the thread
+// that owns the device (the caller in serial code, the one worker thread
+// of that unit's lane under PoolExecutor). `on_join` is invoked from the
+// submitting thread, but only at the join barrier, after the lane's idle
+// wait — so it is ordered after every task-side event. Observers
+// therefore need no locking for per-unit state. Attach or detach
+// observers only while the device is quiescent (no queued or running
+// tasks touch it).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/counters.hpp"
+
+namespace tcu::check {
+
+class UnitObserver {
+ public:
+  virtual ~UnitObserver() = default;
+
+  /// A tensor call completed on the device. `key` is the resident-operand
+  /// identity (Device::kNoResident for untagged calls), `tagged` says
+  /// whether the call went through `gemm_resident` with a nonzero key.
+  /// `after` are the unit's counters and `cache_entries` its resident set
+  /// (LRU -> MRU) *after* the call charged.
+  virtual void on_gemm(std::uint64_t key, bool tagged, const Counters& after,
+                       const std::vector<std::uint64_t>& cache_entries) = 0;
+
+  /// Device::evict_all ran: the resident set was explicitly re-anchored
+  /// at empty (no eviction counted).
+  virtual void on_evict_all() {}
+
+  /// Device::reset ran: counters and resident set both returned to zero.
+  virtual void on_reset() {}
+
+  /// The device's effective observer changed (or its state may have been
+  /// mutated outside the observed event stream). A stateful observer
+  /// should drop its shadow state and re-adopt the device's at the next
+  /// event instead of reporting phantom violations.
+  virtual void on_desync() {}
+
+  /// A PoolExecutor task is about to run on this unit's worker thread.
+  /// `chain` is the declared resident-key chain for `submit_affine` tasks
+  /// (null for plain `submit`/`submit_to` tasks, whose calls are assumed
+  /// untagged), `predicted_hits` the dealer's replayed hit count for the
+  /// winning lane, and `affine` whether the task was chain-declared.
+  virtual void on_task_begin(const std::vector<std::uint64_t>* chain,
+                             std::uint64_t predicted_hits, bool affine) {
+    (void)chain;
+    (void)predicted_hits;
+    (void)affine;
+  }
+
+  /// The task returned (`failed` = false) or threw (`failed` = true). A
+  /// failed task abandons its declared chain; the executor re-anchors at
+  /// the next join.
+  virtual void on_task_end(bool failed) { (void)failed; }
+
+  /// The join barrier reached this unit with no recorded worker error.
+  /// `mirror_entries` is the dealer's prediction mirror for the lane
+  /// (LRU -> MRU), which must equal the unit's actual resident set.
+  virtual void on_join(const std::vector<std::uint64_t>& mirror_entries) {
+    (void)mirror_entries;
+  }
+};
+
+/// Factory for the auto-attached checker used by -DTCU_CHECK=ON builds.
+/// Declared here so `Device` (a template instantiated in many TUs) can
+/// create checkers without including the checker implementation; defined
+/// in src/check/contract.cpp. The returned observer is already synced to
+/// an all-zero, empty-cache device — create it at device construction.
+UnitObserver* make_auto_checker(const char* name, std::uint64_t latency,
+                                std::size_t tile_dim, bool allow_tall,
+                                std::size_t cache_capacity);
+void destroy_checker(UnitObserver* checker);
+
+/// Owning handle for an auto-attached checker. Copying a device yields a
+/// copy with no auto checker (shadow state cannot be cloned through the
+/// abstract interface); moving transfers the checker. Destruction is
+/// routed through `destroy_checker` so the core headers never need the
+/// checker's definition.
+class OwnedChecker {
+ public:
+  OwnedChecker() = default;
+  explicit OwnedChecker(UnitObserver* checker) : checker_(checker) {}
+  OwnedChecker(const OwnedChecker&) : checker_(nullptr) {}
+  OwnedChecker& operator=(const OwnedChecker& other) {
+    // A copied-over device has fresh counters the old shadow state cannot
+    // explain: drop the checker rather than report phantom violations.
+    if (this != &other) reset(nullptr);
+    return *this;
+  }
+  OwnedChecker(OwnedChecker&& other) noexcept
+      : checker_(other.checker_) {
+    other.checker_ = nullptr;
+  }
+  OwnedChecker& operator=(OwnedChecker&& other) noexcept {
+    if (this != &other) {
+      reset(other.checker_);
+      other.checker_ = nullptr;
+    }
+    return *this;
+  }
+  ~OwnedChecker() { reset(nullptr); }
+
+  UnitObserver* get() const { return checker_; }
+  void reset(UnitObserver* checker) {
+    if (checker_) destroy_checker(checker_);
+    checker_ = checker;
+  }
+
+ private:
+  UnitObserver* checker_ = nullptr;
+};
+
+}  // namespace tcu::check

@@ -214,6 +214,7 @@ class PoolExecutor {
                             Task task) {
     std::size_t best = 0;
     std::uint64_t best_done = 0;
+    std::uint64_t best_hits = 0;
     TileCache best_cache(1);
     for (std::size_t i = 0; i < projected_.size(); ++i) {
       TileCache sim = lane_cache_[i];
@@ -231,12 +232,13 @@ class PoolExecutor {
       if (i == 0 || done < best_done) {
         best = i;
         best_done = done;
+        best_hits = hits;
         best_cache = std::move(sim);
       }
     }
     projected_[best] = best_done;
     lane_cache_[best] = std::move(best_cache);
-    enqueue(best, std::move(task));
+    enqueue(best, wrap_checked(best, &chain, best_hits, std::move(task)));
     return best;
   }
 
@@ -245,7 +247,8 @@ class PoolExecutor {
     projected_.at(unit) += projected_cost;
     // Untagged work invalidates the unit's whole resident set.
     lane_cache_[unit].clear();
-    enqueue(unit, std::move(task));
+    enqueue(unit, wrap_checked(unit, /*chain=*/nullptr, /*predicted_hits=*/0,
+                               std::move(task)));
   }
 
   /// Drop every resident tile on every unit *and* every prediction
@@ -269,12 +272,23 @@ class PoolExecutor {
       std::unique_lock<std::mutex> lock(lane.mu);
       lane.idle.wait(lock, [&] { return lane.queue.empty() && !lane.busy; });
     }
-    reseed();
     std::exception_ptr error;
     {
       std::lock_guard<std::mutex> lock(error_mu_);
       error = std::exchange(first_error_, nullptr);
     }
+    if (!error) {
+      // Clean barrier: the dealer's prediction mirrors must have replayed
+      // to exactly the units' resident sets. Checked before reseed (which
+      // would make the comparison a tautology); skipped on the error path,
+      // where a failed task legitimately abandoned its declared chain.
+      for (std::size_t i = 0; i < pool_.size(); ++i) {
+        if (auto* obs = pool_.unit(i).observer()) {
+          obs->on_join(lane_cache_[i].entries());
+        }
+      }
+    }
+    reseed();
     if (error) {
       // A failed task abandoned its declared chain mid-flight, so the
       // residency the dealer promised later tasks never materialized.
@@ -295,6 +309,31 @@ class PoolExecutor {
     bool stop = false;
     std::thread worker;
   };
+
+  /// Bracket `task` with observer notifications when the target unit is
+  /// being watched (contract checking). `chain` is the declared resident
+  /// chain for affine tasks, null for plain submits. The chain is copied
+  /// into the wrapper: the checker reads it on the worker thread, after
+  /// the caller's reference may be gone. Unobserved units pay only this
+  /// pointer test.
+  Task wrap_checked(std::size_t unit, const std::vector<std::uint64_t>* chain,
+                    std::uint64_t predicted_hits, Task task) {
+    check::UnitObserver* obs = pool_.unit(unit).observer();
+    if (!obs) return task;
+    const bool affine = chain != nullptr;
+    return [obs, affine, predicted_hits,
+            declared = chain ? *chain : std::vector<std::uint64_t>{},
+            inner = std::move(task)](Device<T>& unit_dev) {
+      obs->on_task_begin(affine ? &declared : nullptr, predicted_hits, affine);
+      try {
+        inner(unit_dev);
+      } catch (...) {
+        obs->on_task_end(/*failed=*/true);
+        throw;
+      }
+      obs->on_task_end(/*failed=*/false);
+    };
+  }
 
   void enqueue(std::size_t unit, Task task) {
     Lane& lane = *lanes_.at(unit);

@@ -5,6 +5,7 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "check/contract.hpp"
 #include "linalg/parallel.hpp"
 
 namespace tcu::dft {
@@ -83,6 +84,10 @@ struct DftCtx {
       if (affinity) {
         dev->gemm_resident(key, A, B, C);
       } else {
+        // Theorem 7's historical accounting: one load per level, even if
+        // a previous level's (or transform's) tile is still resident.
+        check::AllowUntaggedClobber allow_clobber;
+        // tcu-lint: untagged-ok(Theorem 7 pays l per level by contract)
         dev->gemm(A, B, C);
       }
       return;
@@ -110,6 +115,7 @@ struct DftCtx {
       } else {
         exec->submit(projected_gemm_cost(unit0, nr),
                      [A, B, C, r0, nr](Device<Complex>& unit) {
+                       // tcu-lint: untagged-ok(plain-submit chunk; the dealer dropped the lane mirror)
                        unit.gemm(A.row_block(r0, nr), B, C.row_block(r0, nr));
                      });
       }
@@ -156,6 +162,7 @@ void ct_level(const DftCtx& ctx, MatrixView<Complex> batch, std::size_t n1,
   ctx.charge_cpu(b * len);
 
   Matrix<Complex> transformed(b * n2, s, Complex{});
+  // tcu-lint: untagged-ok(DftCtx dispatcher; tags per DftOptions::affinity)
   ctx.gemm(make_tile_key(kDftTileTag, n1), gathered.view(), w_tile.view(),
            transformed.view());
 
@@ -245,6 +252,7 @@ void dft_batch_rec(const DftCtx& ctx, MatrixView<Complex> batch) {
       for (std::size_t j = 0; j < len; ++j) padded(r, j) = batch(r, j);
     }
     Matrix<Complex> out(b, s, Complex{});
+    // tcu-lint: untagged-ok(DftCtx dispatcher; tags per DftOptions::affinity)
     ctx.gemm(make_tile_key(kDftTileTag, len), padded.view(), w_tile.view(),
              out.view());
     for (std::size_t r = 0; r < b; ++r) {

@@ -14,6 +14,7 @@
 #include <functional>
 #include <type_traits>
 
+#include "check/contract.hpp"
 #include "core/device.hpp"
 #include "core/matrix.hpp"
 
@@ -139,10 +140,15 @@ template <typename T>
 void matmul_tcu_into(Device<T>& dev, std::type_identity_t<ConstMatrixView<T>> A,
                      std::type_identity_t<ConstMatrixView<T>> B,
                      std::type_identity_t<MatrixView<T>> C) {
+  // The untagged Theorem 2 baseline by definition streams every tile
+  // cold; benches compare it against the resident-tagged variant, so it
+  // must not borrow residency from earlier work either.
+  check::AllowUntaggedClobber allow_clobber;
   detail::tiled_matmul_into(
       dev, A, B, C,
       [&dev](std::size_t, std::size_t, ConstMatrixView<T> a,
              ConstMatrixView<T> b, MatrixView<T> c, bool accumulate) {
+        // tcu-lint: untagged-ok(Theorem 2 cold-stream baseline)
         dev.gemm(a, b, c, accumulate);
       });
 }

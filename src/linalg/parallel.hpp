@@ -144,6 +144,7 @@ void ragged_strip(Device<T>& unit, ConstMatrixView<T> A, ConstMatrixView<T> B,
         if (!keys.empty()) {
           unit.gemm_resident(keys[kb / s], a, b, c, accumulate);
         } else {
+          // tcu-lint: untagged-ok(untagged dealing mode; task came via plain submit)
           unit.gemm(a, b, c, accumulate);
         }
       });
@@ -318,6 +319,7 @@ void matmul_tcu_pool_into(PoolExecutor<T>& exec,
                                C.subview(r0, jb, nr, s),
                                /*accumulate=*/kb != 0);
           } else {
+            // tcu-lint: untagged-ok(untagged dealing mode; task came via plain submit)
             unit.gemm(A.subview(r0, kb, nr, s), B.subview(kb, jb, s, s),
                       C.subview(r0, jb, nr, s), /*accumulate=*/kb != 0);
           }

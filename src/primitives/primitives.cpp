@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "check/contract.hpp"
+
 namespace tcu::primitives {
 
 namespace {
@@ -18,6 +20,10 @@ std::vector<double> reduce_round(Device<double>& dev,
   Matrix<double> ones(s, s, 0.0);
   for (std::size_t k = 0; k < s; ++k) ones(k, 0) = 1.0;
   Matrix<double> out(rows, s, 0.0);
+  // The ones/triangular tiles below are rebuilt on the stack per call;
+  // stable symbolic keys are a possible future win, not a contract.
+  check::AllowUntaggedClobber allow_clobber;
+  // tcu-lint: untagged-ok(transient stack-built ones tile)
   dev.gemm(x.view(), ones.view(), out.view());
   std::vector<double> sums(rows);
   for (std::size_t r = 0; r < rows; ++r) sums[r] = out(r, 0);
@@ -55,6 +61,8 @@ std::vector<double> inclusive_scan_tcu(Device<double>& dev,
       for (std::size_t j = i; j < s; ++j) tri(i, j) = 1.0;
     }
     Matrix<double> out(1, s, 0.0);
+    check::AllowUntaggedClobber allow_clobber;
+    // tcu-lint: untagged-ok(transient stack-built triangular tile)
     dev.gemm(x.view(), tri.view(), out.view());
     std::vector<double> result(n);
     for (std::size_t i = 0; i < n; ++i) result[i] = out(0, i);
@@ -71,6 +79,8 @@ std::vector<double> inclusive_scan_tcu(Device<double>& dev,
     for (std::size_t j = i; j < s; ++j) tri(i, j) = 1.0;
   }
   Matrix<double> pref(rows, s, 0.0);
+  check::AllowUntaggedClobber allow_clobber;
+  // tcu-lint: untagged-ok(transient stack-built triangular tile)
   dev.gemm(x.view(), tri.view(), pref.view());
   dev.charge_cpu(n + s * s);
 

@@ -1,0 +1,526 @@
+// tcu_lint — static source audit for the (m, l)-TCU residency contracts.
+//
+// The runtime checker (src/check/contract.hpp) catches violations on the
+// paths a test actually executes; this tool audits the source itself, so
+// a raw untagged call cannot even be merged without either a tag or an
+// explicit, reasoned annotation. Three rules:
+//
+//   [untagged-gemm]  A raw `.gemm(` / `->gemm(` call. Untagged calls
+//                    clobber the whole resident set (§3 charges l per
+//                    tile load; an anonymous operand can't be vouched
+//                    for), so every such site must either use
+//                    `gemm_resident` or carry
+//                        // tcu-lint: untagged-ok(<reason>)
+//                    on the same line or the line above.
+//
+//   [empty-chain]    `submit_affine(cost, {}, task)`: a declared-affine
+//                    task with an empty chain defeats the dealer — it is
+//                    `submit` with extra steps and a misleading name.
+//
+//   [missing-anchor] A `gemm_resident(` / `submit_affine(` call site
+//                    whose arguments derive a key on the spot from a
+//                    `*_key(...)` helper (generation-dependent keys like
+//                    Gaussian elimination's per-pivot panels), in a file
+//                    that never calls `evict_all`. Derived-key tagged
+//                    loops must re-anchor the resident set between
+//                    generations or stale keys alias fresh content.
+//                    Suppress with // tcu-lint: anchored-ok(<reason>).
+//                    (`make_tile_key` itself is exempt: it is the key
+//                    constructor, not a generation-dependent derivation.)
+//
+// Annotations require a non-empty reason — `untagged-ok()` is itself a
+// finding. Usage:
+//
+//   tcu_lint <file-or-directory>...   # exit 1 if any finding
+//   tcu_lint --self-test              # run the embedded fixtures
+//
+// No third-party dependencies; plain lexical scanning with enough state
+// to ignore comments and string literals.
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Finding {
+  std::string path;
+  std::size_t line = 0;  // 1-based
+  std::string rule;
+  std::string message;
+};
+
+struct SourceLine {
+  std::string code;     ///< comments and literal contents blanked
+  std::string comment;  ///< comment text (annotations live here)
+};
+
+bool has_code(const std::string& code) {
+  return std::any_of(code.begin(), code.end(),
+                     [](unsigned char c) { return !std::isspace(c); });
+}
+
+/// Split a translation unit into per-line code/comment parts, blanking
+/// string and character literal contents (so `"submit_affine("` in a log
+/// message never matches) while preserving column positions.
+std::vector<SourceLine> lex(const std::string& text) {
+  std::vector<SourceLine> lines;
+  SourceLine current;
+  enum class State { kCode, kString, kChar, kLineComment, kBlockComment };
+  State state = State::kCode;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    if (c == '\n') {
+      if (state == State::kLineComment) state = State::kCode;
+      // Unterminated string/char at end of line: recover (raw strings and
+      // line continuations are not used in this codebase).
+      if (state == State::kString || state == State::kChar) {
+        state = State::kCode;
+      }
+      lines.push_back(std::move(current));
+      current = SourceLine{};
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          ++i;
+        } else if (c == '"') {
+          current.code += '"';
+          state = State::kString;
+        } else if (c == '\'') {
+          current.code += '\'';
+          state = State::kChar;
+        } else {
+          current.code += c;
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          ++i;  // skip the escaped character
+        } else if (c == '"') {
+          current.code += '"';
+          state = State::kCode;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          current.code += '\'';
+          state = State::kCode;
+        }
+        break;
+      case State::kLineComment:
+        current.comment += c;
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          ++i;
+        } else {
+          current.comment += c;
+        }
+        break;
+    }
+  }
+  lines.push_back(std::move(current));
+  return lines;
+}
+
+/// Annotations found in comments, resolved to the code line they bless:
+/// their own line if it has code, otherwise the next line that does.
+struct Annotations {
+  std::map<std::size_t, std::set<std::string>> by_line;  // 0-based line
+  std::vector<Finding> malformed;
+};
+
+Annotations collect_annotations(const std::string& path,
+                                const std::vector<SourceLine>& lines) {
+  Annotations out;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& comment = lines[i].comment;
+    std::size_t pos = 0;
+    while ((pos = comment.find("tcu-lint:", pos)) != std::string::npos) {
+      std::size_t p = pos + std::string("tcu-lint:").size();
+      while (p < comment.size() && comment[p] == ' ') ++p;
+      std::size_t kind_end = p;
+      while (kind_end < comment.size() &&
+             (std::isalnum(static_cast<unsigned char>(comment[kind_end])) ||
+              comment[kind_end] == '-')) {
+        ++kind_end;
+      }
+      const std::string kind = comment.substr(p, kind_end - p);
+      const std::size_t open = kind_end;
+      const std::size_t close = comment.find(')', open);
+      const bool known = kind == "untagged-ok" || kind == "anchored-ok";
+      const bool shaped = known && open < comment.size() &&
+                          comment[open] == '(' && close != std::string::npos;
+      const std::string reason =
+          shaped ? comment.substr(open + 1, close - open - 1) : "";
+      if (!shaped || !has_code(reason)) {
+        out.malformed.push_back(
+            {path, i + 1, "annotation",
+             "malformed tcu-lint annotation; expected 'tcu-lint: "
+             "untagged-ok(<reason>)' or 'tcu-lint: anchored-ok(<reason>)' "
+             "with a non-empty reason"});
+        pos = p;
+        continue;
+      }
+      // Bless this line if it has code, else the next code line.
+      std::size_t target = i;
+      if (!has_code(lines[i].code)) {
+        target = i + 1;
+        while (target < lines.size() && !has_code(lines[target].code)) {
+          ++target;
+        }
+      }
+      out.by_line[target].insert(kind);
+      pos = close + 1;
+    }
+  }
+  return out;
+}
+
+bool annotated(const Annotations& ann, std::size_t line,
+               const std::string& kind) {
+  const auto it = ann.by_line.find(line);
+  return it != ann.by_line.end() && it->second.count(kind) > 0;
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Find call sites of `name(` on a line's code, returning the offsets of
+/// the opening parenthesis. `name` must not be part of a longer
+/// identifier on either side.
+std::vector<std::size_t> find_calls(const std::string& code,
+                                    const std::string& name) {
+  std::vector<std::size_t> opens;
+  std::size_t pos = 0;
+  while ((pos = code.find(name, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !ident_char(code[pos - 1]);
+    std::size_t after = pos + name.size();
+    const bool right_ident = after < code.size() && ident_char(code[after]);
+    while (after < code.size() && code[after] == ' ') ++after;
+    if (left_ok && !right_ident && after < code.size() &&
+        code[after] == '(') {
+      opens.push_back(after);
+    }
+    pos += name.size();
+  }
+  return opens;
+}
+
+/// Collect the argument text of a call spanning up to `max_lines` lines,
+/// starting at `open` (offset of '(') on line `start`. Returns the text
+/// between the outer parentheses, or an empty string if unbalanced
+/// within the window.
+std::string call_args(const std::vector<SourceLine>& lines, std::size_t start,
+                      std::size_t open, std::size_t max_lines = 40) {
+  std::string args;
+  int depth = 0;
+  for (std::size_t li = start; li < lines.size() && li < start + max_lines;
+       ++li) {
+    const std::string& code = lines[li].code;
+    for (std::size_t ci = li == start ? open : 0; ci < code.size(); ++ci) {
+      const char c = code[ci];
+      if (c == '(') {
+        ++depth;
+        if (depth == 1) continue;
+      } else if (c == ')') {
+        --depth;
+        if (depth == 0) return args;
+      }
+      if (depth >= 1) args += c;
+    }
+    args += ' ';
+  }
+  return std::string();
+}
+
+std::string strip_spaces(const std::string& text) {
+  std::string out;
+  for (const char c : text) {
+    if (!std::isspace(static_cast<unsigned char>(c))) out += c;
+  }
+  return out;
+}
+
+/// True if `args` calls a `*_key(...)` helper other than make_tile_key —
+/// a generation-dependent key derived at the call site.
+bool derives_key(const std::string& args) {
+  std::size_t pos = 0;
+  while ((pos = args.find("_key", pos)) != std::string::npos) {
+    std::size_t begin = pos;
+    while (begin > 0 && ident_char(args[begin - 1])) --begin;
+    std::size_t after = pos + 4;
+    const bool right_ident = after < args.size() && ident_char(args[after]);
+    std::size_t paren = after;
+    while (paren < args.size() && args[paren] == ' ') ++paren;
+    if (!right_ident && paren < args.size() && args[paren] == '(' &&
+        args.substr(begin, after - begin) != "make_tile_key") {
+      return true;
+    }
+    pos = after;
+  }
+  return false;
+}
+
+std::vector<Finding> scan_source(const std::string& path,
+                                 const std::string& text) {
+  const std::vector<SourceLine> lines = lex(text);
+  Annotations ann = collect_annotations(path, lines);
+  std::vector<Finding> findings = std::move(ann.malformed);
+
+  bool file_has_evict_all = false;
+  for (const SourceLine& line : lines) {
+    if (!find_calls(line.code, "evict_all").empty()) {
+      file_has_evict_all = true;
+      break;
+    }
+  }
+
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& code = lines[i].code;
+
+    // [untagged-gemm]: member calls `.gemm(` / `->gemm(` only — the
+    // checker's own definitions and free helpers don't clobber anything.
+    for (const std::size_t open : find_calls(code, "gemm")) {
+      std::size_t name_pos = code.rfind("gemm", open);
+      const bool member =
+          name_pos > 0 && (code[name_pos - 1] == '.' ||
+                           (code[name_pos - 1] == '>' && name_pos > 1 &&
+                            code[name_pos - 2] == '-'));
+      if (!member) continue;
+      if (annotated(ann, i, "untagged-ok")) continue;
+      findings.push_back(
+          {path, i + 1, "untagged-gemm",
+           "raw untagged gemm call clobbers the resident set; use "
+           "gemm_resident or annotate with // tcu-lint: "
+           "untagged-ok(<reason>)"});
+    }
+
+    // [empty-chain]
+    for (const std::size_t open : find_calls(code, "submit_affine")) {
+      const std::string args = strip_spaces(call_args(lines, i, open));
+      if (args.empty()) continue;  // unbalanced within window; skip
+      if (args.find(",{},") != std::string::npos) {
+        findings.push_back(
+            {path, i + 1, "empty-chain",
+             "submit_affine with an empty chain declares no residency; "
+             "use submit for untagged work"});
+      }
+    }
+
+    // [missing-anchor]
+    for (const char* callee : {"gemm_resident", "submit_affine"}) {
+      for (const std::size_t open : find_calls(code, callee)) {
+        const std::string args = call_args(lines, i, open);
+        if (!derives_key(args)) continue;
+        if (file_has_evict_all) continue;
+        if (annotated(ann, i, "anchored-ok")) continue;
+        findings.push_back(
+            {path, i + 1, "missing-anchor",
+             std::string(callee) +
+                 " derives a generation-dependent key at the call site "
+                 "but this file never re-anchors with evict_all; stale "
+                 "keys would alias fresh content (annotate with // "
+                 "tcu-lint: anchored-ok(<reason>) if anchoring happens "
+                 "elsewhere)"});
+      }
+    }
+  }
+  return findings;
+}
+
+// ------------------------------------------------------------- self-test
+
+struct Fixture {
+  const char* name;
+  const char* source;
+  std::vector<std::string> expected_rules;  // in line order
+};
+
+int self_test() {
+  const std::vector<Fixture> fixtures = {
+      {"clean-tagged",
+       "void f(Dev& d) {\n"
+       "  d.gemm_resident(key, a, b, c);\n"
+       "  d.evict_all();\n"
+       "}\n",
+       {}},
+      {"raw-gemm-flagged",
+       "void f(Dev& d) { d.gemm(a, b, c); }\n",
+       {"untagged-gemm"}},
+      {"raw-gemm-arrow-flagged",
+       "void f(Dev* d) { d->gemm(a, b, c); }\n",
+       {"untagged-gemm"}},
+      {"raw-gemm-annotated-same-line",
+       "d.gemm(a, b, c);  // tcu-lint: untagged-ok(cold-stream baseline)\n",
+       {}},
+      {"raw-gemm-annotated-line-above",
+       "// tcu-lint: untagged-ok(operand changes every call)\n"
+       "d.gemm(a, b, c);\n",
+       {}},
+      {"annotation-needs-reason",
+       "d.gemm(a, b, c);  // tcu-lint: untagged-ok()\n",
+       {"annotation", "untagged-gemm"}},
+      {"annotation-unknown-kind",
+       "d.gemm(a, b, c);  // tcu-lint: whatever-ok(reason)\n",
+       {"annotation", "untagged-gemm"}},
+      {"gemm-in-comment-ignored",
+       "// an untagged d.gemm(a, b, c) would clobber\n"
+       "int x = 0;\n",
+       {}},
+      {"gemm-in-string-ignored",
+       "log(\"calling d.gemm(a, b, c)\");\n",
+       {}},
+      {"gemm-resident-not-matched",
+       "d.gemm_resident(key, a, b, c);\n"
+       "d.evict_all();\n",
+       {}},
+      {"empty-chain-flagged",
+       "exec.submit_affine(cost, {}, [](Dev& u) { run(u); });\n",
+       {"empty-chain"}},
+      {"empty-chain-multiline-flagged",
+       "exec.submit_affine(cost,\n"
+       "                   { },\n"
+       "                   [](Dev& u) { run(u); });\n",
+       {"empty-chain"}},
+      {"nonempty-chain-clean",
+       "exec.submit_affine(cost, {key}, [](Dev& u) { run(u); });\n"
+       "exec.evict_all();\n",
+       {}},
+      {"derived-key-without-anchor",
+       "d.gemm_resident(panel_key(kb, jb), a, b, c);\n",
+       {"missing-anchor"}},
+      {"derived-key-with-anchor",
+       "d.evict_all();\n"
+       "d.gemm_resident(panel_key(kb, jb), a, b, c);\n",
+       {}},
+      {"derived-key-annotated",
+       "// tcu-lint: anchored-ok(caller anchors per generation)\n"
+       "d.gemm_resident(panel_key(kb, jb), a, b, c);\n",
+       {}},
+      {"make-tile-key-exempt",
+       "d.gemm_resident(make_tile_key(kTag, id), a, b, c);\n",
+       {}},
+      {"derived-key-in-chain",
+       "exec.submit_affine(cost, {panel_key(kb, jb)}, task);\n",
+       {"missing-anchor"}},
+  };
+
+  int failures = 0;
+  for (const Fixture& fixture : fixtures) {
+    const std::vector<Finding> findings =
+        scan_source(fixture.name, fixture.source);
+    std::vector<std::string> rules;
+    rules.reserve(findings.size());
+    for (const Finding& f : findings) rules.push_back(f.rule);
+    if (rules != fixture.expected_rules) {
+      ++failures;
+      std::ostringstream want, got;
+      for (const auto& r : fixture.expected_rules) want << r << " ";
+      for (const auto& r : rules) got << r << " ";
+      std::cerr << "self-test FAILED: " << fixture.name << "\n  expected: "
+                << want.str() << "\n  got:      " << got.str() << "\n";
+      for (const Finding& f : findings) {
+        std::cerr << "    " << f.path << ":" << f.line << ": [" << f.rule
+                  << "] " << f.message << "\n";
+      }
+    }
+  }
+  if (failures == 0) {
+    std::cout << "tcu_lint self-test: " << fixtures.size()
+              << " fixtures passed\n";
+    return 0;
+  }
+  std::cerr << "tcu_lint self-test: " << failures << " of "
+            << fixtures.size() << " fixtures failed\n";
+  return 1;
+}
+
+// ------------------------------------------------------------------ driver
+
+bool lintable(const std::filesystem::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc" ||
+         ext == ".cxx" || ext == ".hxx";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (!args.empty() && args[0] == "--self-test") return self_test();
+  if (args.empty()) {
+    std::cerr << "usage: tcu_lint <file-or-directory>... | --self-test\n";
+    return 2;
+  }
+
+  std::vector<std::filesystem::path> files;
+  for (const std::string& arg : args) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(arg, ec)) {
+      for (const auto& entry :
+           std::filesystem::recursive_directory_iterator(arg, ec)) {
+        if (entry.is_regular_file() && lintable(entry.path())) {
+          files.push_back(entry.path());
+        }
+      }
+      if (ec) {
+        std::cerr << "tcu_lint: cannot walk " << arg << ": " << ec.message()
+                  << "\n";
+        return 2;
+      }
+    } else if (std::filesystem::is_regular_file(arg, ec)) {
+      files.push_back(arg);
+    } else {
+      std::cerr << "tcu_lint: no such file or directory: " << arg << "\n";
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Finding> findings;
+  for (const auto& file : files) {
+    std::ifstream in(file);
+    if (!in) {
+      std::cerr << "tcu_lint: cannot read " << file << "\n";
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::vector<Finding> file_findings =
+        scan_source(file.string(), text.str());
+    findings.insert(findings.end(), file_findings.begin(),
+                    file_findings.end());
+  }
+
+  for (const Finding& f : findings) {
+    std::cout << f.path << ":" << f.line << ": [" << f.rule << "] "
+              << f.message << "\n";
+  }
+  if (findings.empty()) {
+    std::cout << "tcu_lint: " << files.size() << " files scanned, 0 findings\n";
+    return 0;
+  }
+  std::cout << "tcu_lint: " << files.size() << " files scanned, "
+            << findings.size() << " finding"
+            << (findings.size() == 1 ? "" : "s") << "\n";
+  return 1;
+}
