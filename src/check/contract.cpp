@@ -202,7 +202,8 @@ void UnitChecker::on_desync() {
 }
 
 void UnitChecker::on_task_begin(const std::vector<std::uint64_t>* chain,
-                                std::uint64_t predicted_hits, bool affine) {
+                                std::uint64_t predicted_hits, bool affine,
+                                bool hits_valid) {
   if (mode_ != TaskMode::kNone) {
     fail("a task began while another task was still active on this unit");
   }
@@ -213,8 +214,10 @@ void UnitChecker::on_task_begin(const std::vector<std::uint64_t>* chain,
   task_realized_hits_ = 0;
   // Hit predictions are only meaningful when the dealer's mirror tracked
   // this lane from a common anchor: not in the grace window behind a
-  // failed task, and not before the checker adopted the device's state.
-  task_baseline_valid_ = synced_ && !needs_anchor_;
+  // failed task, not before the checker adopted the device's state, and
+  // not when the executor itself voided the replay (a fault-recovery
+  // retry or a redeal onto a lane the original replay never saw).
+  task_baseline_valid_ = synced_ && !needs_anchor_ && hits_valid;
 }
 
 void UnitChecker::on_task_end(bool failed) {

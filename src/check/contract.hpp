@@ -92,7 +92,8 @@ class UnitChecker final : public UnitObserver {
   void on_reset() override;
   void on_desync() override;
   void on_task_begin(const std::vector<std::uint64_t>* chain,
-                     std::uint64_t predicted_hits, bool affine) override;
+                     std::uint64_t predicted_hits, bool affine,
+                     bool hits_valid = true) override;
   void on_task_end(bool failed) override;
   void on_join(const std::vector<std::uint64_t>& mirror_entries) override;
 

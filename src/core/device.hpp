@@ -189,6 +189,7 @@ class Device {
   /// its tiles.
   void gemm(ConstMatrixView<T> A, ConstMatrixView<T> B, MatrixView<T> C,
             bool accumulate = false) {
+    if (fault_) fault_->on_call();  // a faulted call has zero side effects
     validate_shapes(A, B, C);  // reject before mutating the resident set
     cache_.clear();
     gemm_charged(A, B, C, accumulate, /*first_hit=*/false, /*tracked=*/false);
@@ -208,9 +209,10 @@ class Device {
                      ConstMatrixView<T> B, MatrixView<T> C,
                      bool accumulate = false) {
     if (key == kNoResident) {
-      gemm(A, B, C, accumulate);
+      gemm(A, B, C, accumulate);  // delegation injects the fault there
       return;
     }
+    if (fault_) fault_->on_call();  // a faulted call has zero side effects
     validate_shapes(A, B, C);  // reject before mutating the resident set
     bool evicted = false;
     const bool hit = cache_.touch(key, &evicted);
@@ -270,6 +272,20 @@ class Device {
   check::UnitObserver* set_observer(check::UnitObserver* obs) {
     if (auto* auto_obs = auto_checker_.get()) auto_obs->on_desync();
     return std::exchange(observer_, obs);
+  }
+
+  /// The fault injector consulted at the top of every `gemm` /
+  /// `gemm_resident` (src/fault/fault.hpp), or null when none is
+  /// attached. Injection happens *before* shape validation, cache
+  /// transitions, and counter charges, so a faulted call leaves no trace
+  /// and a retry is bit-identical to a first attempt.
+  fault::UnitFaultInjector* fault_injector() const { return fault_; }
+
+  /// Attach (or with nullptr, detach) a fault injector; returns the
+  /// previous one so scoped attachments can restore it. Only call while
+  /// the device is quiescent.
+  fault::UnitFaultInjector* set_fault_injector(fault::UnitFaultInjector* f) {
+    return std::exchange(fault_, f);
   }
 
   /// Charge `ops` unit-cost RAM operations (the algorithms' CPU work).
@@ -363,6 +379,7 @@ class Device {
   bool tracing_ = false;
   check::UnitObserver* observer_ = nullptr;  ///< explicit, non-owning
   check::OwnedChecker auto_checker_;         ///< TCU_CHECK auto-attach
+  fault::UnitFaultInjector* fault_ = nullptr;  ///< non-owning injection seam
 };
 
 /// Closed-form model cost of one tall tensor call (for bench predictions).

@@ -23,9 +23,69 @@
 // tasks touch it).
 
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "core/counters.hpp"
+
+namespace tcu::fault {
+
+/// Fault taxonomy for the injection seam. These are *runtime conditions*
+/// (unlike check::ContractError's logic errors): `PoolExecutor` recovers
+/// from them — transient faults are retried, permanent ones quarantine
+/// the unit and redeal its work — while every other exception type keeps
+/// the historical rethrow-at-join contract.
+class FaultError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A one-off failure of a single tensor call (a dropped result, an ECC
+/// hiccup). The call charged nothing; re-issuing it is safe.
+class TransientFault : public FaultError {
+ public:
+  using FaultError::FaultError;
+};
+
+/// The unit died: this call and every later call on it will fail. The
+/// executor quarantines the unit and drains its queue to survivors.
+class PermanentUnitFault : public FaultError {
+ public:
+  using FaultError::FaultError;
+};
+
+/// A worker thread could not be spawned (EAGAIN). The executor degrades
+/// to the workers that did start instead of aborting the pool.
+class SpawnFault : public FaultError {
+ public:
+  using FaultError::FaultError;
+};
+
+/// Injection seam for one Device (the fault analogue of
+/// check::UnitObserver): `src/fault/fault.hpp` implements it with a
+/// seeded deterministic plan. A device consults its injector at the top
+/// of every `gemm`/`gemm_resident`, *before* shape validation, cache
+/// transitions, or counter charges — so a throwing injector fails the
+/// call with zero side effects and a retry is bit-identical to a first
+/// attempt. Threading contract matches UnitObserver: `on_call` runs on
+/// the thread that owns the device, `on_spawn` on the executor's
+/// constructing thread; attach only while the device is quiescent.
+class UnitFaultInjector {
+ public:
+  virtual ~UnitFaultInjector() = default;
+
+  /// Invoked before a tensor call charges. Throw TransientFault or
+  /// PermanentUnitFault to fail the call; may also sleep (straggler
+  /// simulation — wall-clock only, never model counters).
+  virtual void on_call() = 0;
+
+  /// Invoked before this unit's worker thread is spawned. Throw
+  /// SpawnFault to simulate thread-creation EAGAIN.
+  virtual void on_spawn() {}
+};
+
+}  // namespace tcu::fault
 
 namespace tcu::check {
 
@@ -59,11 +119,17 @@ class UnitObserver {
   /// (null for plain `submit`/`submit_to` tasks, whose calls are assumed
   /// untagged), `predicted_hits` the dealer's replayed hit count for the
   /// winning lane, and `affine` whether the task was chain-declared.
+  /// `hits_valid` is false when the executor knows the dealer's replay no
+  /// longer describes this lane — a fault-recovery retry or a redeal to a
+  /// different unit — so a stateful checker must not hold the task to
+  /// `predicted_hits`.
   virtual void on_task_begin(const std::vector<std::uint64_t>* chain,
-                             std::uint64_t predicted_hits, bool affine) {
+                             std::uint64_t predicted_hits, bool affine,
+                             bool hits_valid = true) {
     (void)chain;
     (void)predicted_hits;
     (void)affine;
+    (void)hits_valid;
   }
 
   /// The task returned (`failed` = false) or threw (`failed` = true). A

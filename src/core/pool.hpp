@@ -22,6 +22,7 @@
 // interleaving; `join()` is the barrier at which the merged view
 // (`aggregate()`, `makespan()`) becomes meaningful again.
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <condition_variable>
@@ -30,6 +31,7 @@
 #include <memory>
 #include <mutex>
 #include <stdexcept>
+#include <system_error>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -107,6 +109,37 @@ class DevicePool {
   Counters cpu_;
 };
 
+/// Recovery budgets for fault-tolerant execution (src/fault/ injects the
+/// faults; `PoolExecutor` survives them). A transient fault retries the
+/// task in place up to `same_lane_retries` times, then hands it back to
+/// the join barrier for redealing to a healthy lane; a task whose faulted
+/// executions reach `max_attempts` exhausts recovery and `join()`
+/// rethrows its last fault. Both budgets count *faulted executions* — a
+/// funneled (never-run) task consumes nothing.
+struct PoolRecoveryOptions {
+  std::size_t same_lane_retries = 1;
+  std::size_t max_attempts = 4;
+};
+
+/// What one `join()` round survived. Every field is deterministic given
+/// the submitted schedule and the fault plan: faults fire at seeded
+/// per-unit call indices, retry and redeal replay the same deterministic
+/// dealer in original submit order, so two runs with the same
+/// (seed, plan) produce identical reports — and identical outputs,
+/// because tasks are idempotent strip writes re-issued from scratch.
+struct RoundReport {
+  std::uint64_t transient_faults = 0;  ///< transient-fault throws observed
+  std::uint64_t permanent_faults = 0;  ///< permanent-fault throws observed
+  std::uint64_t retried = 0;           ///< same-lane re-executions
+  std::uint64_t redealt = 0;           ///< tasks redealt at the barrier
+  std::uint64_t drained = 0;  ///< tasks funneled off dead lanes without running
+  std::uint64_t spawn_failures = 0;  ///< workers that never spawned (ctor)
+  std::vector<std::size_t> quarantined;  ///< units newly quarantined, ascending
+  std::size_t healthy_units = 0;  ///< lanes still accepting work afterwards
+
+  bool faulted() const { return transient_faults != 0 || permanent_faults != 0; }
+};
+
 /// Worker-thread runtime over a DevicePool: one thread and one FIFO queue
 /// per unit. Construction spawns the workers; destruction drains and joins
 /// them. `submit` deals a task to the projected-least-loaded unit and must
@@ -115,6 +148,24 @@ class DevicePool {
 /// `submit` and the matching `join`. Worker exceptions are only surfaced
 /// by `join()`; destroying the executor without a final join discards any
 /// recorded error (destructors cannot throw).
+///
+/// The executor is *self-healing* against the fault taxonomy of
+/// core/observer.hpp (injected by src/fault/, or raised by a real
+/// backend): a `TransientFault` fails one tensor call with no side
+/// effects, so the worker re-runs the task on the same lane (tasks are
+/// idempotent: every pooled workload's tasks overwrite their output from
+/// scratch); once the lane budget is spent the task is handed back to
+/// `join()`, which redeals the failures — in original submit order,
+/// through the normal deterministic dealer — to healthy lanes. A
+/// `PermanentUnitFault` quarantines the unit: its worker funnels the
+/// remaining queue back for redealing, its prediction mirror is dropped,
+/// `evict_all` re-anchors its residency, and the pool keeps running at
+/// p − f. `join()` returns a `RoundReport` of what it survived and
+/// rethrows only when recovery is exhausted (attempt budget spent, or no
+/// healthy unit remains) — non-fault exceptions keep the historical
+/// first-error-rethrow contract. Tasks that issue multiple in-place
+/// accumulating calls (graph/closure.cpp) are *not* idempotent and must
+/// not run under an active fault plan.
 ///
 /// The executor is *persistent*: `join()` is a barrier, not the end of its
 /// life. After every join the greedy projections (and the per-lane
@@ -142,10 +193,12 @@ class PoolExecutor {
   /// (plus any disjoint output it was given).
   using Task = std::function<void(Device<T>&)>;
 
-  explicit PoolExecutor(DevicePool<T>& pool)
+  explicit PoolExecutor(DevicePool<T>& pool, PoolRecoveryOptions recovery = {})
       : pool_(pool),
+        recovery_(recovery),
         latency_(pool.unit(0).latency()),
-        projected_(pool.size()) {
+        projected_(pool.size()),
+        quarantined_(pool.size(), 0) {
     lane_cache_.reserve(pool.size());
     for (std::size_t i = 0; i < pool.size(); ++i) {
       lane_cache_.emplace_back(pool.unit(i).cache_capacity());
@@ -158,16 +211,26 @@ class PoolExecutor {
     for (std::size_t i = 0; i < pool_.size(); ++i) {
       lanes_.push_back(std::make_unique<Lane>());
     }
-    try {
-      for (std::size_t i = 0; i < pool_.size(); ++i) {
+    // Thread spawn can fail mid-loop (EAGAIN under thread pressure, or an
+    // injected SpawnFault): degrade to the workers that did start —
+    // unspawned units are quarantined before they can be dealt work, and
+    // spawn_failures() records the loss — instead of aborting the pool.
+    std::size_t spawned = 0;
+    for (std::size_t i = 0; i < pool_.size(); ++i) {
+      try {
+        if (auto* inj = pool_.unit(i).fault_injector()) inj->on_spawn();
         lanes_[i]->worker =
             std::thread([this, i] { worker_loop(*lanes_[i], pool_.unit(i)); });
+        ++spawned;
+      } catch (const fault::SpawnFault&) {
+        quarantine_unspawned(i);
+      } catch (const std::system_error&) {
+        quarantine_unspawned(i);
       }
-    } catch (...) {
-      // Thread spawn failed mid-loop (e.g. EAGAIN): stop and join the
-      // workers that did start, or their ~std::thread would terminate.
+    }
+    if (spawned == 0) {
       shutdown();
-      throw;
+      throw fault::SpawnFault("PoolExecutor: no worker thread could be spawned");
     }
   }
 
@@ -179,6 +242,28 @@ class PoolExecutor {
   DevicePool<T>& pool() { return pool_; }
   std::size_t size() const { return pool_.size(); }
 
+  /// Cumulative fault-recovery statistics over this executor's lifetime:
+  /// counters summed across rounds, `quarantined` listing every unit ever
+  /// quarantined in the order it happened. Read only while quiescent.
+  const RoundReport& fault_stats() const { return cumulative_; }
+
+  /// Lanes still accepting work (p minus quarantined units).
+  std::size_t healthy_units() const {
+    std::size_t n = 0;
+    for (const char q : quarantined_) {
+      if (!q) ++n;
+    }
+    return n;
+  }
+
+  bool quarantined(std::size_t unit) const {
+    return quarantined_.at(unit) != 0;
+  }
+
+  /// Worker threads that could not be spawned at construction (the pool
+  /// runs degraded on the remainder; nonzero only after spawn faults).
+  std::uint64_t spawn_failures() const { return spawn_failures_; }
+
   /// Deal `task` to the unit with the smallest projected tensor time
   /// (actual + declared cost of queued work), lowest index on ties.
   /// `projected_cost` is the simulated tensor time the task will charge;
@@ -186,12 +271,11 @@ class PoolExecutor {
   /// loop. Returns the chosen unit index. The task's tensor calls are
   /// assumed untagged (they displace any resident tile).
   std::size_t submit(std::uint64_t projected_cost, Task task) {
-    std::size_t best = 0;
-    for (std::size_t i = 1; i < projected_.size(); ++i) {
-      if (projected_[i] < projected_[best]) best = i;
-    }
-    submit_to(best, projected_cost, std::move(task));
-    return best;
+    PendingTask t;
+    t.fn = std::move(task);
+    t.cost = projected_cost;
+    t.serial = next_serial_++;
+    return place_plain(std::move(t));
   }
 
   /// Chain-aware tile-affinity dealing. `projected_cost` is the task's
@@ -212,43 +296,31 @@ class PoolExecutor {
   std::size_t submit_affine(std::uint64_t projected_cost,
                             const std::vector<std::uint64_t>& chain,
                             Task task) {
-    std::size_t best = 0;
-    std::uint64_t best_done = 0;
-    std::uint64_t best_hits = 0;
-    TileCache best_cache(1);
-    for (std::size_t i = 0; i < projected_.size(); ++i) {
-      TileCache sim = lane_cache_[i];
-      std::uint64_t hits = 0;
-      for (const std::uint64_t key : chain) {
-        if (key == 0) {
-          sim.clear();
-        } else if (sim.touch(key)) {
-          ++hits;
-        }
-      }
-      std::uint64_t eff = projected_cost;
-      eff -= std::min(hits * latency_, eff);
-      const std::uint64_t done = projected_[i] + eff;
-      if (i == 0 || done < best_done) {
-        best = i;
-        best_done = done;
-        best_hits = hits;
-        best_cache = std::move(sim);
-      }
-    }
-    projected_[best] = best_done;
-    lane_cache_[best] = std::move(best_cache);
-    enqueue(best, wrap_checked(best, &chain, best_hits, std::move(task)));
-    return best;
+    PendingTask t;
+    t.fn = std::move(task);
+    t.chain = chain;
+    t.affine = true;
+    t.cost = projected_cost;
+    t.serial = next_serial_++;
+    return place_affine(std::move(t));
   }
 
   /// Enqueue on a specific unit's lane (for schedules computed elsewhere).
+  /// If `unit` has been quarantined the pinned placement is impossible;
+  /// the task degrades to the greedy dealer instead of aborting.
   void submit_to(std::size_t unit, std::uint64_t projected_cost, Task task) {
-    projected_.at(unit) += projected_cost;
+    PendingTask t;
+    t.fn = std::move(task);
+    t.cost = projected_cost;
+    t.serial = next_serial_++;
+    if (quarantined_.at(unit)) {
+      place_plain(std::move(t));
+      return;
+    }
+    projected_[unit] += projected_cost;
     // Untagged work invalidates the unit's whole resident set.
     lane_cache_[unit].clear();
-    enqueue(unit, wrap_checked(unit, /*chain=*/nullptr, /*predicted_hits=*/0,
-                               std::move(task)));
+    enqueue(unit, std::move(t));
   }
 
   /// Drop every resident tile on every unit *and* every prediction
@@ -262,86 +334,244 @@ class PoolExecutor {
     }
   }
 
-  /// Barrier: wait until every queue has drained and every worker is idle,
-  /// reseed the projections from the units' live state (so further submits
-  /// continue the greedy schedule exactly as a fresh executor would), then
-  /// rethrow the first exception any task raised (if one did).
-  void join() {
-    for (auto& lane_ptr : lanes_) {
-      Lane& lane = *lane_ptr;
-      std::unique_lock<std::mutex> lock(lane.mu);
-      lane.idle.wait(lock, [&] { return lane.queue.empty() && !lane.busy; });
-    }
-    std::exception_ptr error;
-    {
-      std::lock_guard<std::mutex> lock(error_mu_);
-      error = std::exchange(first_error_, nullptr);
-    }
-    if (!error) {
-      // Clean barrier: the dealer's prediction mirrors must have replayed
-      // to exactly the units' resident sets. Checked before reseed (which
-      // would make the comparison a tautology); skipped on the error path,
-      // where a failed task legitimately abandoned its declared chain.
-      for (std::size_t i = 0; i < pool_.size(); ++i) {
-        if (auto* obs = pool_.unit(i).observer()) {
-          obs->on_join(lane_cache_[i].entries());
+  /// Barrier with self-healing: wait until every queue has drained and
+  /// every worker is idle, redeal fault-failed tasks to healthy lanes
+  /// (repeating until a wave completes without new failures), quarantine
+  /// dead units, reseed the projections from the units' live state (so
+  /// further submits continue the greedy schedule exactly as a fresh
+  /// executor would), and report what the round survived. Rethrows when
+  /// recovery is impossible — a non-fault task exception (historical
+  /// first-error contract), a task whose attempt budget is exhausted, or
+  /// no healthy unit left — leaving the executor reusable: residency
+  /// re-anchored at empty, projections reseeded, queues drained.
+  RoundReport join() {
+    RoundReport report;
+    report.spawn_failures = spawn_failures_;
+    for (;;) {
+      wait_all_idle();
+      // Collect what the workers recorded, under each lane's lock (the
+      // idle wait ordered their writes before us).
+      std::vector<PendingTask> failed;
+      std::vector<std::size_t> dirty;
+      for (std::size_t i = 0; i < lanes_.size(); ++i) {
+        Lane& lane = *lanes_[i];
+        std::lock_guard<std::mutex> lock(lane.mu);
+        report.transient_faults += std::exchange(lane.transients, 0);
+        report.permanent_faults += std::exchange(lane.permanents, 0);
+        report.retried += std::exchange(lane.retried, 0);
+        report.drained += std::exchange(lane.drained, 0);
+        for (auto& t : lane.failed) failed.push_back(std::move(t));
+        lane.failed.clear();
+        if (lane.dead && !quarantined_[i]) {
+          // Quarantine: the dealer stops offering this lane work and its
+          // prediction mirror is dropped (the worker already re-anchored
+          // the dead unit's residency at the empty set).
+          quarantined_[i] = 1;
+          lane_cache_[i].clear();
+          report.quarantined.push_back(i);
+          cumulative_.quarantined.push_back(i);
+        }
+        if (std::exchange(lane.dirty, false) && !quarantined_[i]) {
+          dirty.push_back(i);
+        }
+      }
+      // Non-fault task exceptions keep the historical contract: first
+      // error wins, the round is lost, join rethrows. A failed task
+      // abandoned its declared chain mid-flight, so the residency the
+      // dealer promised later tasks never materialized; re-anchor both
+      // sides at the empty set so prediction cannot drift from unit state.
+      std::exception_ptr error;
+      {
+        std::lock_guard<std::mutex> lock(error_mu_);
+        error = std::exchange(first_error_, nullptr);
+      }
+      if (error) {
+        reseed();
+        evict_all();
+        std::rethrow_exception(error);
+      }
+      // Re-anchor faulted-but-alive lanes: a fault aborted a declared
+      // chain mid-flight (or retried calls the dealer never predicted),
+      // so mirror and unit re-meet at the empty set before more dealing.
+      for (const std::size_t i : dirty) {
+        pool_.unit(i).evict_all();
+        lane_cache_[i].clear();
+      }
+      if (failed.empty()) break;
+      // Deterministic redeal: original submit order, healthy lanes only,
+      // through the normal dealer (so mirrors stay in lock-step).
+      std::sort(failed.begin(), failed.end(),
+                [](const PendingTask& a, const PendingTask& b) {
+                  return a.serial < b.serial;
+                });
+      if (healthy_units() == 0) {
+        std::exception_ptr last = failed.front().last_fault;
+        reseed();
+        evict_all();
+        if (last) std::rethrow_exception(last);
+        throw fault::PermanentUnitFault(
+            "PoolExecutor: all units quarantined");
+      }
+      for (auto& t : failed) {
+        if (t.attempts >= recovery_.max_attempts) {
+          // Recovery exhausted: surface the fault exactly like the
+          // historical error path (the executor stays reusable).
+          std::exception_ptr last = t.last_fault;
+          reseed();
+          evict_all();
+          std::rethrow_exception(last);
+        }
+        t.hits_valid = false;
+        ++report.redealt;
+        if (t.affine) {
+          place_affine(std::move(t));
+        } else {
+          place_plain(std::move(t));
         }
       }
     }
-    reseed();
-    if (error) {
-      // A failed task abandoned its declared chain mid-flight, so the
-      // residency the dealer promised later tasks never materialized.
-      // Re-anchor both sides at the empty set (Device::evict_all) so the
-      // prediction cannot drift from unit state on the recovery path.
-      evict_all();
-      std::rethrow_exception(error);
+    // Clean barrier: the dealer's prediction mirrors must have replayed
+    // to exactly the units' resident sets. Checked before reseed (which
+    // would make the comparison a tautology).
+    for (std::size_t i = 0; i < pool_.size(); ++i) {
+      if (auto* obs = pool_.unit(i).observer()) {
+        obs->on_join(lane_cache_[i].entries());
+      }
     }
+    reseed();
+    report.healthy_units = healthy_units();
+    accumulate(report);
+    return report;
   }
 
  private:
+  /// A dealt task with everything recovery needs to run it elsewhere: the
+  /// declared chain (the checker reads it on the worker thread, and a
+  /// redeal replays it against the new lane's mirror), the full declared
+  /// cost (no hit credit — hits are lane-specific), the submit serial
+  /// (redeal order), and the fault history.
+  struct PendingTask {
+    Task fn;
+    std::vector<std::uint64_t> chain;  ///< declared keys (affine tasks)
+    bool affine = false;
+    std::uint64_t cost = 0;        ///< declared cost before any hit credit
+    std::uint64_t predicted_hits = 0;
+    bool hits_valid = true;  ///< false once recovery invalidated the replay
+    std::uint64_t serial = 0;  ///< submit order, stable across redeals
+    std::size_t attempts = 0;  ///< faulted executions so far
+    std::exception_ptr last_fault;
+  };
+
   struct Lane {
     std::mutex mu;
     std::condition_variable cv;    ///< work available / stop requested
     std::condition_variable idle;  ///< queue drained and worker idle
-    std::deque<Task> queue;
+    std::deque<PendingTask> queue;
     bool busy = false;
     bool stop = false;
+    // Fault state, written by the worker under `mu`, harvested by join.
+    bool dead = false;   ///< permanent fault observed: funnel, don't run
+    bool dirty = false;  ///< a fault left work the dealer never predicted
+    std::uint64_t transients = 0;
+    std::uint64_t permanents = 0;
+    std::uint64_t retried = 0;
+    std::uint64_t drained = 0;
+    std::vector<PendingTask> failed;  ///< awaiting redeal at the barrier
     std::thread worker;
   };
 
-  /// Bracket `task` with observer notifications when the target unit is
-  /// being watched (contract checking). `chain` is the declared resident
-  /// chain for affine tasks, null for plain submits. The chain is copied
-  /// into the wrapper: the checker reads it on the worker thread, after
-  /// the caller's reference may be gone. Unobserved units pay only this
-  /// pointer test.
-  Task wrap_checked(std::size_t unit, const std::vector<std::uint64_t>* chain,
-                    std::uint64_t predicted_hits, Task task) {
-    check::UnitObserver* obs = pool_.unit(unit).observer();
-    if (!obs) return task;
-    const bool affine = chain != nullptr;
-    return [obs, affine, predicted_hits,
-            declared = chain ? *chain : std::vector<std::uint64_t>{},
-            inner = std::move(task)](Device<T>& unit_dev) {
-      obs->on_task_begin(affine ? &declared : nullptr, predicted_hits, affine);
-      try {
-        inner(unit_dev);
-      } catch (...) {
-        obs->on_task_end(/*failed=*/true);
-        throw;
-      }
-      obs->on_task_end(/*failed=*/false);
-    };
+  /// Greedy least-projected dealing over healthy lanes (ties toward the
+  /// lowest index), shared by `submit`/`submit_to`-redirect and redeal.
+  std::size_t place_plain(PendingTask task) {
+    const std::size_t none = projected_.size();
+    std::size_t best = none;
+    for (std::size_t i = 0; i < projected_.size(); ++i) {
+      if (quarantined_[i]) continue;
+      if (best == none || projected_[i] < projected_[best]) best = i;
+    }
+    if (best == none) {
+      throw fault::PermanentUnitFault("PoolExecutor: all units quarantined");
+    }
+    projected_[best] += task.cost;
+    // Untagged work invalidates the unit's whole resident set.
+    lane_cache_[best].clear();
+    enqueue(best, std::move(task));
+    return best;
   }
 
-  void enqueue(std::size_t unit, Task task) {
+  /// Chain-replay affine dealing over healthy lanes, shared by
+  /// `submit_affine` and redeal. Updates the winner's mirror with the
+  /// replayed state and records the winning hit count on the task.
+  std::size_t place_affine(PendingTask task) {
+    const std::size_t none = projected_.size();
+    std::size_t best = none;
+    std::uint64_t best_done = 0;
+    std::uint64_t best_hits = 0;
+    TileCache best_cache(1);
+    for (std::size_t i = 0; i < projected_.size(); ++i) {
+      if (quarantined_[i]) continue;
+      TileCache sim = lane_cache_[i];
+      std::uint64_t hits = 0;
+      for (const std::uint64_t key : task.chain) {
+        if (key == 0) {
+          sim.clear();
+        } else if (sim.touch(key)) {
+          ++hits;
+        }
+      }
+      std::uint64_t eff = task.cost;
+      eff -= std::min(hits * latency_, eff);
+      const std::uint64_t done = projected_[i] + eff;
+      if (best == none || done < best_done) {
+        best = i;
+        best_done = done;
+        best_hits = hits;
+        best_cache = std::move(sim);
+      }
+    }
+    if (best == none) {
+      throw fault::PermanentUnitFault("PoolExecutor: all units quarantined");
+    }
+    projected_[best] = best_done;
+    lane_cache_[best] = std::move(best_cache);
+    task.predicted_hits = best_hits;
+    enqueue(best, std::move(task));
+    return best;
+  }
+
+  void enqueue(std::size_t unit, PendingTask task) {
     Lane& lane = *lanes_.at(unit);
     {
       std::lock_guard<std::mutex> lock(lane.mu);
       lane.queue.push_back(std::move(task));
     }
     lane.cv.notify_one();
+  }
+
+  void quarantine_unspawned(std::size_t unit) {
+    quarantined_[unit] = 1;
+    ++spawn_failures_;
+    cumulative_.spawn_failures = spawn_failures_;
+    cumulative_.quarantined.push_back(unit);
+  }
+
+  void wait_all_idle() {
+    for (auto& lane_ptr : lanes_) {
+      Lane& lane = *lane_ptr;
+      std::unique_lock<std::mutex> lock(lane.mu);
+      lane.idle.wait(lock, [&] { return lane.queue.empty() && !lane.busy; });
+    }
+  }
+
+  void accumulate(const RoundReport& report) {
+    cumulative_.transient_faults += report.transient_faults;
+    cumulative_.permanent_faults += report.permanent_faults;
+    cumulative_.retried += report.retried;
+    cumulative_.redealt += report.redealt;
+    cumulative_.drained += report.drained;
+    cumulative_.spawn_failures = spawn_failures_;
+    cumulative_.healthy_units = report.healthy_units;
+    // cumulative_.quarantined is appended at quarantine time.
   }
 
   /// Re-anchor the submit-side predictions on the units' actual state:
@@ -358,7 +588,8 @@ class PoolExecutor {
 
   void worker_loop(Lane& lane, Device<T>& unit) {
     for (;;) {
-      Task task;
+      PendingTask task;
+      bool dead = false;
       {
         std::unique_lock<std::mutex> lock(lane.mu);
         lane.cv.wait(lock, [&] { return lane.stop || !lane.queue.empty(); });
@@ -366,17 +597,78 @@ class PoolExecutor {
         task = std::move(lane.queue.front());
         lane.queue.pop_front();
         lane.busy = true;
+        dead = lane.dead;
       }
-      try {
-        task(unit);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mu_);
-        if (!first_error_) first_error_ = std::current_exception();
-      }
+      run_one(lane, unit, std::move(task), dead);
       {
         std::lock_guard<std::mutex> lock(lane.mu);
         lane.busy = false;
         if (lane.queue.empty()) lane.idle.notify_all();
+      }
+    }
+  }
+
+  /// Execute one task on the worker thread, bracketing it for the unit's
+  /// observer and absorbing fault exceptions into the lane's recovery
+  /// state. Transient faults retry in place (the faulted call charged
+  /// nothing, and the task's output writes are idempotent); once the
+  /// same-lane budget is spent the task joins `lane.failed` for the
+  /// barrier to redeal. A permanent fault kills the lane: the unit's
+  /// residency is re-anchored at empty and every later queued task is
+  /// funneled back unrun. Non-fault exceptions go to `first_error_`.
+  void run_one(Lane& lane, Device<T>& unit, PendingTask task, bool dead) {
+    if (dead) {
+      std::lock_guard<std::mutex> lock(lane.mu);
+      ++lane.drained;
+      lane.failed.push_back(std::move(task));
+      return;
+    }
+    check::UnitObserver* obs = unit.observer();
+    std::size_t lane_retries = 0;
+    for (;;) {
+      if (obs) {
+        obs->on_task_begin(task.affine ? &task.chain : nullptr,
+                           task.predicted_hits, task.affine, task.hits_valid);
+      }
+      try {
+        task.fn(unit);
+        if (obs) obs->on_task_end(/*failed=*/false);
+        return;
+      } catch (const fault::PermanentUnitFault&) {
+        if (obs) obs->on_task_end(/*failed=*/true);
+        task.last_fault = std::current_exception();
+        ++task.attempts;
+        unit.evict_all();  // the dead unit can vouch for nothing
+        std::lock_guard<std::mutex> lock(lane.mu);
+        lane.dead = true;
+        ++lane.permanents;
+        lane.failed.push_back(std::move(task));
+        return;
+      } catch (const fault::TransientFault&) {
+        if (obs) obs->on_task_end(/*failed=*/true);
+        task.last_fault = std::current_exception();
+        ++task.attempts;
+        const bool retry_here = task.attempts < recovery_.max_attempts &&
+                                lane_retries < recovery_.same_lane_retries;
+        {
+          std::lock_guard<std::mutex> lock(lane.mu);
+          lane.dirty = true;
+          ++lane.transients;
+          if (retry_here) ++lane.retried;
+        }
+        if (retry_here) {
+          ++lane_retries;
+          task.hits_valid = false;
+          continue;
+        }
+        std::lock_guard<std::mutex> lock(lane.mu);
+        lane.failed.push_back(std::move(task));
+        return;
+      } catch (...) {
+        if (obs) obs->on_task_end(/*failed=*/true);
+        std::lock_guard<std::mutex> lock(error_mu_);
+        if (!first_error_) first_error_ = std::current_exception();
+        return;
       }
     }
   }
@@ -393,10 +685,15 @@ class PoolExecutor {
   }
 
   DevicePool<T>& pool_;
+  PoolRecoveryOptions recovery_;
   std::uint64_t latency_;                 ///< the units' load latency l
   std::vector<std::uint64_t> projected_;  ///< submit-thread-only state
   std::vector<TileCache> lane_cache_;     ///< predicted resident set/lane
+  std::vector<char> quarantined_;         ///< submit-thread-only view
   std::vector<std::unique_ptr<Lane>> lanes_;
+  std::uint64_t next_serial_ = 0;
+  std::uint64_t spawn_failures_ = 0;
+  RoundReport cumulative_;  ///< lifetime fault statistics
   std::mutex error_mu_;
   std::exception_ptr first_error_;
 };

@@ -1,0 +1,143 @@
+#include "fault/fault.hpp"
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "util/rng.hpp"
+
+namespace tcu::fault {
+
+/// Per-unit injector state. All mutation happens in `on_call`/`on_spawn`
+/// on the thread that owns the unit; the plan's aggregate accessors read
+/// it only at quiescent points (the same contract as Device counters).
+class FaultPlan::UnitFault final : public UnitFaultInjector {
+ public:
+  UnitFault(std::uint64_t seed, std::size_t unit, const FaultSpec& spec)
+      : spec_(&spec), unit_(unit), rng_(mix(seed, unit)) {
+    for (const auto& [u, call] : spec.transient_at) {
+      if (u == unit) transient_calls_.push_back(call);
+    }
+    for (const auto& [u, call] : spec.death_at) {
+      if (u == unit && call < death_call_) death_call_ = call;
+    }
+    for (const std::size_t u : spec.spawn_fail) {
+      if (u == unit) spawn_fails_ = true;
+    }
+    for (const std::size_t u : spec.stragglers) {
+      if (u == unit) straggler_ = true;
+    }
+  }
+
+  void on_call() override {
+    const std::uint64_t call = calls_++;
+    if (straggler_ && spec_->straggle_us > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(spec_->straggle_us));
+    }
+    if (call >= death_call_) {
+      if (!permanent_tripped_) permanent_tripped_ = true;
+      throw PermanentUnitFault("injected permanent fault: unit " +
+                               std::to_string(unit_) + " died at call " +
+                               std::to_string(death_call_));
+    }
+    bool transient = false;
+    for (const std::uint64_t c : transient_calls_) {
+      if (c == call) transient = true;
+    }
+    // Advance the rate stream on every call (see FaultSpec::transient_rate
+    // — the draw for call k must not depend on earlier outcomes).
+    const bool drawn =
+        spec_->transient_rate > 0.0 && rng_.bernoulli(spec_->transient_rate);
+    if (drawn && rate_transients_ < spec_->max_rate_transients_per_unit) {
+      ++rate_transients_;
+      transient = true;
+    }
+    if (transient) {
+      ++transients_;
+      throw TransientFault("injected transient fault: unit " +
+                           std::to_string(unit_) + ", call " +
+                           std::to_string(call));
+    }
+  }
+
+  void on_spawn() override {
+    if (spawn_fails_) {
+      ++spawn_faults_;
+      throw SpawnFault("injected spawn fault: unit " + std::to_string(unit_));
+    }
+  }
+
+  std::uint64_t calls() const { return calls_; }
+  std::uint64_t transients() const { return transients_; }
+  bool permanent_tripped() const { return permanent_tripped_; }
+  std::uint64_t spawn_faults() const { return spawn_faults_; }
+
+ private:
+  static std::uint64_t mix(std::uint64_t seed, std::size_t unit) {
+    std::uint64_t s = seed ^ (0x9e3779b97f4a7c15ULL *
+                              (static_cast<std::uint64_t>(unit) + 1));
+    return util::splitmix64(s);
+  }
+
+  const FaultSpec* spec_;
+  std::size_t unit_;
+  util::Xoshiro256 rng_;
+  std::vector<std::uint64_t> transient_calls_;
+  std::uint64_t death_call_ = ~static_cast<std::uint64_t>(0);
+  bool spawn_fails_ = false;
+  bool straggler_ = false;
+  std::uint64_t calls_ = 0;
+  std::uint64_t transients_ = 0;
+  std::uint64_t rate_transients_ = 0;
+  std::uint64_t spawn_faults_ = 0;
+  bool permanent_tripped_ = false;
+};
+
+FaultPlan::FaultPlan(std::uint64_t seed, FaultSpec spec)
+    : seed_(seed), spec_(std::move(spec)) {}
+
+FaultPlan::~FaultPlan() = default;
+
+FaultPlan::UnitFault& FaultPlan::unit_state(std::size_t unit) {
+  if (units_.size() <= unit) units_.resize(unit + 1);
+  if (!units_[unit]) {
+    units_[unit] = std::make_unique<UnitFault>(seed_, unit, spec_);
+  }
+  return *units_[unit];
+}
+
+UnitFaultInjector* FaultPlan::injector(std::size_t unit) {
+  return &unit_state(unit);
+}
+
+std::uint64_t FaultPlan::calls(std::size_t unit) const {
+  if (unit >= units_.size() || !units_[unit]) return 0;
+  return units_[unit]->calls();
+}
+
+std::uint64_t FaultPlan::transients_injected() const {
+  std::uint64_t total = 0;
+  for (const auto& u : units_) {
+    if (u) total += u->transients();
+  }
+  return total;
+}
+
+std::uint64_t FaultPlan::permanent_trips() const {
+  std::uint64_t total = 0;
+  for (const auto& u : units_) {
+    if (u && u->permanent_tripped()) ++total;
+  }
+  return total;
+}
+
+std::uint64_t FaultPlan::spawn_faults() const {
+  std::uint64_t total = 0;
+  for (const auto& u : units_) {
+    if (u) total += u->spawn_faults();
+  }
+  return total;
+}
+
+}  // namespace tcu::fault

@@ -1,0 +1,138 @@
+#pragma once
+// Seeded, deterministic fault injection for the pool runtime.
+//
+// The self-healing contract of `PoolExecutor` (core/pool.hpp) is only
+// worth having if it can be exercised reproducibly: a fault that fires
+// "sometimes" cannot pin down bit-identical recovery in a test. A
+// `FaultPlan` therefore decides every fault from (seed, unit, call
+// index) alone — exact per-call trigger lists plus a per-unit seeded
+// Bernoulli stream — so two runs of the same schedule under the same
+// plan fault at exactly the same calls, recover through exactly the
+// same retries and redeals, and produce identical outputs and
+// `RoundReport`s.
+//
+// Injection rides the `fault::UnitFaultInjector` seam of
+// core/observer.hpp: the device consults the injector *before* a call
+// validates, touches the resident set, or charges counters, so a
+// faulted call leaves no trace and re-issuing it is bit-identical to a
+// first attempt. Four fault classes are modeled:
+//
+//   * transient call failures  -> TransientFault (retried in place,
+//     then redealt),
+//   * permanent unit death     -> PermanentUnitFault (unit quarantined,
+//     queue drained to survivors),
+//   * worker-spawn EAGAIN      -> SpawnFault (executor degrades to the
+//     workers that started),
+//   * stragglers               -> a wall-clock sleep per call; pure
+//     latency that never touches model counters, so outputs *and*
+//     counters stay bit-identical to the straggler-free run.
+//
+// Recovery correctness rests on task idempotence: every pooled workload
+// task overwrites its output from scratch (matmul strips, DFT level
+// chunks, GE panels, conv2d strips), so re-running one — partially
+// executed or not — converges to the same bits. Tasks that issue
+// multiple in-place *accumulating* calls (graph/closure.cpp) are not
+// idempotent and must not run under an active plan.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/observer.hpp"
+#include "core/pool.hpp"
+
+namespace tcu::fault {
+
+/// Declarative description of what a FaultPlan injects. Call indices are
+/// 0-based over a unit's lifetime sequence of `gemm`/`gemm_resident`
+/// invocations (weak-model splits count as one invocation).
+struct FaultSpec {
+  /// Per-call probability of a transient fault, drawn from a per-unit
+  /// stream seeded by (seed, unit). 0 disables the rate model. The
+  /// stream is advanced on every call regardless of outcome, so whether
+  /// call k faults never depends on how earlier faults resolved.
+  double transient_rate = 0.0;
+  /// Cap on rate-drawn transients per unit (exact `transient_at`
+  /// triggers are not counted against it).
+  std::uint64_t max_rate_transients_per_unit =
+      ~static_cast<std::uint64_t>(0);
+  /// Exact (unit, call index) transient triggers.
+  std::vector<std::pair<std::size_t, std::uint64_t>> transient_at = {};
+  /// (unit, call index) permanent deaths: that call and every later call
+  /// on the unit fails.
+  std::vector<std::pair<std::size_t, std::uint64_t>> death_at = {};
+  /// Units whose worker-thread spawn fails (PoolExecutor degrades).
+  std::vector<std::size_t> spawn_fail = {};
+  /// Units that sleep `straggle_us` wall-clock microseconds per call.
+  std::vector<std::size_t> stragglers = {};
+  std::uint64_t straggle_us = 0;
+};
+
+/// A seeded plan owning one injector per unit (created on first request,
+/// stable addresses for the plan's lifetime). Attach injectors while the
+/// devices are quiescent — directly via Device::set_fault_injector or
+/// pool-wide via ScopedInjection — and read the statistics only while
+/// every attached device is quiescent (they are written from the units'
+/// worker threads).
+class FaultPlan {
+ public:
+  explicit FaultPlan(std::uint64_t seed, FaultSpec spec = {});
+  ~FaultPlan();
+  FaultPlan(const FaultPlan&) = delete;
+  FaultPlan& operator=(const FaultPlan&) = delete;
+
+  const FaultSpec& spec() const { return spec_; }
+  std::uint64_t seed() const { return seed_; }
+
+  /// The injector for `unit` (unit indices need not be contiguous or
+  /// bounded by any pool size).
+  UnitFaultInjector* injector(std::size_t unit);
+
+  /// Tensor calls the injector for `unit` has vetted (faulted included).
+  std::uint64_t calls(std::size_t unit) const;
+  /// Transient faults injected, summed over units.
+  std::uint64_t transients_injected() const;
+  /// Units whose permanent death has tripped at least once.
+  std::uint64_t permanent_trips() const;
+  /// Spawn faults injected, summed over units.
+  std::uint64_t spawn_faults() const;
+
+ private:
+  class UnitFault;
+  UnitFault& unit_state(std::size_t unit);
+
+  std::uint64_t seed_;
+  FaultSpec spec_;
+  std::vector<std::unique_ptr<UnitFault>> units_;
+};
+
+/// RAII attachment of a plan to every unit of a DevicePool (unit i gets
+/// the plan's injector i), restoring the previous injectors on exit.
+/// Construct and destroy only while the pool is quiescent, and before
+/// constructing a PoolExecutor when the plan injects spawn faults (the
+/// executor consults the injectors as it spawns workers).
+template <typename T>
+class ScopedInjection {
+ public:
+  ScopedInjection(DevicePool<T>& pool, FaultPlan& plan) : pool_(&pool) {
+    previous_.reserve(pool.size());
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      previous_.push_back(pool.unit(i).set_fault_injector(plan.injector(i)));
+    }
+  }
+  ScopedInjection(const ScopedInjection&) = delete;
+  ScopedInjection& operator=(const ScopedInjection&) = delete;
+  ~ScopedInjection() {
+    for (std::size_t i = previous_.size(); i-- > 0;) {
+      pool_->unit(i).set_fault_injector(previous_[i]);
+    }
+  }
+
+ private:
+  DevicePool<T>* pool_;
+  std::vector<UnitFaultInjector*> previous_;
+};
+
+}  // namespace tcu::fault

@@ -6,9 +6,24 @@
 // Commands: matmul, strassen, gauss, closure, apsd, dft, stencil,
 //           intmul, karatsuba, polyeval, scan, triangles, all.
 //
+// The `fault` scenario drives the self-healing pool runtime under a
+// seeded fault plan and checks the recovery contract end to end:
+//
+//   tcu_cli fault [--workload matmul|gauss|conv2d|stencil] [--p P]
+//                 [--rounds R] [--dead U] [--die-at C] [--rate-ppm F]
+//                 [--straggle-us S] [--m M] [--l L] [--size N] [--seed S]
+//
+// It runs the workload on a serial device, a fault-free pool, and a pool
+// under the plan (unit U dies at its C-th call; every call faults
+// transiently with probability F*1e-6; unit 0 sleeps S us per call), then
+// prints the degraded sim speedup and the RoundReport bookkeeping.
+// Exit status is nonzero if the recovered outputs are not bit-identical
+// to the serial reference or recovery was exhausted.
+//
 // Examples:
 //   tcu_cli matmul --size 256 --m 1024 --l 100
 //   tcu_cli all --size 128
+//   tcu_cli fault --workload matmul --p 4 --dead 3 --rate-ppm 2000
 
 #include <complex>
 #include <cstdlib>
@@ -18,7 +33,9 @@
 #include <vector>
 
 #include "core/costs.hpp"
+#include "core/pool.hpp"
 #include "dft/dft.hpp"
+#include "fault/fault.hpp"
 #include "graph/apsd.hpp"
 #include "graph/closure.hpp"
 #include "graph/generators.hpp"
@@ -26,7 +43,9 @@
 #include "intmul/mul.hpp"
 #include "linalg/dense.hpp"
 #include "linalg/gauss.hpp"
+#include "linalg/parallel.hpp"
 #include "linalg/strassen.hpp"
+#include "nn/layers.hpp"
 #include "poly/poly.hpp"
 #include "primitives/primitives.hpp"
 #include "stencil/stencil.hpp"
@@ -51,7 +70,11 @@ struct Options {
   std::cerr
       << "usage: tcu_cli <command> [--m M] [--l L] [--size N] [--seed S]\n"
          "commands: matmul strassen gauss closure apsd dft stencil intmul\n"
-         "          karatsuba polyeval scan triangles all\n";
+         "          karatsuba polyeval scan triangles all\n"
+         "       tcu_cli fault [--workload matmul|gauss|conv2d|stencil]\n"
+         "                     [--p P] [--rounds R] [--dead U] [--die-at C]\n"
+         "                     [--rate-ppm F] [--straggle-us S]\n"
+         "                     [--m M] [--l L] [--size N] [--seed S]\n";
   std::exit(2);
 }
 
@@ -261,11 +284,213 @@ Row run_triangles(const Options& o) {
           static_cast<double>(ram.time())};
 }
 
+// ------------------------------------------------------------- fault driver
+
+struct FaultOptions {
+  std::string workload = "matmul";
+  std::size_t p = 4;
+  int rounds = 2;
+  std::size_t m = 256;
+  std::uint64_t latency = 64;
+  std::size_t size = 96;
+  std::uint64_t seed = 42;
+  bool has_dead = false;
+  std::size_t dead = 0;
+  std::uint64_t die_at = 0;
+  std::uint64_t rate_ppm = 0;
+  std::uint64_t straggle_us = 0;
+};
+
+/// Serial reference, fault-free pool, faulty pool: `serial` runs one
+/// round on a Device<T>, `pooled` one round on a PoolExecutor<T>; both
+/// must produce the same bits for fixed inputs. Returns the process exit
+/// status.
+template <typename T, typename Serial, typename Pooled>
+int fault_drive(const FaultOptions& fo, const tcu::fault::FaultSpec& spec,
+                Serial serial, Pooled pooled) {
+  Device<T> ref({.m = fo.m, .latency = fo.latency});
+  Matrix<double> expect(1, 1);
+  for (int r = 0; r < fo.rounds; ++r) expect = serial(ref);
+
+  tcu::DevicePool<T> clean(fo.p, {.m = fo.m, .latency = fo.latency});
+  {
+    tcu::PoolExecutor<T> exec(clean);
+    for (int r = 0; r < fo.rounds; ++r) (void)pooled(exec);
+  }
+
+  tcu::DevicePool<T> pool(fo.p, {.m = fo.m, .latency = fo.latency});
+  tcu::fault::FaultPlan plan(fo.seed, spec);
+  tcu::fault::ScopedInjection<T> inject(pool, plan);
+  bool outputs_match = false;
+  tcu::RoundReport report;
+  try {
+    tcu::PoolExecutor<T> exec(pool);
+    Matrix<double> got(1, 1);
+    for (int r = 0; r < fo.rounds; ++r) got = pooled(exec);
+    outputs_match = got == expect;
+    report = exec.fault_stats();
+  } catch (const tcu::fault::FaultError& err) {
+    std::cerr << "tcu_cli fault: recovery exhausted: " << err.what() << "\n";
+    return 1;
+  }
+
+  const auto serial_time = static_cast<double>(ref.counters().time());
+  std::cout << "  serial model time    : " << ref.counters().time() << "\n"
+            << "  fault-free pool      : makespan " << clean.makespan()
+            << ", sim speedup "
+            << tcu::util::fmt(serial_time /
+                                  static_cast<double>(clean.makespan()),
+                              2)
+            << "\n"
+            << "  faulty pool          : makespan " << pool.makespan()
+            << ", sim speedup "
+            << tcu::util::fmt(serial_time /
+                                  static_cast<double>(pool.makespan()),
+                              2)
+            << "\n"
+            << "  outputs bit-identical: "
+            << (outputs_match ? "yes" : "NO") << "\n"
+            << "  transients injected  : " << plan.transients_injected()
+            << " (retried " << report.retried << ", redealt "
+            << report.redealt << ", drained " << report.drained << ")\n"
+            << "  quarantined units    : [";
+  for (std::size_t i = 0; i < report.quarantined.size(); ++i) {
+    std::cout << (i ? " " : "") << report.quarantined[i];
+  }
+  std::cout << "] -> " << report.healthy_units << "/" << fo.p
+            << " healthy\n";
+  return outputs_match ? 0 : 1;
+}
+
+int run_fault(int argc, char** argv) {
+  FaultOptions fo;
+  for (int i = 2; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    const std::string value = argv[i + 1];
+    const auto num = std::strtoull(value.c_str(), nullptr, 10);
+    if (flag == "--workload") {
+      fo.workload = value;
+    } else if (flag == "--p") {
+      fo.p = num;
+    } else if (flag == "--rounds") {
+      fo.rounds = static_cast<int>(num);
+    } else if (flag == "--dead") {
+      fo.has_dead = true;
+      fo.dead = num;
+    } else if (flag == "--die-at") {
+      fo.die_at = num;
+    } else if (flag == "--rate-ppm") {
+      fo.rate_ppm = num;
+    } else if (flag == "--straggle-us") {
+      fo.straggle_us = num;
+    } else if (flag == "--m") {
+      fo.m = num;
+    } else if (flag == "--l") {
+      fo.latency = num;
+    } else if (flag == "--size") {
+      fo.size = num;
+    } else if (flag == "--seed") {
+      fo.seed = num;
+    } else {
+      usage();
+    }
+  }
+
+  tcu::fault::FaultSpec spec;
+  if (fo.has_dead) spec.death_at = {{fo.dead, fo.die_at}};
+  if (fo.rate_ppm > 0) {
+    spec.transient_rate = static_cast<double>(fo.rate_ppm) * 1e-6;
+  }
+  if (fo.straggle_us > 0) {  // one slow unit: the straggler-tolerance case
+    spec.stragglers = {0};
+    spec.straggle_us = fo.straggle_us;
+  }
+
+  // Round dimensions up so the strip/panel decompositions are exact.
+  const std::size_t s = tcu::exact_sqrt(fo.m);
+  const std::size_t d = ((fo.size + s - 1) / s) * s;
+
+  std::cout << "fault scenario: workload=" << fo.workload << " p=" << fo.p
+            << " rounds=" << fo.rounds << " seed=" << fo.seed;
+  if (fo.has_dead) std::cout << " dead=" << fo.dead << "@" << fo.die_at;
+  if (fo.rate_ppm) std::cout << " rate=" << fo.rate_ppm << "ppm";
+  if (fo.straggle_us) std::cout << " straggle=" << fo.straggle_us << "us";
+  std::cout << "\n";
+
+  if (fo.workload == "matmul") {
+    auto a = rand_mat(d, d, fo.seed);
+    auto b = rand_mat(d, d, fo.seed + 1);
+    return fault_drive<double>(
+        fo, spec,
+        [&](Device<double>& dev) {
+          return tcu::linalg::matmul_tcu(dev, a.view(), b.view());
+        },
+        [&](tcu::PoolExecutor<double>& exec) {
+          return tcu::linalg::matmul_tcu_pool(exec, a.view(), b.view());
+        });
+  }
+  if (fo.workload == "gauss") {
+    // Diagonally dominant input: the forward elimination stays benign.
+    tcu::util::Xoshiro256 rng(fo.seed);
+    Matrix<double> x(d, d, 0.0);
+    for (std::size_t i = 0; i < d; ++i) {
+      double row = 0;
+      for (std::size_t j = 0; j < d; ++j) {
+        x(i, j) = rng.uniform(-1, 1);
+        row += std::abs(x(i, j));
+      }
+      x(i, i) = row + 1.0;
+    }
+    return fault_drive<double>(
+        fo, spec,
+        [&](Device<double>& dev) {
+          Matrix<double> c = x;
+          tcu::linalg::ge_forward_tcu(dev, c.view());
+          return c;
+        },
+        [&](tcu::PoolExecutor<double>& exec) {
+          Matrix<double> c = x;
+          tcu::linalg::ge_forward_tcu_pool(exec, c.view());
+          return c;
+        });
+  }
+  if (fo.workload == "conv2d") {
+    const std::size_t channels = 2, kh = 2, kw = 2, filters_out = 3;
+    auto input = rand_mat(channels * fo.size, fo.size, fo.seed);
+    auto filters = rand_mat(filters_out, channels * kh * kw, fo.seed + 1);
+    return fault_drive<double>(
+        fo, spec,
+        [&](Device<double>& dev) {
+          return tcu::nn::conv2d_tcu(dev, input.view(), channels,
+                                     filters.view(), kh, kw);
+        },
+        [&](tcu::PoolExecutor<double>& exec) {
+          return tcu::nn::conv2d_tcu_pool(exec, input.view(), channels,
+                                          filters.view(), kh, kw);
+        });
+  }
+  if (fo.workload == "stencil") {
+    auto grid = rand_mat(fo.size, fo.size, fo.seed);
+    const auto w = tcu::stencil::heat_kernel(0.125, 0.125);
+    const std::size_t k = std::max<std::size_t>(4, fo.size / 8);
+    return fault_drive<Complex>(
+        fo, spec,
+        [&](Device<Complex>& dev) {
+          return tcu::stencil::stencil_tcu(dev, grid.view(), w, k);
+        },
+        [&](tcu::PoolExecutor<Complex>& exec) {
+          return tcu::stencil::stencil_tcu_pool(exec, grid.view(), w, k);
+        });
+  }
+  usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string command = argv[1];
+  if (command == "fault") return run_fault(argc, argv);
   Options o;
   for (int i = 2; i + 1 < argc; i += 2) {
     const std::string flag = argv[i];
