@@ -91,9 +91,12 @@ class UnitChecker final : public UnitObserver {
   void on_evict_all() override;
   void on_reset() override;
   void on_desync() override;
+  // No default for `hits_valid` here: default arguments bind statically,
+  // so redeclaring the base's default on an override invites silently
+  // divergent call sites. The base virtual alone carries it.
   void on_task_begin(const std::vector<std::uint64_t>* chain,
                      std::uint64_t predicted_hits, bool affine,
-                     bool hits_valid = true) override;
+                     bool hits_valid) override;
   void on_task_end(bool failed) override;
   void on_join(const std::vector<std::uint64_t>& mirror_entries) override;
 

@@ -386,8 +386,7 @@ class PoolExecutor {
         error = std::exchange(first_error_, nullptr);
       }
       if (error) {
-        reseed();
-        evict_all();
+        fail_round(report);
         std::rethrow_exception(error);
       }
       // Re-anchor faulted-but-alive lanes: a fault aborted a declared
@@ -406,21 +405,27 @@ class PoolExecutor {
                 });
       if (healthy_units() == 0) {
         std::exception_ptr last = failed.front().last_fault;
-        reseed();
-        evict_all();
+        fail_round(report);
         if (last) std::rethrow_exception(last);
         throw fault::PermanentUnitFault(
             "PoolExecutor: all units quarantined");
       }
-      for (auto& t : failed) {
+      // Exhaustion is decided for the whole wave *before* any redeal is
+      // placed: a re-enqueued task puts workers back in flight, and
+      // fail_round's reseed/evict_all may only touch unit state while
+      // every worker is idle — rethrowing mid-loop would also leak the
+      // already-redealt tasks past the barrier. All workers are still
+      // idle here, so the lowest-serial exhausted task surfaces its
+      // fault exactly like the historical error path (the executor
+      // stays reusable, queues drained).
+      for (const auto& t : failed) {
         if (t.attempts >= recovery_.max_attempts) {
-          // Recovery exhausted: surface the fault exactly like the
-          // historical error path (the executor stays reusable).
           std::exception_ptr last = t.last_fault;
-          reseed();
-          evict_all();
+          fail_round(report);
           std::rethrow_exception(last);
         }
+      }
+      for (auto& t : failed) {
         t.hits_valid = false;
         ++report.redealt;
         if (t.affine) {
@@ -561,6 +566,18 @@ class PoolExecutor {
       std::unique_lock<std::mutex> lock(lane.mu);
       lane.idle.wait(lock, [&] { return lane.queue.empty() && !lane.busy; });
     }
+  }
+
+  /// Abandon the round for a rethrow: fold the partial report into the
+  /// lifetime statistics (the harvested faults really happened, so
+  /// `fault_stats()` must not forget them), then re-anchor prediction and
+  /// residency at the empty set and reseed the projections — leaving the
+  /// executor reusable. Callable only while every worker is idle.
+  void fail_round(RoundReport& report) {
+    report.healthy_units = healthy_units();
+    accumulate(report);
+    reseed();
+    evict_all();
   }
 
   void accumulate(const RoundReport& report) {

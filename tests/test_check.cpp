@@ -60,7 +60,7 @@ TEST(CheckViolations, OverDeclaredChainIsCaught) {
   ScopedCheck<double> check(dev);
   SmallOps ops;
   const std::vector<std::uint64_t> chain{1, 2};
-  check.unit(0).on_task_begin(&chain, 0, /*affine=*/true);
+  check.unit(0).on_task_begin(&chain, 0, /*affine=*/true, /*hits_valid=*/true);
   dev.gemm_resident(1, ops.a.view(), ops.b.view(), ops.c.view());
   // The task ends having issued 1 of its 2 declared calls.
   EXPECT_THROW(check.unit(0).on_task_end(/*failed=*/false), ContractError);
@@ -71,7 +71,7 @@ TEST(CheckViolations, ReorderedChainIsCaught) {
   ScopedCheck<double> check(dev);
   SmallOps ops;
   const std::vector<std::uint64_t> chain{1, 2};
-  check.unit(0).on_task_begin(&chain, 0, /*affine=*/true);
+  check.unit(0).on_task_begin(&chain, 0, /*affine=*/true, /*hits_valid=*/true);
   dev.gemm_resident(2, ops.a.view(), ops.b.view(), ops.c.view());
   dev.gemm_resident(1, ops.a.view(), ops.b.view(), ops.c.view());
   EXPECT_THROW(check.unit(0).on_task_end(/*failed=*/false), ContractError);
@@ -82,7 +82,7 @@ TEST(CheckViolations, MissingTagInDeclaredTaskIsCaught) {
   ScopedCheck<double> check(dev);
   SmallOps ops;
   const std::vector<std::uint64_t> chain{1};
-  check.unit(0).on_task_begin(&chain, 0, /*affine=*/true);
+  check.unit(0).on_task_begin(&chain, 0, /*affine=*/true, /*hits_valid=*/true);
   dev.gemm(ops.a.view(), ops.b.view(), ops.c.view());  // should be tagged
   EXPECT_THROW(check.unit(0).on_task_end(/*failed=*/false), ContractError);
 }
@@ -91,7 +91,8 @@ TEST(CheckViolations, TaggedCallInPlainSubmitTaskIsCaught) {
   Device<double> dev({.m = 16, .latency = 5, .resident_tiles = 2});
   ScopedCheck<double> check(dev);
   SmallOps ops;
-  check.unit(0).on_task_begin(nullptr, 0, /*affine=*/false);
+  check.unit(0).on_task_begin(nullptr, 0, /*affine=*/false,
+                              /*hits_valid=*/true);
   dev.gemm_resident(5, ops.a.view(), ops.b.view(), ops.c.view());
   EXPECT_THROW(check.unit(0).on_task_end(/*failed=*/false), ContractError);
 }
@@ -120,7 +121,7 @@ TEST(CheckViolations, DeclaredUntaggedEntrySanctionsTheClobber) {
   ScopedCheck<double> check(dev);
   SmallOps ops;
   const std::vector<std::uint64_t> chain{5, 0};  // 0 = declared untagged
-  check.unit(0).on_task_begin(&chain, 0, /*affine=*/true);
+  check.unit(0).on_task_begin(&chain, 0, /*affine=*/true, /*hits_valid=*/true);
   dev.gemm_resident(5, ops.a.view(), ops.b.view(), ops.c.view());
   EXPECT_NO_THROW(dev.gemm(ops.a.view(), ops.b.view(), ops.c.view()));
   EXPECT_NO_THROW(check.unit(0).on_task_end(/*failed=*/false));
@@ -145,7 +146,8 @@ TEST(CheckViolations, PredictedHitsMismatchIsCaught) {
   SmallOps ops;
   const std::vector<std::uint64_t> chain{1};
   // The dealer promises one hit, but the cache is cold: the task loads.
-  check.unit(0).on_task_begin(&chain, /*predicted_hits=*/1, /*affine=*/true);
+  check.unit(0).on_task_begin(&chain, /*predicted_hits=*/1, /*affine=*/true,
+                              /*hits_valid=*/true);
   dev.gemm_resident(1, ops.a.view(), ops.b.view(), ops.c.view());
   EXPECT_THROW(check.unit(0).on_task_end(/*failed=*/false), ContractError);
 }
@@ -155,7 +157,7 @@ TEST(CheckViolations, StaleResidentSetAfterFailedTaskIsCaught) {
   ScopedCheck<double> check(dev);
   SmallOps ops;
   const std::vector<std::uint64_t> chain{1, 2};
-  check.unit(0).on_task_begin(&chain, 0, /*affine=*/true);
+  check.unit(0).on_task_begin(&chain, 0, /*affine=*/true, /*hits_valid=*/true);
   dev.gemm_resident(1, ops.a.view(), ops.b.view(), ops.c.view());
   check.unit(0).on_task_end(/*failed=*/true);  // chain abandoned mid-flight
   // Any call before the evict_all re-anchor works on state the scheduler
@@ -169,7 +171,7 @@ TEST(CheckViolations, EvictAllReanchorsAfterFailedTask) {
   ScopedCheck<double> check(dev);
   SmallOps ops;
   const std::vector<std::uint64_t> chain{1};
-  check.unit(0).on_task_begin(&chain, 0, /*affine=*/true);
+  check.unit(0).on_task_begin(&chain, 0, /*affine=*/true, /*hits_valid=*/true);
   dev.gemm_resident(1, ops.a.view(), ops.b.view(), ops.c.view());
   check.unit(0).on_task_end(/*failed=*/true);
   dev.evict_all();  // what PoolExecutor::join does on the error path

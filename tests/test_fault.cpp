@@ -208,6 +208,75 @@ TEST(FaultRecovery, RetryExhaustionRethrowsAndExecutorRecovers) {
   EXPECT_EQ(got, tcu::linalg::matmul_tcu(ref, a.view(), b.view()));
 }
 
+TEST(FaultRecovery, ExhaustionIsDecidedBeforeAnyRedealInTheWave) {
+  // A redeal wave holding both a salvageable task and an exhausted one
+  // must rethrow *before* re-enqueueing anything: once a task is back on
+  // a lane its worker is live again, and the rethrow path's
+  // reseed/evict_all may only touch unit state while every worker is
+  // idle — and the re-dealt task would outlive the throw, leaking work
+  // past the barrier.
+  DevicePool<double> pool(2, {.m = 16, .latency = 1});
+  // Unit 0 dies instantly; unit 1 faults calls 0-1 (task X's first
+  // visit) and 3-6 (tasks C and X after the redeal).
+  FaultPlan plan(fault_seed(7),
+                 {.transient_at = {{1, 0}, {1, 1}, {1, 3}, {1, 4}, {1, 5},
+                                   {1, 6}},
+                  .death_at = {{0, 0}}});
+  ScopedInjection<double> inject(pool, plan);
+  PoolExecutor<double> exec(pool);
+
+  auto a = random_matrix(4, 4, 80);
+  auto b = random_matrix(4, 4, 81);
+  Matrix<double> ck(4, 4, 0.0), cc(4, 4, 0.0), cx(4, 4, 0.0);
+  // K (serial 0) kills unit 0; C (serial 1) drains off the dead lane
+  // with no attempts consumed; X (serial 2) burns its budget on unit 1.
+  exec.submit_to(0, 16 + 1, [&](Device<double>& dev) {
+    dev.gemm(a.view(), b.view(), ck.view());
+  });
+  exec.submit_to(0, 16 + 1, [&](Device<double>& dev) {
+    dev.gemm(a.view(), b.view(), cc.view());
+  });
+  exec.submit_to(1, 16 + 1, [&](Device<double>& dev) {
+    dev.gemm(a.view(), b.view(), cx.view());
+  });
+  // Wave 1: K trips unit 0's death, C drains, X faults twice. The redeal
+  // sends K, C, X to unit 1 (calls 2-6): K completes, C fails twice
+  // (attempts = 2, salvageable), X fails twice more (attempts = 4,
+  // exhausted). The barrier must surface X without redealing C.
+  EXPECT_THROW(exec.join(), tcu::fault::TransientFault);
+
+  // C was never re-enqueued: unit 1 saw exactly calls 0-6, and C's
+  // output was never written (a leaked redeal would complete cleanly at
+  // call 7 and write it after join threw).
+  EXPECT_EQ(plan.calls(1), 7u);
+  EXPECT_EQ(cc, Matrix<double>(4, 4, 0.0));
+  EXPECT_EQ(cx, Matrix<double>(4, 4, 0.0));
+  Device<double> ref({.m = 16, .latency = 1});
+  auto expect = tcu::linalg::matmul_tcu(ref, a.view(), b.view());
+  EXPECT_EQ(ck, expect);  // K's redeal completed before the exhaustion
+
+  // The failed round's bookkeeping still lands in the lifetime stats.
+  const RoundReport& stats = exec.fault_stats();
+  EXPECT_EQ(stats.transient_faults, 6u);
+  EXPECT_EQ(stats.permanent_faults, 1u);
+  EXPECT_EQ(stats.retried, 3u);
+  EXPECT_EQ(stats.redealt, 3u);
+  EXPECT_EQ(stats.drained, 1u);
+  ASSERT_EQ(stats.quarantined.size(), 1u);
+  EXPECT_EQ(stats.quarantined[0], 0u);
+  EXPECT_EQ(stats.healthy_units, 1u);
+
+  // Reusable after the rethrow: the next round runs clean on the
+  // survivor (no triggers remain past call 6).
+  Matrix<double> cy(4, 4, 0.0);
+  exec.submit(16 + 1, [&](Device<double>& dev) {
+    dev.gemm(a.view(), b.view(), cy.view());
+  });
+  const RoundReport round = exec.join();
+  EXPECT_FALSE(round.faulted());
+  EXPECT_EQ(cy, expect);
+}
+
 TEST(FaultRecovery, AllUnitsDeadRethrows) {
   DevicePool<double> pool(2, {.m = 16});
   FaultPlan plan(fault_seed(7), {.death_at = {{0, 0}, {1, 0}}});

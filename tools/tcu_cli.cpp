@@ -25,6 +25,7 @@
 //   tcu_cli all --size 128
 //   tcu_cli fault --workload matmul --p 4 --dead 3 --rate-ppm 2000
 
+#include <cerrno>
 #include <complex>
 #include <cstdlib>
 #include <iostream>
@@ -362,15 +363,32 @@ int fault_drive(const FaultOptions& fo, const tcu::fault::FaultSpec& spec,
   return outputs_match ? 0 : 1;
 }
 
+/// Parse a flag's value as a decimal number, or die with a diagnostic
+/// (strtoull's silent 0 on garbage would turn a typo into a valid plan).
+std::uint64_t parse_num(const std::string& flag, const std::string& value) {
+  char* end = nullptr;
+  errno = 0;
+  const auto num = std::strtoull(value.c_str(), &end, 10);
+  if (value.empty() || *end != '\0' || errno == ERANGE) {
+    std::cerr << "tcu_cli fault: " << flag << " expects a number, got '"
+              << value << "'\n";
+    usage();
+  }
+  return num;
+}
+
 int run_fault(int argc, char** argv) {
   FaultOptions fo;
-  for (int i = 2; i + 1 < argc; i += 2) {
+  int i = 2;
+  for (; i + 1 < argc; i += 2) {
     const std::string flag = argv[i];
     const std::string value = argv[i + 1];
-    const auto num = std::strtoull(value.c_str(), nullptr, 10);
     if (flag == "--workload") {
       fo.workload = value;
-    } else if (flag == "--p") {
+      continue;
+    }
+    const auto num = parse_num(flag, value);
+    if (flag == "--p") {
       fo.p = num;
     } else if (flag == "--rounds") {
       fo.rounds = static_cast<int>(num);
@@ -394,6 +412,10 @@ int run_fault(int argc, char** argv) {
     } else {
       usage();
     }
+  }
+  if (i < argc) {  // a trailing flag with no value must not pass silently
+    std::cerr << "tcu_cli fault: missing value for '" << argv[i] << "'\n";
+    usage();
   }
 
   tcu::fault::FaultSpec spec;
