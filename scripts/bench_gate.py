@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Speedup-floor gate for the pool bench JSONs (CI bench-smoke).
+
+Usage: bench_gate.py <fresh_dir> <baseline_dir>
+
+Reads the freshly generated BENCH_*.json records from <fresh_dir> and the
+checked-in reference copies from <baseline_dir>, then enforces:
+
+  * every `pool_scaling` record keeps sim_speedup >= p — the dense-matmul
+    strip deal is embarrassingly parallel in the model, so anything below
+    p is a scheduling regression, not noise (the simulated cost model is
+    deterministic);
+  * the dependent-workload records of bench_pool_algos (closure_pool,
+    gauss_pool, dft_pool) never regress below the checked-in sim_speedup
+    at the same p — these are the epoch runtime's overlap wins, and a
+    drop means a barrier crept back in;
+  * no record anywhere reports counters_match == false.
+
+Exits nonzero with a ::error:: line per violation. The model costs are
+exact integers, so comparisons use a 1e-6 slack only to absorb the
+JSON's decimal formatting.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+SLACK = 1e-6
+GATED_ALGOS = ("closure_pool", "gauss_pool", "dft_pool")
+
+
+def load(path: Path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    fresh_dir, base_dir = Path(sys.argv[1]), Path(sys.argv[2])
+    failures = []
+
+    fresh_files = sorted(fresh_dir.glob("BENCH_*.json"))
+    if not fresh_files:
+        failures.append(f"no BENCH_*.json found in {fresh_dir}")
+
+    for path in fresh_files:
+        for rec in load(path):
+            if rec.get("counters_match") is False:
+                failures.append(
+                    f"{path.name}: {rec['name']} p={rec.get('p')} "
+                    "reports counters_match == false")
+
+    # Floor 1: pooled matmul must scale at least linearly in the model.
+    scaling = fresh_dir / "BENCH_pool_scaling.json"
+    if scaling.exists():
+        for rec in load(scaling):
+            if rec["name"] != "pool_scaling":
+                continue
+            if rec["sim_speedup"] < rec["p"] - SLACK:
+                failures.append(
+                    f"pool_scaling p={rec['p']}: sim_speedup "
+                    f"{rec['sim_speedup']} < p")
+    else:
+        failures.append("BENCH_pool_scaling.json missing from fresh run")
+
+    # Floor 2: the dependent workloads must not regress below the
+    # checked-in reference at the same unit count.
+    base_algos = base_dir / "BENCH_pool_algos.json"
+    fresh_algos = fresh_dir / "BENCH_pool_algos.json"
+    if base_algos.exists() and fresh_algos.exists():
+        baseline = {(r["name"], r["p"]): r["sim_speedup"]
+                    for r in load(base_algos) if r["name"] in GATED_ALGOS}
+        fresh = {(r["name"], r["p"]): r["sim_speedup"]
+                 for r in load(fresh_algos) if r["name"] in GATED_ALGOS}
+        for key, floor in sorted(baseline.items()):
+            got = fresh.get(key)
+            if got is None:
+                failures.append(
+                    f"{key[0]} p={key[1]}: record missing from fresh run")
+            elif got < floor - SLACK:
+                failures.append(
+                    f"{key[0]} p={key[1]}: sim_speedup {got} regressed "
+                    f"below checked-in {floor}")
+    else:
+        for p in (base_algos, fresh_algos):
+            if not p.exists():
+                failures.append(f"{p} missing")
+
+    for msg in failures:
+        print(f"::error::{msg}")
+    if not failures:
+        print("bench gate: all speedup floors hold")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

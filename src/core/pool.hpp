@@ -23,6 +23,7 @@
 // (`aggregate()`, `makespan()`) becomes meaningful again.
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <condition_variable>
@@ -121,6 +122,29 @@ struct PoolRecoveryOptions {
   std::size_t max_attempts = 4;
 };
 
+/// Which join discipline a pooled workload drives the executor with.
+/// `kBarrier` is the historical schedule: a strict `join()` after every
+/// algorithmic round, bit-identical to PR 7. `kEpoch` replaces the
+/// intermediate barriers with `join_epoch()` virtual barriers and
+/// explicit task dependencies, overlapping rounds across lanes while the
+/// per-lane schedules (and therefore every counter) stay deterministic.
+enum class ExecMode { kBarrier, kEpoch };
+
+/// Explicit predecessor set for a dependent task: the serials (returned
+/// as `TaskTicket::serial`) of every task that must retire before this
+/// one may start. Serials must come from earlier submits on the same
+/// executor round — a dep on a not-yet-submitted serial is rejected.
+struct TaskDeps {
+  std::vector<std::uint64_t> after;
+};
+
+/// Receipt for a submitted task: its submit serial (usable as a
+/// dependency for later tasks) and the lane the dealer chose.
+struct TaskTicket {
+  std::uint64_t serial = 0;
+  std::size_t unit = 0;
+};
+
 /// What one `join()` round survived. Every field is deterministic given
 /// the submitted schedule and the fault plan: faults fire at seeded
 /// per-unit call indices, retry and redeal replay the same deterministic
@@ -133,6 +157,7 @@ struct RoundReport {
   std::uint64_t retried = 0;           ///< same-lane re-executions
   std::uint64_t redealt = 0;           ///< tasks redealt at the barrier
   std::uint64_t drained = 0;  ///< tasks funneled off dead lanes without running
+  std::uint64_t deferred = 0;  ///< dep-waits abandoned to the barrier (recovery)
   std::uint64_t spawn_failures = 0;  ///< workers that never spawned (ctor)
   std::vector<std::size_t> quarantined;  ///< units newly quarantined, ascending
   std::size_t healthy_units = 0;  ///< lanes still accepting work afterwards
@@ -274,8 +299,25 @@ class PoolExecutor {
     PendingTask t;
     t.fn = std::move(task);
     t.cost = projected_cost;
+    t.fence = epoch_fence_;
     t.serial = next_serial_++;
     return place_plain(std::move(t));
+  }
+
+  /// `submit` with an explicit predecessor set: the task will not start
+  /// until every serial in `deps.after` has retired into the completion
+  /// ledger (in addition to the current epoch fence). Returns a ticket
+  /// whose serial later tasks may depend on.
+  TaskTicket submit(std::uint64_t projected_cost, TaskDeps deps, Task task) {
+    PendingTask t;
+    t.fn = std::move(task);
+    t.cost = projected_cost;
+    t.fence = epoch_fence_;
+    t.deps = std::move(deps.after);
+    check_deps(t.deps);
+    t.serial = next_serial_++;
+    const std::size_t unit = place_plain(std::move(t));
+    return {next_serial_ - 1, unit};
   }
 
   /// Chain-aware tile-affinity dealing. `projected_cost` is the task's
@@ -293,6 +335,7 @@ class PoolExecutor {
   /// completion wins (ties toward the lowest index). The winner's mirror
   /// keeps the replayed state, so later chains see exactly what the unit
   /// will hold. Returns the chosen unit index.
+  // tcu-lint: epoch-free-ok(the runtime's own definition, not a call site)
   std::size_t submit_affine(std::uint64_t projected_cost,
                             const std::vector<std::uint64_t>& chain,
                             Task task) {
@@ -301,8 +344,49 @@ class PoolExecutor {
     t.chain = chain;
     t.affine = true;
     t.cost = projected_cost;
+    t.fence = epoch_fence_;
     t.serial = next_serial_++;
     return place_affine(std::move(t));
+  }
+
+  /// `submit_affine` with an explicit predecessor set (see the TaskDeps
+  /// overload of `submit`). Affinity dealing is unchanged — dependencies
+  /// gate *when* the task starts, not *where* it lands.
+  TaskTicket submit_affine(std::uint64_t projected_cost,
+                           const std::vector<std::uint64_t>& chain,
+                           TaskDeps deps, Task task) {
+    PendingTask t;
+    t.fn = std::move(task);
+    t.chain = chain;
+    t.affine = true;
+    t.cost = projected_cost;
+    t.fence = epoch_fence_;
+    t.deps = std::move(deps.after);
+    check_deps(t.deps);
+    t.serial = next_serial_++;
+    const std::size_t unit = place_affine(std::move(t));
+    return {next_serial_ - 1, unit};
+  }
+
+  /// Pure-CPU task: issues no tensor calls, so the dealer leaves the
+  /// lane's resident-set mirror untouched (unlike `submit`, whose
+  /// untagged calls clobber it). `cpu_cost` is the exact cpu_ops the task
+  /// will charge to its unit (`unit.charge_cpu`); it joins the lane's
+  /// greedy projection because CPU work occupies the unit's timeline in
+  /// `makespan()` exactly like tensor time. This is how epoch-mode
+  /// workloads move per-round kernel work off the shared (serial) CPU
+  /// counter and onto the units, where it parallelizes.
+  TaskTicket submit_cpu(std::uint64_t cpu_cost, TaskDeps deps, Task task) {
+    PendingTask t;
+    t.fn = std::move(task);
+    t.cost = cpu_cost;
+    t.cpu = true;
+    t.fence = epoch_fence_;
+    t.deps = std::move(deps.after);
+    check_deps(t.deps);
+    t.serial = next_serial_++;
+    const std::size_t unit = place_cpu(std::move(t));
+    return {next_serial_ - 1, unit};
   }
 
   /// Enqueue on a specific unit's lane (for schedules computed elsewhere).
@@ -312,6 +396,7 @@ class PoolExecutor {
     PendingTask t;
     t.fn = std::move(task);
     t.cost = projected_cost;
+    t.fence = epoch_fence_;
     t.serial = next_serial_++;
     if (quarantined_.at(unit)) {
       place_plain(std::move(t));
@@ -344,6 +429,37 @@ class PoolExecutor {
   /// first-error contract), a task whose attempt budget is exhausted, or
   /// no healthy unit left — leaving the executor reusable: residency
   /// re-anchored at empty, projections reseeded, queues drained.
+  /// Virtual barrier: order without idling. Everything submitted before
+  /// this call must retire (into the completion ledger) before anything
+  /// submitted after it starts — but the submitting thread does not
+  /// block, and a worker that finishes its pre-epoch queue early starts
+  /// on post-epoch work as soon as the ledger's low-water mark crosses
+  /// the fence. Because every task carries its exact declared cost, the
+  /// dealer's greedy projections and lane cache mirrors are already the
+  /// virtual post-drain state, so no reseed is needed: dealing after a
+  /// `join_epoch()` is bit-identical to dealing after a strict `join()`
+  /// for the same submission sequence. When a checker is attached, each
+  /// healthy lane gets a zero-cost marker that validates the dealer's
+  /// mirror against the unit's live resident set exactly at the epoch
+  /// boundary (the per-epoch analogue of the join-time mirror check).
+  /// Faults are *not* recovered here — a faulted round's redeal happens
+  /// at the next strict `join()`, which remains the only place errors
+  /// are surfaced. Returns the new epoch id.
+  std::uint64_t join_epoch() {
+    ++epoch_id_;
+    for (std::size_t i = 0; i < pool_.size(); ++i) {
+      if (quarantined_[i] || !pool_.unit(i).observer()) continue;
+      PendingTask t;
+      t.marker = true;
+      t.epoch = epoch_id_;
+      t.mirror = lane_cache_[i].entries();
+      t.serial = next_serial_++;
+      enqueue(i, std::move(t));
+    }
+    epoch_fence_ = next_serial_;
+    return epoch_id_;
+  }
+
   RoundReport join() {
     RoundReport report;
     report.spawn_failures = spawn_failures_;
@@ -360,6 +476,7 @@ class PoolExecutor {
         report.permanent_faults += std::exchange(lane.permanents, 0);
         report.retried += std::exchange(lane.retried, 0);
         report.drained += std::exchange(lane.drained, 0);
+        report.deferred += std::exchange(lane.deferred, 0);
         for (auto& t : lane.failed) failed.push_back(std::move(t));
         lane.failed.clear();
         if (lane.dead && !quarantined_[i]) {
@@ -396,6 +513,10 @@ class PoolExecutor {
         pool_.unit(i).evict_all();
         lane_cache_[i].clear();
       }
+      // Re-arm dependency waiting before any redeal is placed: redealt
+      // tasks carry their original deps/fences, and a still-raised
+      // recovery flag would make them defer right back to this barrier.
+      recovery_flag_.store(false, std::memory_order_release);
       if (failed.empty()) break;
       // Deterministic redeal: original submit order, healthy lanes only,
       // through the normal dealer (so mirrors stay in lock-step).
@@ -430,6 +551,8 @@ class PoolExecutor {
         ++report.redealt;
         if (t.affine) {
           place_affine(std::move(t));
+        } else if (t.cpu) {
+          place_cpu(std::move(t));
         } else {
           place_plain(std::move(t));
         }
@@ -444,6 +567,10 @@ class PoolExecutor {
       }
     }
     reseed();
+    // Every serial retired: compact the ledger and drop the fence so the
+    // next round's tasks take the no-wait fast path.
+    reset_ledger();
+    epoch_fence_ = 0;
     report.healthy_units = healthy_units();
     accumulate(report);
     return report;
@@ -465,6 +592,18 @@ class PoolExecutor {
     std::uint64_t serial = 0;  ///< submit order, stable across redeals
     std::size_t attempts = 0;  ///< faulted executions so far
     std::exception_ptr last_fault;
+    // Epoch runtime state. `fence` orders the task after every serial
+    // below it (0 = unfenced); `deps` lists explicit predecessor serials.
+    // Markers are zero-cost checker probes enqueued by join_epoch():
+    // FIFO order makes them run exactly after the lane's pre-epoch tasks,
+    // where `mirror` (the dealer's lane-cache snapshot) must equal the
+    // unit's live resident set.
+    std::uint64_t fence = 0;
+    std::vector<std::uint64_t> deps;
+    bool cpu = false;  ///< pure-CPU task: redeal through place_cpu
+    bool marker = false;
+    std::uint64_t epoch = 0;
+    std::vector<std::uint64_t> mirror;
   };
 
   struct Lane {
@@ -481,6 +620,7 @@ class PoolExecutor {
     std::uint64_t permanents = 0;
     std::uint64_t retried = 0;
     std::uint64_t drained = 0;
+    std::uint64_t deferred = 0;
     std::vector<PendingTask> failed;  ///< awaiting redeal at the barrier
     std::thread worker;
   };
@@ -500,6 +640,24 @@ class PoolExecutor {
     projected_[best] += task.cost;
     // Untagged work invalidates the unit's whole resident set.
     lane_cache_[best].clear();
+    enqueue(best, std::move(task));
+    return best;
+  }
+
+  /// Least-projected dealing for pure-CPU tasks: no tensor calls, so the
+  /// lane's mirror survives (a CPU task between two affine tasks must not
+  /// cost the second its predicted hits).
+  std::size_t place_cpu(PendingTask task) {
+    const std::size_t none = projected_.size();
+    std::size_t best = none;
+    for (std::size_t i = 0; i < projected_.size(); ++i) {
+      if (quarantined_[i]) continue;
+      if (best == none || projected_[i] < projected_[best]) best = i;
+    }
+    if (best == none) {
+      throw fault::PermanentUnitFault("PoolExecutor: all units quarantined");
+    }
+    projected_[best] += task.cost;
     enqueue(best, std::move(task));
     return best;
   }
@@ -544,6 +702,86 @@ class PoolExecutor {
     return best;
   }
 
+  /// Reject dependencies on serials that have not been submitted yet (a
+  /// forward dep could never retire and would deadlock the dep-wait).
+  /// Called on the submit thread *before* the task's serial is allocated
+  /// — the task's own serial would be `next_serial_`, so `< next_serial_`
+  /// is the precise bound, and a rejected submit leaks nothing (an
+  /// allocated-but-never-enqueued serial could never retire and would
+  /// stall every later epoch fence).
+  void check_deps(const std::vector<std::uint64_t>& deps) const {
+    for (const std::uint64_t d : deps) {
+      if (d >= next_serial_) {
+        throw std::invalid_argument(
+            "PoolExecutor: dependency on a not-yet-submitted serial");
+      }
+    }
+  }
+
+  /// Mark one serial complete in the ledger and advance the low-water
+  /// mark (all serials below it are retired). Worker threads call this
+  /// for every task outcome that will not run again.
+  void retire(std::uint64_t serial) {
+    std::lock_guard<std::mutex> lock(ledger_mu_);
+    if (serial < ledger_base_) return;  // compacted: already retired
+    const std::size_t idx = static_cast<std::size_t>(serial - ledger_base_);
+    if (idx >= done_.size()) done_.resize(idx + 1, 0);
+    done_[idx] = 1;
+    while (low_water_ < ledger_base_ + done_.size() &&
+           done_[static_cast<std::size_t>(low_water_ - ledger_base_)]) {
+      ++low_water_;
+    }
+    ledger_cv_.notify_all();
+  }
+
+  bool deps_ready_locked(const PendingTask& t) const {
+    if (low_water_ < t.fence) return false;
+    for (const std::uint64_t d : t.deps) {
+      if (d < low_water_) continue;
+      const std::size_t idx = static_cast<std::size_t>(d - ledger_base_);
+      if (idx >= done_.size() || !done_[idx]) return false;
+    }
+    return true;
+  }
+
+  /// Raise the recovery flag and wake every dep-waiting worker: some
+  /// serial may never retire on its own (a task failed, died with its
+  /// lane, or hit a non-fault error), so blocked tasks must defer to the
+  /// strict barrier instead of waiting. The empty critical section
+  /// orders the flag write before any waiter's predicate re-check.
+  void signal_recovery() {
+    recovery_flag_.store(true, std::memory_order_release);
+    { std::lock_guard<std::mutex> lock(ledger_mu_); }
+    ledger_cv_.notify_all();
+  }
+
+  /// Forget every outstanding serial: the round is over (cleanly, or
+  /// abandoned by fail_round, which re-anchors all state anyway).
+  void reset_ledger() {
+    std::lock_guard<std::mutex> lock(ledger_mu_);
+    low_water_ = next_serial_;
+    ledger_base_ = next_serial_;
+    done_.clear();
+    recovery_flag_.store(false, std::memory_order_release);
+  }
+
+  enum class DepWait { kRun, kDefer, kStop };
+
+  /// Block until the task's fence and predecessor serials have retired.
+  /// Returns kDefer when recovery is underway (the task goes back to the
+  /// barrier for redealing — its predecessors may be in `failed` and
+  /// unable to retire until then) and kStop on executor shutdown.
+  DepWait wait_deps(const PendingTask& task) {
+    if (task.fence == 0 && task.deps.empty()) return DepWait::kRun;
+    std::unique_lock<std::mutex> lock(ledger_mu_);
+    ledger_cv_.wait(lock, [&] {
+      return ledger_stop_ || deps_ready_locked(task) ||
+             recovery_flag_.load(std::memory_order_acquire);
+    });
+    if (deps_ready_locked(task)) return DepWait::kRun;
+    return ledger_stop_ ? DepWait::kStop : DepWait::kDefer;
+  }
+
   void enqueue(std::size_t unit, PendingTask task) {
     Lane& lane = *lanes_.at(unit);
     {
@@ -578,6 +816,10 @@ class PoolExecutor {
     accumulate(report);
     reseed();
     evict_all();
+    // Outstanding serials died with the round; forget them so the next
+    // round's dep-waits cannot block on tasks that will never run.
+    reset_ledger();
+    epoch_fence_ = 0;
   }
 
   void accumulate(const RoundReport& report) {
@@ -586,6 +828,7 @@ class PoolExecutor {
     cumulative_.retried += report.retried;
     cumulative_.redealt += report.redealt;
     cumulative_.drained += report.drained;
+    cumulative_.deferred += report.deferred;
     cumulative_.spawn_failures = spawn_failures_;
     cumulative_.healthy_units = report.healthy_units;
     // cumulative_.quarantined is appended at quarantine time.
@@ -635,12 +878,57 @@ class PoolExecutor {
   /// funneled back unrun. Non-fault exceptions go to `first_error_`.
   void run_one(Lane& lane, Device<T>& unit, PendingTask task, bool dead) {
     if (dead) {
+      if (task.marker) {
+        // Checker probes are lane-local and meaningless on a dead lane;
+        // retire so the epoch's fence can still clear.
+        retire(task.serial);
+        return;
+      }
       std::lock_guard<std::mutex> lock(lane.mu);
       ++lane.drained;
       lane.failed.push_back(std::move(task));
       return;
     }
     check::UnitObserver* obs = unit.observer();
+    if (task.marker) {
+      // Epoch boundary on this lane: every pre-epoch task here has run
+      // (FIFO), so the dealer's mirror snapshot must equal the unit's
+      // live resident set — unless a fault already desynced them (the
+      // strict barrier re-anchors and re-checks in that case).
+      bool stale;
+      {
+        std::lock_guard<std::mutex> lock(lane.mu);
+        stale = lane.dirty || lane.dead;
+      }
+      if (obs && !stale && !recovery_flag_.load(std::memory_order_acquire)) {
+        try {
+          obs->on_epoch(task.mirror, task.epoch);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(error_mu_);
+          if (!first_error_) first_error_ = std::current_exception();
+          signal_recovery();
+        }
+      }
+      retire(task.serial);
+      return;
+    }
+    switch (wait_deps(task)) {
+      case DepWait::kRun:
+        break;
+      case DepWait::kStop:
+        return;  // shutdown without join: round abandoned
+      case DepWait::kDefer: {
+        // A predecessor is stuck in recovery; hand the task back to the
+        // strict barrier unrun (no attempt consumed). The dealer's
+        // mirror was advanced for a task that never touched this unit —
+        // mark the lane dirty so join() re-anchors it.
+        std::lock_guard<std::mutex> lock(lane.mu);
+        lane.dirty = true;
+        ++lane.deferred;
+        lane.failed.push_back(std::move(task));
+        return;
+      }
+    }
     std::size_t lane_retries = 0;
     for (;;) {
       if (obs) {
@@ -650,16 +938,20 @@ class PoolExecutor {
       try {
         task.fn(unit);
         if (obs) obs->on_task_end(/*failed=*/false);
+        retire(task.serial);
         return;
       } catch (const fault::PermanentUnitFault&) {
         if (obs) obs->on_task_end(/*failed=*/true);
         task.last_fault = std::current_exception();
         ++task.attempts;
         unit.evict_all();  // the dead unit can vouch for nothing
-        std::lock_guard<std::mutex> lock(lane.mu);
-        lane.dead = true;
-        ++lane.permanents;
-        lane.failed.push_back(std::move(task));
+        {
+          std::lock_guard<std::mutex> lock(lane.mu);
+          lane.dead = true;
+          ++lane.permanents;
+          lane.failed.push_back(std::move(task));
+        }
+        signal_recovery();
         return;
       } catch (const fault::TransientFault&) {
         if (obs) obs->on_task_end(/*failed=*/true);
@@ -678,13 +970,20 @@ class PoolExecutor {
           task.hits_valid = false;
           continue;
         }
-        std::lock_guard<std::mutex> lock(lane.mu);
-        lane.failed.push_back(std::move(task));
+        {
+          std::lock_guard<std::mutex> lock(lane.mu);
+          lane.failed.push_back(std::move(task));
+        }
+        signal_recovery();
         return;
       } catch (...) {
         if (obs) obs->on_task_end(/*failed=*/true);
-        std::lock_guard<std::mutex> lock(error_mu_);
-        if (!first_error_) first_error_ = std::current_exception();
+        {
+          std::lock_guard<std::mutex> lock(error_mu_);
+          if (!first_error_) first_error_ = std::current_exception();
+        }
+        // The task's serial will never retire; unstick any dep-waiters.
+        signal_recovery();
         return;
       }
     }
@@ -696,6 +995,13 @@ class PoolExecutor {
       lane_ptr->stop = true;
       lane_ptr->cv.notify_one();
     }
+    {
+      // Wake workers parked in a dep-wait: their predecessors may sit in
+      // queues behind them and can never retire once we stop draining.
+      std::lock_guard<std::mutex> lock(ledger_mu_);
+      ledger_stop_ = true;
+    }
+    ledger_cv_.notify_all();
     for (auto& lane_ptr : lanes_) {
       if (lane_ptr->worker.joinable()) lane_ptr->worker.join();
     }
@@ -713,6 +1019,22 @@ class PoolExecutor {
   RoundReport cumulative_;  ///< lifetime fault statistics
   std::mutex error_mu_;
   std::exception_ptr first_error_;
+  // Completion ledger: which serials have retired. `done_` is indexed by
+  // serial - ledger_base_; `low_water_` is the smallest unretired serial
+  // (compacted forward at every strict join). Guarded by ledger_mu_.
+  std::mutex ledger_mu_;
+  std::condition_variable ledger_cv_;
+  std::vector<std::uint8_t> done_;
+  std::uint64_t ledger_base_ = 0;
+  std::uint64_t low_water_ = 0;
+  bool ledger_stop_ = false;
+  /// Raised by any outcome that strands a serial (fault, funneled task,
+  /// non-fault error): dep-waiting workers defer to the strict barrier
+  /// instead of blocking on a retire that will never come.
+  std::atomic<bool> recovery_flag_{false};
+  // Epoch state (submit-thread-only, like the dealer's projections).
+  std::uint64_t epoch_fence_ = 0;  ///< fence stamped onto new tasks
+  std::uint64_t epoch_id_ = 0;
 };
 
 }  // namespace tcu

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <numbers>
 #include <stdexcept>
 
@@ -52,6 +53,28 @@ struct DftCtx {
   /// needless reload *within* a call to fix — and the pool path re-pays l
   /// per extra chunk.
   bool affinity = false;
+  /// DftOptions::mode: pool-path scheduling. See epoch_* below.
+  ExecMode mode = ExecMode::kEpoch;
+  /// Epoch-mode arena: heap owners of matrices that in-flight tasks still
+  /// reference after the submitting stack frame returns (per-level
+  /// Fourier tiles, per-recursion `next` buffers). Owned by the public
+  /// entry point, released at each strict join. Null on the serial path.
+  std::vector<std::shared_ptr<Matrix<Complex>>>* keep = nullptr;
+
+  bool epoch() const { return exec != nullptr && mode == ExecMode::kEpoch; }
+
+  /// Strict barrier before a submit-thread read of task-written data
+  /// (transposes, Bluestein glue, pointwise products) and at the public
+  /// API boundary. No-op on the serial and barrier paths, whose per-level
+  /// joins already guarantee quiescence at every such point. The arena is
+  /// NOT released here: enclosing recursion frames (a Bluestein sync runs
+  /// deep inside the level stack) still hold views into it and submit
+  /// read-out tasks against them after we return — only the public entry
+  /// point, where the whole recursion has unwound, may drop `keep`.
+  void sync() const {
+    if (!epoch()) return;
+    exec->join();
+  }
 
   std::size_t tile_dim() const {
     return dev ? dev->tile_dim() : exec->pool().unit(0).tile_dim();
@@ -106,6 +129,7 @@ struct DftCtx {
       const std::size_t nr =
           (c + 1 == chunks) ? rows - r0 : tile_cnt * s;
       if (affinity) {
+        // tcu-lint: epoch-free-ok(barrier path: a strict join closes this call)
         exec->submit_affine(
             tcu::linalg::detail::strip_tile_cost(unit0, nr, true), {key},
             [A, B, C, r0, nr, key](Device<Complex>& unit) {
@@ -181,6 +205,97 @@ void ct_level(const DftCtx& ctx, MatrixView<Complex> batch, std::size_t n1,
   ctx.charge_cpu(2 * b * len);
 }
 
+/// Epoch-mode ct_level: one fused task per chunk — gather its rows of the
+/// level's tall matrix from `batch` into task-local scratch, one tall
+/// tensor product, twiddle + scatter into `next` — with the gather and
+/// twiddle CPU charged to the executing unit instead of the shared CPU.
+/// Chunk boundaries are exactly DftCtx::gemm's (multiples of sqrt(m),
+/// min(pool, tiles) chunks), so every tensor counter, the aggregate
+/// cpu_ops, and every output bit match the barrier path; only the split
+/// of cpu_ops between the shared counter and the units moves. Rows of the
+/// tall matrix touch pairwise-disjoint elements of `batch` and `next`, so
+/// chunks race on nothing. Ends with a virtual barrier (join_epoch): the
+/// next stage's tasks are fence-ordered behind this level's without
+/// idling the submit thread.
+void ct_level_epoch(const DftCtx& ctx, MatrixView<Complex> batch,
+                    std::size_t n1, MatrixView<Complex> next) {
+  const std::size_t b = batch.rows;
+  const std::size_t len = batch.cols;
+  const std::size_t n2 = len / n1;
+  const std::size_t s = ctx.tile_dim();
+
+  auto w_tile = std::make_shared<Matrix<Complex>>(s, s, Complex{});
+  for (std::size_t r = 0; r < n1; ++r) {
+    for (std::size_t c = 0; c < n1; ++c) {
+      (*w_tile)(r, c) = unit_root(static_cast<double>((r * c) % n1),
+                                  static_cast<double>(n1), false);
+    }
+  }
+  // The tile is built once for every chunk: shared-CPU work by nature.
+  ctx.charge_cpu(n1 * n1);
+  ctx.keep->push_back(w_tile);
+
+  PoolExecutor<Complex>& exec = *ctx.exec;
+  const Device<Complex>& unit0 = exec.pool().unit(0);
+  const std::size_t rows = b * n2;
+  const std::size_t tiles = rows / s;
+  const std::size_t chunks =
+      std::max<std::size_t>(1, std::min(exec.pool().size(), tiles));
+  const std::uint64_t key = make_tile_key(kDftTileTag, n1);
+  std::size_t r0 = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t tile_cnt = tiles / chunks + (c < tiles % chunks);
+    const std::size_t nr = (c + 1 == chunks) ? rows - r0 : tile_cnt * s;
+    const bool affinity = ctx.affinity;
+    auto run_chunk = [batch, next, w_tile, r0, nr, n1, n2, len, s, key,
+                      affinity](Device<Complex>& unit) {
+      // Gather: tall-matrix row r0+i is column vector (r, c) with
+      // r = (r0+i)/n2, c = (r0+i)%n2 of row r's n1 x n2 arrangement.
+      Matrix<Complex> g(nr, s, Complex{});
+      for (std::size_t i = 0; i < nr; ++i) {
+        const std::size_t r = (r0 + i) / n2;
+        const std::size_t cc = (r0 + i) % n2;
+        for (std::size_t j1 = 0; j1 < n1; ++j1) {
+          g(i, j1) = batch(r, j1 * n2 + cc);
+        }
+      }
+      unit.charge_cpu(nr * n1);
+      Matrix<Complex> t(nr, s, Complex{});
+      if (affinity) {
+        unit.gemm_resident(key, g.view().as_const(),
+                           w_tile->view().as_const(), t.view());
+      } else {
+        // tcu-lint: untagged-ok(plain-submit chunk; the dealer dropped the lane mirror)
+        unit.gemm(g.view().as_const(), w_tile->view().as_const(), t.view());
+      }
+      // Twiddle + scatter into the next level's contiguous layout.
+      for (std::size_t i = 0; i < nr; ++i) {
+        const std::size_t r = (r0 + i) / n2;
+        const std::size_t j2 = (r0 + i) % n2;
+        for (std::size_t k1 = 0; k1 < n1; ++k1) {
+          const Complex tw =
+              unit_root(static_cast<double>((k1 * j2) % len),
+                        static_cast<double>(len), false);
+          next(r * n1 + k1, j2) = t(i, k1) * tw;
+        }
+      }
+      unit.charge_cpu(2 * nr * n1);
+    };
+    const std::uint64_t glue = 3ull * nr * n1;
+    if (affinity) {
+      // tcu-lint: epoch-free-ok(fence-ordered: join_epoch brackets every level)
+      exec.submit_affine(
+          tcu::linalg::detail::strip_tile_cost(unit0, nr, true) + glue, {key},
+          std::move(run_chunk));
+    } else {
+      exec.submit(projected_gemm_cost(unit0, nr) + glue,
+                  std::move(run_chunk));
+    }
+    r0 += nr;
+  }
+  exec.join_epoch();
+}
+
 /// Bluestein chirp-z: DFT of prime length len > sqrt(m) via a circular
 /// convolution of power-of-two size N >= 2*len - 1.
 void bluestein(const DftCtx& ctx, MatrixView<Complex> batch) {
@@ -199,6 +314,9 @@ void bluestein(const DftCtx& ctx, MatrixView<Complex> batch) {
   }
   ctx.charge_cpu(len);
 
+  // The chirp modulation reads `batch` on the submit thread; earlier
+  // epoch-mode stages may still be writing it.
+  ctx.sync();
   Matrix<Complex> a(b, N, Complex{});
   for (std::size_t r = 0; r < b; ++r) {
     for (std::size_t j = 0; j < len; ++j) {
@@ -215,6 +333,7 @@ void bluestein(const DftCtx& ctx, MatrixView<Complex> batch) {
 
   dft_batch_rec(ctx, a.view());
   dft_batch_rec(ctx, kernel.view());
+  ctx.sync();  // the pointwise product reads both transforms
   for (std::size_t r = 0; r < b; ++r) {
     for (std::size_t j = 0; j < N; ++j) {
       a(r, j) = std::conj(a(r, j) * kernel(0, j));
@@ -223,6 +342,7 @@ void bluestein(const DftCtx& ctx, MatrixView<Complex> batch) {
   ctx.charge_cpu(2 * b * N);
   // Inverse DFT of size N via conjugation around the forward transform.
   dft_batch_rec(ctx, a.view());
+  ctx.sync();  // the write-back below reads `a`, and `a` is a local
   const double scale = 1.0 / static_cast<double>(N);
   for (std::size_t r = 0; r < b; ++r) {
     for (std::size_t k = 0; k < len; ++k) {
@@ -232,12 +352,86 @@ void bluestein(const DftCtx& ctx, MatrixView<Complex> batch) {
   ctx.charge_cpu(b * len);
 }
 
+/// Epoch-mode base case (len <= sqrt(m)): fused pad + tall call +
+/// write-back per chunk, same chunk boundaries as DftCtx::gemm over the b
+/// batch rows. Each chunk writes its own batch rows; fenced behind the
+/// previous stage and ahead of the next by join_epoch.
+void base_case_epoch(const DftCtx& ctx, MatrixView<Complex> batch) {
+  const std::size_t len = batch.cols;
+  const std::size_t b = batch.rows;
+  const std::size_t s = ctx.tile_dim();
+
+  auto w_tile = std::make_shared<Matrix<Complex>>(s, s, Complex{});
+  for (std::size_t r = 0; r < len; ++r) {
+    for (std::size_t c = 0; c < len; ++c) {
+      (*w_tile)(r, c) = unit_root(static_cast<double>((r * c) % len),
+                                  static_cast<double>(len), false);
+    }
+  }
+  ctx.charge_cpu(len * len);
+  ctx.keep->push_back(w_tile);
+
+  PoolExecutor<Complex>& exec = *ctx.exec;
+  const Device<Complex>& unit0 = exec.pool().unit(0);
+  const std::size_t tiles = b / s;
+  const std::size_t chunks =
+      std::max<std::size_t>(1, std::min(exec.pool().size(), tiles));
+  const std::uint64_t key = make_tile_key(kDftTileTag, len);
+  std::size_t r0 = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t tile_cnt = tiles / chunks + (c < tiles % chunks);
+    const std::size_t nr = (c + 1 == chunks) ? b - r0 : tile_cnt * s;
+    const bool affinity = ctx.affinity;
+    auto run_chunk = [batch, w_tile, r0, nr, len, s, key,
+                      affinity](Device<Complex>& unit) {
+      Matrix<Complex> padded(nr, s, Complex{});
+      for (std::size_t i = 0; i < nr; ++i) {
+        for (std::size_t j = 0; j < len; ++j) {
+          padded(i, j) = batch(r0 + i, j);
+        }
+      }
+      unit.charge_cpu(nr * len);
+      Matrix<Complex> out(nr, s, Complex{});
+      if (affinity) {
+        unit.gemm_resident(key, padded.view().as_const(),
+                           w_tile->view().as_const(), out.view());
+      } else {
+        // tcu-lint: untagged-ok(plain-submit chunk; the dealer dropped the lane mirror)
+        unit.gemm(padded.view().as_const(), w_tile->view().as_const(),
+                  out.view());
+      }
+      for (std::size_t i = 0; i < nr; ++i) {
+        for (std::size_t j = 0; j < len; ++j) {
+          batch(r0 + i, j) = out(i, j);
+        }
+      }
+      unit.charge_cpu(nr * len);
+    };
+    const std::uint64_t glue = 2ull * nr * len;
+    if (affinity) {
+      // tcu-lint: epoch-free-ok(fence-ordered: join_epoch brackets every level)
+      exec.submit_affine(
+          tcu::linalg::detail::strip_tile_cost(unit0, nr, true) + glue, {key},
+          std::move(run_chunk));
+    } else {
+      exec.submit(projected_gemm_cost(unit0, nr) + glue,
+                  std::move(run_chunk));
+    }
+    r0 += nr;
+  }
+  exec.join_epoch();
+}
+
 void dft_batch_rec(const DftCtx& ctx, MatrixView<Complex> batch) {
   const std::size_t len = batch.cols;
   const std::size_t b = batch.rows;
   const std::size_t s = ctx.tile_dim();
   if (len <= 1) return;
 
+  if (len <= s && ctx.epoch()) {
+    base_case_epoch(ctx, batch);
+    return;
+  }
   if (len <= s) {
     // One tall call transforms the whole batch.
     Matrix<Complex> w_tile(s, s, Complex{});
@@ -268,6 +462,43 @@ void dft_batch_rec(const DftCtx& ctx, MatrixView<Complex> batch) {
     return;
   }
   const std::size_t n2 = len / n1;
+
+  if (ctx.epoch()) {
+    // `next` outlives this frame: the read-out tasks below (and the
+    // recursion's) run after we return, so the buffer lives in the arena
+    // until the enclosing strict join.
+    auto owned = std::make_shared<Matrix<Complex>>(b * n1, n2, Complex{});
+    ctx.keep->push_back(owned);
+    MatrixView<Complex> next = owned->view();
+    ct_level_epoch(ctx, batch, n1, next);
+    dft_batch_rec(ctx, next);
+
+    // Column-major read-out as fenced CPU tasks: batch rows are written
+    // disjointly and no tensor call is issued (submit_cpu leaves the
+    // lane's prediction mirror alone).
+    PoolExecutor<Complex>& exec = *ctx.exec;
+    const std::size_t chunks =
+        std::max<std::size_t>(1, std::min(exec.pool().size(), b));
+    std::size_t r0 = 0;
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t nr = b / chunks + (c < b % chunks);
+      exec.submit_cpu(
+          static_cast<std::uint64_t>(nr) * len, TaskDeps{},
+          [batch, next, r0, nr, n1, n2, len](Device<Complex>& unit) {
+            for (std::size_t r = r0; r < r0 + nr; ++r) {
+              for (std::size_t k1 = 0; k1 < n1; ++k1) {
+                for (std::size_t k2 = 0; k2 < n2; ++k2) {
+                  batch(r, k1 + n1 * k2) = next(r * n1 + k1, k2);
+                }
+              }
+            }
+            unit.charge_cpu(nr * len);
+          });
+      r0 += nr;
+    }
+    exec.join_epoch();
+    return;
+  }
 
   Matrix<Complex> next(b * n1, n2, Complex{});
   ct_level(ctx, batch, n1, next.view());
@@ -370,6 +601,7 @@ void idft_batch_with_ctx(const DftCtx& ctx, MatrixView<Complex> batch) {
     }
   }
   dft_batch_with_ctx(ctx, batch);
+  ctx.sync();  // the conjugate-and-scale below reads task-written rows
   const double scale = 1.0 / static_cast<double>(len);
   for (std::size_t r = 0; r < b; ++r) {
     for (std::size_t j = 0; j < len; ++j) {
@@ -393,13 +625,20 @@ void idft_batch_tcu(CplxDevice& dev, MatrixView<Complex> batch,
 
 void dft_batch_tcu(PoolExecutor<Complex>& exec, MatrixView<Complex> batch,
                    const DftOptions& opts) {
-  dft_batch_with_ctx(DftCtx{.exec = &exec, .affinity = opts.affinity}, batch);
+  std::vector<std::shared_ptr<Matrix<Complex>>> keep;
+  const DftCtx ctx{.exec = &exec, .affinity = opts.affinity,
+                   .mode = opts.mode, .keep = &keep};
+  dft_batch_with_ctx(ctx, batch);
+  ctx.sync();  // public API boundary: the caller reads `batch` next
 }
 
 void idft_batch_tcu(PoolExecutor<Complex>& exec, MatrixView<Complex> batch,
                     const DftOptions& opts) {
-  idft_batch_with_ctx(DftCtx{.exec = &exec, .affinity = opts.affinity},
-                      batch);
+  std::vector<std::shared_ptr<Matrix<Complex>>> keep;
+  const DftCtx ctx{.exec = &exec, .affinity = opts.affinity,
+                   .mode = opts.mode, .keep = &keep};
+  idft_batch_with_ctx(ctx, batch);
+  ctx.sync();
 }
 
 void dft_batch_tcu(DevicePool<Complex>& pool, MatrixView<Complex> batch) {
@@ -438,6 +677,7 @@ Matrix<Complex> dft2_with_ctx(const DftCtx& ctx, ConstMatrixView<Complex> x,
   } else {
     dft_batch_with_ctx(ctx, rows.view());
   }
+  ctx.sync();  // the transpose reads task-written rows
   Matrix<Complex> cols = transposed(rows.view().as_const());
   ctx.charge_cpu(x.rows * x.cols);
   if (inverse) {
@@ -445,6 +685,7 @@ Matrix<Complex> dft2_with_ctx(const DftCtx& ctx, ConstMatrixView<Complex> x,
   } else {
     dft_batch_with_ctx(ctx, cols.view());
   }
+  ctx.sync();  // ditto, and `cols` is a local the tasks still reference
   Matrix<Complex> out = transposed(cols.view().as_const());
   ctx.charge_cpu(x.rows * x.cols);
   return out;
@@ -463,6 +704,7 @@ CVec circular_convolve_with_ctx(const DftCtx& ctx, const CVec& a,
     batch(1, j) = b[j];
   }
   dft_batch_with_ctx(ctx, batch.view());
+  ctx.sync();  // the pointwise product reads both transformed rows
   Matrix<Complex> prod(1, n);
   for (std::size_t j = 0; j < n; ++j) prod(0, j) = batch(0, j) * batch(1, j);
   ctx.charge_cpu(n);
@@ -498,8 +740,10 @@ Matrix<Complex> dft2_tcu(CplxDevice& dev, ConstMatrixView<Complex> x,
 Matrix<Complex> dft2_tcu(PoolExecutor<Complex>& exec,
                          ConstMatrixView<Complex> x, bool inverse,
                          const DftOptions& opts) {
-  return dft2_with_ctx(DftCtx{.exec = &exec, .affinity = opts.affinity}, x,
-                       inverse);
+  std::vector<std::shared_ptr<Matrix<Complex>>> keep;
+  const DftCtx ctx{.exec = &exec, .affinity = opts.affinity,
+                   .mode = opts.mode, .keep = &keep};
+  return dft2_with_ctx(ctx, x, inverse);  // drained: ends past a sync()
 }
 
 CVec circular_convolve_tcu(CplxDevice& dev, const CVec& a, const CVec& b,
@@ -510,8 +754,10 @@ CVec circular_convolve_tcu(CplxDevice& dev, const CVec& a, const CVec& b,
 
 CVec circular_convolve_tcu(PoolExecutor<Complex>& exec, const CVec& a,
                            const CVec& b, const DftOptions& opts) {
-  return circular_convolve_with_ctx(
-      DftCtx{.exec = &exec, .affinity = opts.affinity}, a, b);
+  std::vector<std::shared_ptr<Matrix<Complex>>> keep;
+  const DftCtx ctx{.exec = &exec, .affinity = opts.affinity,
+                   .mode = opts.mode, .keep = &keep};
+  return circular_convolve_with_ctx(ctx, a, b);  // idft drains internally
 }
 
 Matrix<Complex> circular_convolve2_tcu(CplxDevice& dev,
@@ -526,8 +772,10 @@ Matrix<Complex> circular_convolve2_tcu(PoolExecutor<Complex>& exec,
                                        ConstMatrixView<Complex> a,
                                        ConstMatrixView<Complex> kernel,
                                        const DftOptions& opts) {
-  return circular_convolve2_with_ctx(
-      DftCtx{.exec = &exec, .affinity = opts.affinity}, a, kernel);
+  std::vector<std::shared_ptr<Matrix<Complex>>> keep;
+  const DftCtx ctx{.exec = &exec, .affinity = opts.affinity,
+                   .mode = opts.mode, .keep = &keep};
+  return circular_convolve2_with_ctx(ctx, a, kernel);  // dft2 drains
 }
 
 }  // namespace tcu::dft

@@ -189,6 +189,118 @@ void closure_pool_divisible(PoolExecutor<Vert>& exec, MatrixView<Vert> X) {
   }
 }
 
+/// Epoch-mode pool variant: one dependency-ordered round for the whole
+/// closure, with a single strict join at the end. The per-pivot barrier
+/// over-synchronized two ways — it kept kernels A/B/C on the shared
+/// (serial) CPU counter, Amdahl-bounding the pool, and it idled lanes on
+/// work only the pivot panels actually order. Here every kernel is a
+/// `submit_cpu` unit task and each task declares its true predecessors.
+/// With writer(i,j) = the last pivot's task that wrote block (i,j)
+/// (D(k-1,j) for most blocks, B(k-1,j) / C(k-1,i) for the old pivot row
+/// and column):
+///
+///   A(k)    after D(k-1, k)                (the diagonal block)
+///   B(k,j)  after A(k), writer(k, j)       (the new pivot-row block)
+///   C(k,i)  after A(k) [, B(k-1, k) when i is the old pivot row —
+///           every other writer is covered through A's dependence]
+///   D(k,j)  after B(k,j), every C(k,i)     (weight + full column panel;
+///           the accumulate chain into column j is ordered through
+///           B(k,j) -> D(k-1,j) -> B(k-1,j))
+///
+/// The FP/boolean op order per block is unchanged and each column's
+/// accumulates stay in pivot order, so outputs are bit-identical to the
+/// serial closure; aggregate counters are preserved because the kernel
+/// charges move from the shared counter to the units (same field sums).
+void closure_pool_epoch(PoolExecutor<Vert>& exec, MatrixView<Vert> X) {
+  const Device<Vert>& unit0 = exec.pool().unit(0);
+  const std::size_t n = X.rows;
+  const std::size_t s = unit0.tile_dim();
+  const std::size_t t = n / s;
+  const std::uint64_t s3 = static_cast<std::uint64_t>(s) * s * s;
+  std::vector<TaskTicket> b_prev(t), c_prev(t), d_prev(t);
+  for (std::size_t kb = 0; kb < t; ++kb) {
+    auto diag = X.subview(kb * s, kb * s, s, s);
+    TaskDeps a_deps;
+    if (kb > 0) a_deps.after.push_back(d_prev[kb].serial);
+    const TaskTicket a =
+        exec.submit_cpu(s3, std::move(a_deps), [diag, s3](Device<Vert>& unit) {
+          kernel_a(diag);
+          unit.charge_cpu(s3);
+        });
+    std::vector<TaskTicket> b_now(t), c_now(t);
+    for (std::size_t jb = 0; jb < t; ++jb) {
+      if (jb == kb) continue;
+      TaskDeps b_deps{{a.serial}};
+      if (kb > 0) {
+        if (jb == kb - 1) {
+          // The old pivot column: C(k-1, k) wrote this block, and every
+          // D(k-1, x) *read* it as part of its column panel — the
+          // overwrite must wait for all of them. This also transitively
+          // orders D(k, k-1)'s writes into the old pivot column (and its
+          // diagonal) behind all of pivot k-1's readers, since each
+          // D(k-1, x) depends on B(k-1, x) and every C(k-1, i).
+          b_deps.after.push_back(c_prev[kb].serial);
+          for (std::size_t x = 0; x < t; ++x) {
+            if (x != kb - 1) b_deps.after.push_back(d_prev[x].serial);
+          }
+        } else {
+          b_deps.after.push_back(d_prev[jb].serial);
+        }
+      }
+      auto block = X.subview(kb * s, jb * s, s, s);
+      b_now[jb] = exec.submit_cpu(
+          s3, std::move(b_deps), [block, diag, s3](Device<Vert>& unit) {
+            kernel_b(block, diag);
+            unit.charge_cpu(s3);
+          });
+    }
+    for (std::size_t ib = 0; ib < t; ++ib) {
+      if (ib == kb) continue;
+      TaskDeps c_deps{{a.serial}};
+      if (kb > 0 && ib == kb - 1) c_deps.after.push_back(b_prev[kb].serial);
+      auto block = X.subview(ib * s, kb * s, s, s);
+      c_now[ib] = exec.submit_cpu(
+          s3, std::move(c_deps), [block, diag, s3](Device<Vert>& unit) {
+            kernel_c(block, diag);
+            unit.charge_cpu(s3);
+          });
+    }
+    std::uint64_t cost = 0;
+    if (kb > 0) cost += projected_gemm_cost(unit0, kb * s);
+    if (kb + 1 < t) cost += projected_gemm_cost(unit0, n - (kb + 1) * s);
+    for (std::size_t jb = 0; jb < t; ++jb) {
+      if (jb == kb) continue;
+      TaskDeps d_deps{{b_now[jb].serial}};
+      for (std::size_t ib = 0; ib < t; ++ib) {
+        if (ib != kb) d_deps.after.push_back(c_now[ib].serial);
+      }
+      d_prev[jb] = exec.submit(
+          cost, std::move(d_deps), [X, kb, jb, s, t, n](Device<Vert>& unit) {
+            auto weight = X.subview(kb * s, jb * s, s, s);
+            if (kb > 0) {
+              // tcu-lint: untagged-ok(plain-submit task; weight mutated per pivot)
+              unit.gemm(X.subview(0, kb * s, kb * s, s), weight,
+                        X.subview(0, jb * s, kb * s, s), /*accumulate=*/true);
+              clamp_block(X.subview(0, jb * s, kb * s, s));
+              unit.charge_cpu(static_cast<std::uint64_t>(kb) * s * s);
+            }
+            if (kb + 1 < t) {
+              const std::size_t top = (kb + 1) * s;
+              // tcu-lint: untagged-ok(plain-submit task; weight mutated per pivot)
+              unit.gemm(X.subview(top, kb * s, n - top, s), weight,
+                        X.subview(top, jb * s, n - top, s),
+                        /*accumulate=*/true);
+              clamp_block(X.subview(top, jb * s, n - top, s));
+              unit.charge_cpu(static_cast<std::uint64_t>(n - top) * s);
+            }
+          });
+    }
+    b_prev = std::move(b_now);
+    c_prev = std::move(c_now);
+  }
+  exec.join();
+}
+
 }  // namespace
 
 void closure_tcu(Device<Vert>& dev, MatrixView<Vert> d) {
@@ -215,14 +327,22 @@ void closure_tcu(Device<Vert>& dev, MatrixView<Vert> d) {
   dev.charge_cpu(n * n);
 }
 
-void closure_tcu(PoolExecutor<Vert>& exec, MatrixView<Vert> d) {
+void closure_tcu(PoolExecutor<Vert>& exec, MatrixView<Vert> d,
+                 ExecMode mode) {
   const std::size_t n = d.rows;
   if (d.cols != n) throw std::invalid_argument("closure_tcu: square input");
   if (n == 0) return;
   DevicePool<Vert>& pool = exec.pool();
   const std::size_t s = pool.unit(0).tile_dim();
+  const auto run = [&](MatrixView<Vert> X) {
+    if (mode == ExecMode::kEpoch) {
+      closure_pool_epoch(exec, X);
+    } else {
+      closure_pool_divisible(exec, X);
+    }
+  };
   if (n % s == 0) {
-    closure_pool_divisible(exec, d);
+    run(d);
     return;
   }
   const std::size_t np = ((n + s - 1) / s) * s;
@@ -231,16 +351,16 @@ void closure_tcu(PoolExecutor<Vert>& exec, MatrixView<Vert> d) {
     for (std::size_t j = 0; j < n; ++j) padded(i, j) = d(i, j);
   }
   pool.charge_cpu(np * np);
-  closure_pool_divisible(exec, padded.view());
+  run(padded.view());
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j < n; ++j) d(i, j) = padded(i, j);
   }
   pool.charge_cpu(n * n);
 }
 
-void closure_tcu(DevicePool<Vert>& pool, MatrixView<Vert> d) {
+void closure_tcu(DevicePool<Vert>& pool, MatrixView<Vert> d, ExecMode mode) {
   PoolExecutor<Vert> exec(pool);
-  closure_tcu(exec, d);
+  closure_tcu(exec, d, mode);
 }
 
 AdjMatrix closure_bfs_oracle(ConstMatrixView<Vert> adjacency) {

@@ -38,14 +38,19 @@ void closure_tcu(Device<Vert>& dev, MatrixView<Vert> d);
 
 /// Multi-unit Theorem 5: per pivot block k, the kernel D updates of the
 /// block columns j != k write disjoint column panels, so each becomes one
-/// pool task (its two tall min-plus/boolean GEMM calls plus the clamp);
-/// the pivot kernels A/B/C stay on the shared CPU. One persistent
-/// executor spans all n/sqrt(m) pivot iterations. Output bits and
-/// aggregate counters are identical to the single-device closure_tcu.
-void closure_tcu(DevicePool<Vert>& pool, MatrixView<Vert> d);
+/// pool task (its two tall min-plus/boolean GEMM calls plus the clamp).
+/// Output bits and aggregate counters are identical to the single-device
+/// closure_tcu at every unit count. In `ExecMode::kBarrier` the pivot
+/// kernels A/B/C stay on the shared CPU and a strict join fences every
+/// pivot (the historical schedule); in `ExecMode::kEpoch` (default) the
+/// kernels become dependency-ordered unit tasks and the whole closure is
+/// one non-barrier round — see closure.cpp for the dependence graph.
+void closure_tcu(DevicePool<Vert>& pool, MatrixView<Vert> d,
+                 ExecMode mode = ExecMode::kEpoch);
 
 /// Same, over a caller-owned persistent executor.
-void closure_tcu(PoolExecutor<Vert>& exec, MatrixView<Vert> d);
+void closure_tcu(PoolExecutor<Vert>& exec, MatrixView<Vert> d,
+                 ExecMode mode = ExecMode::kEpoch);
 
 /// Reference oracle for tests: reachability by BFS from every vertex.
 /// Not cost-charged (it is the ground truth, not a model algorithm).

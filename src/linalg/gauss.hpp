@@ -149,6 +149,25 @@ void kernel_c(Device<T>& dev, MatrixView<T> X,
   dev.charge_cpu(kernel_c_ops(X, Y));
 }
 
+// Closed-form update counts for the kernels above (the epoch-mode pool
+// path needs each task's exact cost before it runs; the *_ops functions
+// compute it by doing the work). Verified against the loops:
+//   A: sum_{k=0}^{s-2} (s-1-k)^2            = (s-1)s(2s-1)/6
+//   B: sum_{k=0}^{s-2} (s-1-k)*s  +  s^2    = s*s(s-1)/2 + s^2
+//   C: sum_{k=0}^{s-1} s*(s-1-k)            = s*s(s-1)/2
+
+inline constexpr std::uint64_t kernel_a_cost(std::uint64_t s) {
+  return s == 0 ? 0 : (s - 1) * s * (2 * s - 1) / 6;
+}
+
+inline constexpr std::uint64_t kernel_b_cost(std::uint64_t s) {
+  return s * (s * (s - 1) / 2) + s * s;
+}
+
+inline constexpr std::uint64_t kernel_c_cost(std::uint64_t s) {
+  return s * (s * (s - 1) / 2);
+}
+
 }  // namespace ge_detail
 
 /// Figure 4 / Theorem 4: blocked forward elimination on the TCU, in place.
@@ -201,22 +220,43 @@ void ge_forward_tcu(Device<T>& dev, MatrixView<T> X) {
   }
 }
 
-/// Theorem 4 across the pool: per outer iteration k, kernels A-C (the
-/// pivot row and column, CPU-bound) run on the submitting thread against
-/// the shared CPU counter, and each trailing block column's kernel-D
-/// update — one tall `gemm_resident` on a panel disjoint from every other
-/// j — is one pool task dealt with `submit_affine` on its X'_j chain. The
-/// barrier per pivot is required (iteration k+1 reads what D wrote); the
-/// caller-owned persistent executor makes it cheap across all r/sqrt(m)
-/// pivots, mirroring the closure refactor. Outputs and aggregate
-/// counters (including resident_hits/latency: every key is unique per
-/// (k, j), so dealing cannot create or destroy hits) are bit-identical to
-/// `ge_forward_tcu` at every unit count — except `Counters::evictions`,
-/// which is schedule-dependent: each active lane's first insertion fills
-/// an empty cache without displacing anything, so the aggregate eviction
-/// count shrinks with the number of lanes the panels land on.
+/// Theorem 4 across the pool. Outputs and aggregate counters (including
+/// resident_hits/latency: every key is unique per (k, j), so dealing
+/// cannot create or destroy hits) are bit-identical to `ge_forward_tcu`
+/// at every unit count — except `Counters::evictions`, which is
+/// schedule-dependent: each active lane's first insertion fills an empty
+/// cache without displacing anything, so the aggregate eviction count
+/// shrinks with the number of lanes the panels land on.
+///
+/// `ExecMode::kBarrier` is the historical schedule: per outer iteration
+/// k, kernels A-C (the pivot row and column, CPU-bound) run on the
+/// submitting thread against the shared CPU counter, each trailing block
+/// column's kernel-D update — one tall `gemm_resident` on a panel
+/// disjoint from every other j — is one pool task dealt with
+/// `submit_affine` on its X'_j chain, and a strict `join()` fences every
+/// pivot.
+///
+/// `ExecMode::kEpoch` (the default) submits the whole elimination as one
+/// dependency-ordered round with a single strict join at the end. The
+/// per-pivot barrier over-synchronized two ways: it kept every kernel
+/// A/B/C on the shared CPU counter (a serial term that Amdahl-bounds the
+/// pool at ~1.2x), and it idled lanes on work that only the pivot block
+/// column actually orders. Here the kernels are `submit_cpu` unit tasks
+/// and each task declares its true predecessors:
+///
+///   A(k)    after D(k-1, k)                       (the diagonal block)
+///   B(k,j)  after A(k), D(k-1, j)                 (row panel + X'_j)
+///   C(k,i)  after A(k)          (A retired => D(k-1, k) retired)
+///   D(k,j)  after B(k,j), every C(k,i)   (B retired => D(k-1, j)
+///           retired, ordering the accumulate chain into column j)
+///
+/// so pivot k+1's column panel starts the moment its own inputs settle,
+/// while trailing columns of pivot k are still streaming on other lanes.
+/// The FP schedule per block is unchanged and the D accumulates into each
+/// column stay in pivot order, so outputs remain bit-identical to serial.
 template <typename T>
-void ge_forward_tcu_pool(PoolExecutor<T>& exec, MatrixView<T> X) {
+void ge_forward_tcu_pool(PoolExecutor<T>& exec, MatrixView<T> X,
+                         ExecMode mode = ExecMode::kEpoch) {
   DevicePool<T>& pool = exec.pool();
   const Device<T>& unit0 = pool.unit(0);
   const std::size_t r = X.rows;
@@ -229,16 +269,74 @@ void ge_forward_tcu_pool(PoolExecutor<T>& exec, MatrixView<T> X) {
   exec.evict_all();  // call-local keys, exactly as on the serial path
   const std::size_t t = r / s;
   Matrix<T> xp(s, r, T{});
-  for (std::size_t kb = 0; kb < t; ++kb) {
-    pool.charge_cpu(ge_detail::kernel_a_ops(X.subview(kb * s, kb * s, s, s)));
-    for (std::size_t jb = kb + 1; jb < t; ++jb) {
-      pool.charge_cpu(ge_detail::kernel_b_ops(
-          X.subview(kb * s, jb * s, s, s), X.subview(kb * s, kb * s, s, s),
-          xp.subview(0, jb * s, s, s)));
+  if (mode == ExecMode::kBarrier) {
+    for (std::size_t kb = 0; kb < t; ++kb) {
+      pool.charge_cpu(
+          ge_detail::kernel_a_ops(X.subview(kb * s, kb * s, s, s)));
+      for (std::size_t jb = kb + 1; jb < t; ++jb) {
+        pool.charge_cpu(ge_detail::kernel_b_ops(
+            X.subview(kb * s, jb * s, s, s), X.subview(kb * s, kb * s, s, s),
+            xp.subview(0, jb * s, s, s)));
+      }
+      for (std::size_t ib = kb + 1; ib < t; ++ib) {
+        pool.charge_cpu(ge_detail::kernel_c_ops(
+            X.subview(ib * s, kb * s, s, s), X.subview(kb * s, kb * s, s, s)));
+      }
+      if (kb + 1 == t) break;
+      const std::size_t top = (kb + 1) * s;
+      const std::size_t tall_rows = r - top;
+      const std::uint64_t cost =
+          detail::strip_tile_cost(unit0, tall_rows, /*affinity=*/true);
+      for (std::size_t jb = kb + 1; jb < t; ++jb) {
+        const std::uint64_t key = ge_panel_key(kb, jb);
+        auto xp_view = xp.view();
+        exec.submit_affine(
+            cost, {key},
+            [X, xp_view, key, top, tall_rows, kb, jb, s](Device<T>& unit) {
+              unit.gemm_resident(key, X.subview(top, kb * s, tall_rows, s),
+                                 xp_view.subview(0, jb * s, s, s),
+                                 X.subview(top, jb * s, tall_rows, s),
+                                 /*accumulate=*/true);
+            });
+      }
+      exec.join();
     }
+    return;
+  }
+  const std::uint64_t a_cost = ge_detail::kernel_a_cost(s);
+  const std::uint64_t b_cost = ge_detail::kernel_b_cost(s);
+  const std::uint64_t c_cost = ge_detail::kernel_c_cost(s);
+  std::vector<TaskTicket> d_prev(t);  // D(kb-1, jb), indexed by jb
+  auto xp_view = xp.view();
+  for (std::size_t kb = 0; kb < t; ++kb) {
+    TaskDeps a_deps;
+    if (kb > 0) a_deps.after.push_back(d_prev[kb].serial);
+    const TaskTicket a = exec.submit_cpu(
+        a_cost, std::move(a_deps), [X, kb, s](Device<T>& unit) {
+          unit.charge_cpu(
+              ge_detail::kernel_a_ops(X.subview(kb * s, kb * s, s, s)));
+        });
+    std::vector<TaskTicket> b_tickets(t);
+    for (std::size_t jb = kb + 1; jb < t; ++jb) {
+      TaskDeps b_deps{{a.serial}};
+      if (kb > 0) b_deps.after.push_back(d_prev[jb].serial);
+      b_tickets[jb] = exec.submit_cpu(
+          b_cost, std::move(b_deps), [X, xp_view, kb, jb, s](Device<T>& unit) {
+            unit.charge_cpu(ge_detail::kernel_b_ops(
+                X.subview(kb * s, jb * s, s, s),
+                X.subview(kb * s, kb * s, s, s),
+                xp_view.subview(0, jb * s, s, s)));
+          });
+    }
+    std::vector<std::uint64_t> c_serials;
     for (std::size_t ib = kb + 1; ib < t; ++ib) {
-      pool.charge_cpu(ge_detail::kernel_c_ops(
-          X.subview(ib * s, kb * s, s, s), X.subview(kb * s, kb * s, s, s)));
+      const TaskTicket c = exec.submit_cpu(
+          c_cost, TaskDeps{{a.serial}}, [X, kb, ib, s](Device<T>& unit) {
+            unit.charge_cpu(ge_detail::kernel_c_ops(
+                X.subview(ib * s, kb * s, s, s),
+                X.subview(kb * s, kb * s, s, s)));
+          });
+      c_serials.push_back(c.serial);
     }
     if (kb + 1 == t) break;
     const std::size_t top = (kb + 1) * s;
@@ -247,9 +345,11 @@ void ge_forward_tcu_pool(PoolExecutor<T>& exec, MatrixView<T> X) {
         detail::strip_tile_cost(unit0, tall_rows, /*affinity=*/true);
     for (std::size_t jb = kb + 1; jb < t; ++jb) {
       const std::uint64_t key = ge_panel_key(kb, jb);
-      auto xp_view = xp.view();
-      exec.submit_affine(
-          cost, {key},
+      TaskDeps d_deps{{b_tickets[jb].serial}};
+      d_deps.after.insert(d_deps.after.end(), c_serials.begin(),
+                          c_serials.end());
+      d_prev[jb] = exec.submit_affine(
+          cost, {key}, std::move(d_deps),
           [X, xp_view, key, top, tall_rows, kb, jb, s](Device<T>& unit) {
             unit.gemm_resident(key, X.subview(top, kb * s, tall_rows, s),
                                xp_view.subview(0, jb * s, s, s),
@@ -257,15 +357,16 @@ void ge_forward_tcu_pool(PoolExecutor<T>& exec, MatrixView<T> X) {
                                /*accumulate=*/true);
           });
     }
-    exec.join();
   }
+  exec.join();
 }
 
 /// Pool forward elimination with a throwaway executor for the call.
 template <typename T>
-void ge_forward_tcu_pool(DevicePool<T>& pool, MatrixView<T> X) {
+void ge_forward_tcu_pool(DevicePool<T>& pool, MatrixView<T> X,
+                         ExecMode mode = ExecMode::kEpoch) {
   PoolExecutor<T> exec(pool);
-  ge_forward_tcu_pool(exec, X);
+  ge_forward_tcu_pool(exec, X, mode);
 }
 
 /// Build the (R x R) augmented matrix of Figure 2 for the system A x = b

@@ -235,6 +235,56 @@ void matmul_pool_tile_split(PoolExecutor<T>& exec, ConstMatrixView<T> A,
   }
 }
 
+/// The body of one output-strip task — shared verbatim by the joining
+/// dealer (matmul_tcu_pool_into) and the ticket-returning epoch variant
+/// (matmul_tcu_pool_strips), so both schedules run bit-identical strip
+/// work. `keys` empty = untagged; `r0`/`nr` select the row chunk (the
+/// full height for unchunked strips).
+template <typename T>
+auto strip_task(ConstMatrixView<T> A, ConstMatrixView<T> B, MatrixView<T> C,
+                std::size_t jb, std::size_t s, bool ragged, std::size_t r0,
+                std::size_t nr, std::vector<std::uint64_t> keys) {
+  return [A, B, C, jb, s, ragged, r0, nr,
+          keys = std::move(keys)](Device<T>& unit) {
+    if (ragged) {
+      detail::ragged_strip(unit, A, B, C, jb, keys);
+      return;
+    }
+    for (std::size_t kb = 0; kb < A.cols; kb += s) {
+      if (!keys.empty()) {
+        unit.gemm_resident(keys[kb / s], A.subview(r0, kb, nr, s),
+                           B.subview(kb, jb, s, s), C.subview(r0, jb, nr, s),
+                           /*accumulate=*/kb != 0);
+      } else {
+        // tcu-lint: untagged-ok(untagged dealing mode; task came via plain submit)
+        unit.gemm(A.subview(r0, kb, nr, s), B.subview(kb, jb, s, s),
+                  C.subview(r0, jb, nr, s), /*accumulate=*/kb != 0);
+      }
+    }
+  };
+}
+
+/// The per-strip B-tile chains of an affinity product, built once on the
+/// scheduling path (empty when `affinity` is off).
+template <typename T>
+std::vector<std::vector<std::uint64_t>> strip_chains(
+    ConstMatrixView<T> B, std::size_t s, bool affinity,
+    const TileKeyFn& tile_key) {
+  const std::size_t q = B.rows, r = B.cols;
+  std::vector<std::vector<std::uint64_t>> chains((r + s - 1) / s);
+  if (!affinity) return chains;
+  for (std::size_t jb = 0; jb < r; jb += s) {
+    std::vector<std::uint64_t>& chain = chains[jb / s];
+    chain.reserve((q + s - 1) / s);
+    for (std::size_t kb = 0; kb < q; kb += s) {
+      chain.push_back(tile_key
+                          ? tile_key(kb, jb)
+                          : reinterpret_cast<std::uintptr_t>(&B(kb, jb)));
+    }
+  }
+  return chains;
+}
+
 }  // namespace detail
 
 /// C = A * B dealt across the executor's units, one task per output column
@@ -283,18 +333,8 @@ void matmul_tcu_pool_into(PoolExecutor<T>& exec,
   // Each strip's full tile chain — one key per B tile, in call order —
   // is invariant across chunks, so build it once per strip up front (the
   // submit loop is the serialized scheduling path).
-  std::vector<std::vector<std::uint64_t>> chains((r + s - 1) / s);
-  if (opts.affinity) {
-    for (std::size_t jb = 0; jb < r; jb += s) {
-      std::vector<std::uint64_t>& chain = chains[jb / s];
-      chain.reserve(k_tiles);
-      for (std::size_t kb = 0; kb < q; kb += s) {
-        chain.push_back(opts.tile_key
-                            ? opts.tile_key(kb, jb)
-                            : reinterpret_cast<std::uintptr_t>(&B(kb, jb)));
-      }
-    }
-  }
+  const std::vector<std::vector<std::uint64_t>> chains =
+      detail::strip_chains(B, s, opts.affinity, opts.tile_key);
 
   std::size_t r0 = 0;
   for (std::size_t c = 0; c < chunks; ++c) {
@@ -306,25 +346,7 @@ void matmul_tcu_pool_into(PoolExecutor<T>& exec,
                                                         opts.affinity);
     for (std::size_t jb = 0; jb < r; jb += s) {
       const std::vector<std::uint64_t>& chain = chains[jb / s];
-      auto task = [A, B, C, jb, s, ragged, r0, nr,
-                   keys = chain](Device<T>& unit) {
-        if (ragged) {
-          detail::ragged_strip(unit, A, B, C, jb, keys);
-          return;
-        }
-        for (std::size_t kb = 0; kb < A.cols; kb += s) {
-          if (!keys.empty()) {
-            unit.gemm_resident(keys[kb / s], A.subview(r0, kb, nr, s),
-                               B.subview(kb, jb, s, s),
-                               C.subview(r0, jb, nr, s),
-                               /*accumulate=*/kb != 0);
-          } else {
-            // tcu-lint: untagged-ok(untagged dealing mode; task came via plain submit)
-            unit.gemm(A.subview(r0, kb, nr, s), B.subview(kb, jb, s, s),
-                      C.subview(r0, jb, nr, s), /*accumulate=*/kb != 0);
-          }
-        }
-      };
+      auto task = detail::strip_task(A, B, C, jb, s, ragged, r0, nr, chain);
       if (opts.affinity) {
         exec.submit_affine(chunk_cost, chain, std::move(task));
       } else {
@@ -334,6 +356,53 @@ void matmul_tcu_pool_into(PoolExecutor<T>& exec,
     r0 += nr;
   }
   exec.join();
+}
+
+/// Ticket-returning no-join product for epoch-mode pipelines: submits one
+/// task per output column strip (no row chunking or tile splitting) and
+/// returns the strips' TaskTickets, in strip order, WITHOUT joining.
+/// Strip jb's ticket retires exactly when C's columns [jb*s, jb*s+s) are
+/// final, so downstream work — a per-strip epilogue — can depend on
+/// single strips (TaskDeps) instead of a full barrier, overlapping with
+/// the remaining strips' products. Strip bodies, submission order, and
+/// projected costs are identical to matmul_tcu_pool_into's unchunked
+/// schedule, so counters stay bit-compatible. The caller owes the
+/// executor a join() (or a fence via join_epoch) before the submit
+/// thread reads C, and must keep A, B, and C alive until then.
+template <typename T>
+std::vector<TaskTicket> matmul_tcu_pool_strips(
+    PoolExecutor<T>& exec, std::type_identity_t<ConstMatrixView<T>> A,
+    std::type_identity_t<ConstMatrixView<T>> B,
+    std::type_identity_t<MatrixView<T>> C, PoolMatmulOptions opts = {}) {
+  if (A.cols != B.rows) {
+    throw std::invalid_argument("matmul_tcu_pool: inner dimensions differ");
+  }
+  if (C.rows != A.rows || C.cols != B.cols) {
+    throw std::invalid_argument("matmul_tcu_pool: output shape mismatch");
+  }
+  const Device<T>& unit0 = exec.pool().unit(0);
+  const std::size_t s = unit0.tile_dim();
+  const std::size_t p = A.rows, q = A.cols, r = B.cols;
+  const bool ragged = (p % s) || (q % s) || (r % s);
+  const std::uint64_t strip_cost =
+      ((q + s - 1) / s) * detail::strip_tile_cost(unit0, p, opts.affinity);
+  const std::vector<std::vector<std::uint64_t>> chains =
+      detail::strip_chains(B, s, opts.affinity, opts.tile_key);
+
+  std::vector<TaskTicket> tickets;
+  tickets.reserve(chains.size());
+  for (std::size_t jb = 0; jb < r; jb += s) {
+    const std::vector<std::uint64_t>& chain = chains[jb / s];
+    auto task = detail::strip_task(A, B, C, jb, s, ragged, /*r0=*/0,
+                                   /*nr=*/p, chain);
+    if (opts.affinity) {
+      tickets.push_back(
+          exec.submit_affine(strip_cost, chain, TaskDeps{}, std::move(task)));
+    } else {
+      tickets.push_back(exec.submit(strip_cost, TaskDeps{}, std::move(task)));
+    }
+  }
+  return tickets;
 }
 
 /// C = A * B across the pool's units with a throwaway executor (spawns and

@@ -1,5 +1,7 @@
 #include "nn/layers.hpp"
 
+#include <algorithm>
+#include <memory>
 #include <stdexcept>
 
 #include "linalg/dense.hpp"
@@ -70,6 +72,46 @@ Matrix<double> DenseLayer::forward(PoolExecutor<double>& exec,
   return out;
 }
 
+void DenseLayer::forward_epoch(PoolExecutor<double>& exec,
+                               ConstMatrixView<double> activations,
+                               MatrixView<double> out, bool relu,
+                               const linalg::PoolMatmulOptions& opts) const {
+  if (activations.cols != weights_.rows()) {
+    throw std::invalid_argument("DenseLayer: activation width mismatch");
+  }
+  if (out.rows != activations.rows || out.cols != weights_.cols()) {
+    throw std::invalid_argument("DenseLayer: output shape mismatch");
+  }
+  const std::vector<TaskTicket> tickets = linalg::matmul_tcu_pool_strips(
+      exec, activations, weights_.view(), out, opts);
+
+  // One epilogue task per output strip, gated on exactly that strip's
+  // product: columns [jb, jb+jw) of `out` are final once the ticket
+  // retires, and no other strip touches them. The per-strip CPU charges
+  // sum to the barrier path's shared-CPU epilogue charge.
+  const std::size_t s = exec.pool().unit(0).tile_dim();
+  const std::size_t rows = out.rows;
+  const std::size_t cols = out.cols;
+  for (std::size_t jb = 0; jb < cols; jb += s) {
+    const std::size_t jw = std::min(s, cols - jb);
+    const std::uint64_t cost =
+        static_cast<std::uint64_t>(rows) * jw * (relu ? 2 : 1);
+    exec.submit_cpu(
+        cost, TaskDeps{{tickets[jb / s].serial}},
+        [out, this, relu, jb, jw, rows, cost](Device<double>& unit) {
+          for (std::size_t i = 0; i < rows; ++i) {
+            for (std::size_t j = jb; j < jb + jw; ++j) {
+              double v = out(i, j) + bias_[j];
+              if (relu && v < 0.0) v = 0.0;
+              out(i, j) = v;
+            }
+          }
+          unit.charge_cpu(cost);
+        });
+  }
+  exec.join_epoch();
+}
+
 void Mlp::add_layer(DenseLayer layer) {
   if (!layers_.empty() &&
       layers_.back().out_features() != layer.in_features()) {
@@ -99,15 +141,37 @@ Matrix<double> Mlp::forward(DevicePool<double>& pool,
 
 Matrix<double> Mlp::forward(PoolExecutor<double>& exec,
                             ConstMatrixView<double> batch,
-                            const linalg::PoolMatmulOptions& opts) const {
+                            const linalg::PoolMatmulOptions& opts,
+                            ExecMode mode) const {
   if (layers_.empty()) throw std::invalid_argument("Mlp: no layers");
-  Matrix<double> cur = materialize(batch);
+  if (mode == ExecMode::kBarrier) {
+    Matrix<double> cur = materialize(batch);
+    exec.pool().charge_cpu(batch.rows * batch.cols);
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+      const bool relu = l + 1 < layers_.size();
+      cur = layers_[l].forward(exec, cur.view(), relu, opts);
+    }
+    return cur;
+  }
+
+  // Epoch pass: every layer submits its strips and per-strip epilogues
+  // and opens a new epoch; one strict join closes the whole pass. The
+  // activation matrices are arena-held because in-flight tasks reference
+  // them long after the submitting loop iteration has moved on.
+  auto cur = std::make_shared<Matrix<double>>(materialize(batch));
   exec.pool().charge_cpu(batch.rows * batch.cols);
+  std::vector<std::shared_ptr<Matrix<double>>> arena{cur};
   for (std::size_t l = 0; l < layers_.size(); ++l) {
     const bool relu = l + 1 < layers_.size();
-    cur = layers_[l].forward(exec, cur.view(), relu, opts);
+    auto next = std::make_shared<Matrix<double>>(
+        cur->rows(), layers_[l].out_features(), 0.0);
+    layers_[l].forward_epoch(exec, cur->view().as_const(), next->view(),
+                             relu, opts);
+    arena.push_back(next);
+    cur = std::move(next);
   }
-  return cur;
+  exec.join();
+  return std::move(*cur);
 }
 
 namespace {

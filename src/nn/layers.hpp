@@ -61,6 +61,22 @@ class DenseLayer {
                          const linalg::PoolMatmulOptions& opts = {
                              .affinity = true}) const;
 
+  /// Epoch-mode forward: submits the weight product one task per output
+  /// strip plus a per-strip bias/ReLU epilogue that depends only on its
+  /// own strip's ticket — the epilogue of a finished strip overlaps the
+  /// remaining strips' products — then opens a new epoch (join_epoch) so
+  /// the next layer's reads are fence-ordered. No strict join: `out` is
+  /// entirely task-written and must only be read (and `activations`/`out`
+  /// only freed) after the caller's join(). Aggregate counters equal the
+  /// barrier forward's — the epilogue CPU moves from the shared counter
+  /// to the executing units, which is what lets a deep pass scale past
+  /// the serial-epilogue Amdahl bound.
+  void forward_epoch(PoolExecutor<double>& exec,
+                     ConstMatrixView<double> activations,
+                     MatrixView<double> out, bool relu,
+                     const linalg::PoolMatmulOptions& opts = {
+                         .affinity = true}) const;
+
  private:
   Matrix<double> weights_;
   std::vector<double> bias_;
@@ -89,10 +105,21 @@ class Mlp {
   /// with enough `resident_tiles` capacity, every layer's whole chain of
   /// weight tiles stays resident on its lane across requests. `opts` is
   /// forwarded to every layer's strip dealing (see DenseLayer::forward).
+  ///
+  /// `mode` selects the pass schedule. `kBarrier` (default, the
+  /// historical schedule): each layer strict-joins and runs its epilogue
+  /// on the shared CPU. `kEpoch`: layers run as one non-barrier round —
+  /// per-strip epilogue tasks depend on their own strip's ticket,
+  /// consecutive layers are separated by virtual barriers (join_epoch),
+  /// and one strict join closes the pass. Outputs are bit-identical and
+  /// aggregate counters equal in both modes; per-unit cpu_ops differ
+  /// (epoch charges epilogues to the executing units), which is what
+  /// un-bounds multi-unit speedup from the serial epilogue.
   Matrix<double> forward(PoolExecutor<double>& exec,
                          ConstMatrixView<double> batch,
                          const linalg::PoolMatmulOptions& opts = {
-                             .affinity = true}) const;
+                             .affinity = true},
+                         ExecMode mode = ExecMode::kBarrier) const;
 
  private:
   std::vector<DenseLayer> layers_;

@@ -21,7 +21,11 @@ struct DftDispatch {
   Device<dft::Complex>* dev = nullptr;
   PoolExecutor<dft::Complex>* exec = nullptr;
 
-  static constexpr tcu::dft::DftOptions kDft{.affinity = true};
+  // Epoch mode spelled out (it is also the DftOptions default): the
+  // pipelines' transform levels overlap as one non-barrier round, with
+  // the gather/twiddle glue charged to the executing units.
+  static constexpr tcu::dft::DftOptions kDft{.affinity = true,
+                                             .mode = ExecMode::kEpoch};
 
   void charge_cpu(std::uint64_t ops) const {
     if (dev) {

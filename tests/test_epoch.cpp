@@ -1,0 +1,492 @@
+// The epoch (non-barrier) runtime: per-task ready signals, the
+// completion ledger, and `join_epoch()` virtual barriers — plus the
+// epoch schedules of every workload that cashes them in (transitive
+// closure, Gaussian elimination, batched DFT, Mlp inference).
+//
+// Contracts pinned here:
+//   * raw runtime ordering: explicit TaskDeps chains serialize
+//     cross-lane reads, a virtual barrier orders the next epoch's tasks
+//     after everything before it, and forward deps are rejected without
+//     corrupting the executor;
+//   * 10-run determinism at p = 1/2/4/8 for all four epoch workloads,
+//     down to every per-unit counter field (the dealer schedules off
+//     declared costs, never wall time);
+//   * outputs are bit-identical between epoch and barrier modes, with
+//     aggregate counters equal (closure, GE) or equal modulo the
+//     documented latency-split conservation law (DFT, Mlp);
+//   * the barrier-mode flag reproduces the historical schedule
+//     bit-for-bit (p = 1 pools match a single device in every field;
+//     Mlp's default mode argument is the barrier path);
+//   * the contract checker stays green across epoch rounds (the
+//     join_epoch markers validate each lane's mirror at the fence).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "check/contract.hpp"
+#include "core/device.hpp"
+#include "core/pool.hpp"
+#include "dft/dft.hpp"
+#include "graph/closure.hpp"
+#include "graph/generators.hpp"
+#include "linalg/gauss.hpp"
+#include "nn/layers.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using tcu::Counters;
+using tcu::Device;
+using tcu::DevicePool;
+using tcu::ExecMode;
+using tcu::Matrix;
+using tcu::PoolExecutor;
+using tcu::TaskDeps;
+using tcu::TaskTicket;
+using Complex = tcu::dft::Complex;
+using Vert = tcu::graph::Vert;
+
+Matrix<double> random_matrix(std::size_t r, std::size_t c,
+                             std::uint64_t seed) {
+  tcu::util::Xoshiro256 rng(seed);
+  Matrix<double> out(r, c);
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < c; ++j) out(i, j) = rng.uniform(-1, 1);
+  }
+  return out;
+}
+
+Matrix<Complex> random_cbatch(std::size_t b, std::size_t len,
+                              std::uint64_t seed) {
+  tcu::util::Xoshiro256 rng(seed);
+  Matrix<Complex> out(b, len);
+  for (std::size_t r = 0; r < b; ++r) {
+    for (std::size_t j = 0; j < len; ++j) {
+      out(r, j) = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    }
+  }
+  return out;
+}
+
+tcu::nn::Mlp make_mlp() {
+  tcu::util::Xoshiro256 rng(77);
+  tcu::nn::Mlp mlp;
+  for (int l = 0; l < 3; ++l) {
+    auto w = random_matrix(16, 16, 70 + l);
+    std::vector<double> bias(16);
+    for (auto& v : bias) v = rng.uniform(-1, 1);
+    mlp.add_layer(tcu::nn::DenseLayer(w, bias));
+  }
+  return mlp;
+}
+
+/// Every field, bitwise — the determinism contract covers the full
+/// counter vector including the residency split and evictions (two runs
+/// of the same schedule make identical placement decisions).
+void expect_counters_bitwise(const Counters& got, const Counters& want,
+                             const std::string& what) {
+  EXPECT_EQ(got.tensor_calls, want.tensor_calls) << what;
+  EXPECT_EQ(got.tensor_rows, want.tensor_rows) << what;
+  EXPECT_EQ(got.tensor_time, want.tensor_time) << what;
+  EXPECT_EQ(got.tensor_macs, want.tensor_macs) << what;
+  EXPECT_EQ(got.latency_time, want.latency_time) << what;
+  EXPECT_EQ(got.cpu_ops, want.cpu_ops) << what;
+  EXPECT_EQ(got.resident_hits, want.resident_hits) << what;
+  EXPECT_EQ(got.latency_saved, want.latency_saved) << what;
+  EXPECT_EQ(got.evictions, want.evictions) << what;
+  EXPECT_EQ(got.tagged_calls, want.tagged_calls) << what;
+}
+
+/// Per-unit counters plus the shared-CPU stream, in one flat vector.
+template <typename T>
+std::vector<Counters> snapshot(const DevicePool<T>& pool) {
+  std::vector<Counters> out;
+  for (std::size_t u = 0; u < pool.size(); ++u) {
+    out.push_back(pool.unit(u).counters());
+  }
+  out.push_back(pool.cpu());
+  return out;
+}
+
+void expect_snapshots_bitwise(const std::vector<Counters>& got,
+                              const std::vector<Counters>& want,
+                              const std::string& what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    expect_counters_bitwise(got[i], want[i],
+                            what + " stream " + std::to_string(i));
+  }
+}
+
+/// Cross-mode comparison where lane placement may differ (DFT, Mlp):
+/// everything but the latency split matches, and the split obeys the
+/// conservation law — each call either pays or saves its l.
+void expect_counters_conserved(const Counters& a, const Counters& b,
+                               std::uint64_t ell) {
+  EXPECT_EQ(a.tensor_calls, b.tensor_calls);
+  EXPECT_EQ(a.tensor_rows, b.tensor_rows);
+  EXPECT_EQ(a.tensor_macs, b.tensor_macs);
+  EXPECT_EQ(a.cpu_ops, b.cpu_ops);
+  EXPECT_EQ(a.tensor_time - a.latency_time, b.tensor_time - b.latency_time);
+  EXPECT_EQ(a.latency_time + a.latency_saved,
+            b.latency_time + b.latency_saved +
+                (a.tensor_calls - b.tensor_calls) * ell);
+}
+
+// ---------------------------------------------------------------- runtime
+
+TEST(EpochRuntime, DepChainSerializesCrossLaneReads) {
+  DevicePool<double> pool(4, {.m = 16, .latency = 3});
+  PoolExecutor<double> exec(pool);
+  // Task i extends the value task i-1 wrote. The varying costs spread
+  // the chain across lanes, so without the dep the reads would race;
+  // the ledger must serialize them regardless of placement.
+  std::vector<std::uint64_t> slots(33, 0);
+  slots[0] = 1;
+  TaskTicket prev{};
+  for (std::size_t i = 1; i < slots.size(); ++i) {
+    TaskDeps deps;
+    if (i > 1) deps.after.push_back(prev.serial);
+    prev = exec.submit_cpu(
+        1 + (i % 3), std::move(deps), [&slots, i](Device<double>& unit) {
+          slots[i] = slots[i - 1] + 1;
+          unit.charge_cpu(1);
+        });
+  }
+  exec.join();
+  EXPECT_EQ(slots.back(), slots.size());
+  // The chain touched more than one lane — the ordering above was the
+  // ledger's doing, not an accident of single-lane FIFO.
+  std::size_t busy = 0;
+  for (std::size_t u = 0; u < pool.size(); ++u) {
+    busy += pool.unit(u).counters().cpu_ops > 0;
+  }
+  EXPECT_GT(busy, 1u);
+}
+
+TEST(EpochRuntime, VirtualBarrierOrdersTheNextEpoch) {
+  DevicePool<double> pool(4, {.m = 16, .latency = 3});
+  PoolExecutor<double> exec(pool);
+  // Round 1 writes four partials on four lanes; round 2 carries no
+  // explicit deps — the join_epoch fence alone must order its read
+  // after every round-1 write.
+  std::vector<std::uint64_t> parts(4, 0);
+  for (std::size_t u = 0; u < parts.size(); ++u) {
+    exec.submit_cpu(5, TaskDeps{}, [&parts, u](Device<double>& unit) {
+      parts[u] = u + 1;
+      unit.charge_cpu(5);
+    });
+  }
+  const std::uint64_t epoch = exec.join_epoch();
+  EXPECT_GE(epoch, 1u);
+  std::uint64_t total = 0;
+  exec.submit_cpu(1, TaskDeps{}, [&parts, &total](Device<double>& unit) {
+    for (const auto v : parts) total += v;
+    unit.charge_cpu(1);
+  });
+  exec.join();
+  EXPECT_EQ(total, 10u);
+}
+
+TEST(EpochRuntime, ForwardDependencyIsRejectedWithoutCorruption) {
+  DevicePool<double> pool(2, {.m = 16, .latency = 3});
+  PoolExecutor<double> exec(pool);
+  std::uint64_t witness = 0;
+  const TaskTicket t0 =
+      exec.submit_cpu(1, TaskDeps{}, [&witness](Device<double>& unit) {
+        witness += 1;
+        unit.charge_cpu(1);
+      });
+  // A dep on a serial that has not been submitted could never retire.
+  EXPECT_THROW(exec.submit_cpu(1, TaskDeps{.after = {t0.serial + 100}},
+                               [](Device<double>&) {}),
+               std::invalid_argument);
+  // The rejection leaked no serial: epoch fences and dep-waits keyed on
+  // the ledger's low-water mark still advance, so the executor remains
+  // fully usable — including across a subsequent virtual barrier.
+  exec.join_epoch();
+  exec.submit_cpu(1, TaskDeps{}, [&witness](Device<double>& unit) {
+    witness += 10;
+    unit.charge_cpu(1);
+  });
+  exec.join();
+  EXPECT_EQ(witness, 11u);
+}
+
+// ----------------------------------------------------- 10-run determinism
+
+TEST(EpochDeterminism, ClosureTenRunsEveryUnitCount) {
+  auto adj = tcu::graph::random_digraph(24, 0.15, 424);
+  tcu::graph::AdjMatrix serial_d = adj;
+  Device<Vert> dev({.m = 64, .latency = 7});
+  tcu::graph::closure_tcu(dev, serial_d.view());
+
+  for (std::size_t p : {1u, 2u, 4u, 8u}) {
+    std::vector<Counters> first;
+    for (int run = 0; run < 10; ++run) {
+      tcu::graph::AdjMatrix d = adj;
+      DevicePool<Vert> pool(p, {.m = 64, .latency = 7});
+      tcu::graph::closure_tcu(pool, d.view(), ExecMode::kEpoch);
+      ASSERT_EQ(d, serial_d) << "p=" << p << " run=" << run;
+      auto snap = snapshot(pool);
+      if (run == 0) {
+        first = std::move(snap);
+      } else {
+        expect_snapshots_bitwise(
+            snap, first, "closure p=" + std::to_string(p));
+      }
+    }
+  }
+}
+
+TEST(EpochDeterminism, GaussTenRunsEveryUnitCount) {
+  auto x = random_matrix(24, 24, 520);
+  Matrix<double> serial_x = x;
+  Device<double> dev({.m = 16, .latency = 5});
+  tcu::linalg::ge_forward_tcu(dev, serial_x.view());
+
+  for (std::size_t p : {1u, 2u, 4u, 8u}) {
+    std::vector<Counters> first;
+    for (int run = 0; run < 10; ++run) {
+      Matrix<double> got = x;
+      DevicePool<double> pool(p, {.m = 16, .latency = 5});
+      tcu::linalg::ge_forward_tcu_pool(pool, got.view(), ExecMode::kEpoch);
+      ASSERT_EQ(got, serial_x) << "p=" << p << " run=" << run;
+      auto snap = snapshot(pool);
+      if (run == 0) {
+        first = std::move(snap);
+      } else {
+        expect_snapshots_bitwise(snap, first, "GE p=" + std::to_string(p));
+      }
+    }
+  }
+}
+
+TEST(EpochDeterminism, DftTenRunsEveryUnitCount) {
+  auto batch = random_cbatch(3, 24, 624);
+  Matrix<Complex> serial_batch = batch;
+  Device<Complex> dev({.m = 16, .latency = 11});
+  tcu::dft::dft_batch_tcu(dev, serial_batch.view(), {.affinity = true});
+
+  for (std::size_t p : {1u, 2u, 4u, 8u}) {
+    std::vector<Counters> first;
+    for (int run = 0; run < 10; ++run) {
+      Matrix<Complex> got = batch;
+      DevicePool<Complex> pool(p, {.m = 16, .latency = 11});
+      PoolExecutor<Complex> exec(pool);
+      tcu::dft::dft_batch_tcu(exec, got.view(),
+                              {.affinity = true, .mode = ExecMode::kEpoch});
+      ASSERT_EQ(got, serial_batch) << "p=" << p << " run=" << run;
+      auto snap = snapshot(pool);
+      if (run == 0) {
+        first = std::move(snap);
+      } else {
+        expect_snapshots_bitwise(snap, first, "DFT p=" + std::to_string(p));
+      }
+    }
+  }
+}
+
+TEST(EpochDeterminism, MlpTenRunsEveryUnitCount) {
+  const auto mlp = make_mlp();
+  const auto batch = random_matrix(16, 16, 724);
+  Device<double> dev({.m = 16, .latency = 3});
+  const auto expect = mlp.forward(dev, batch.view());
+
+  for (std::size_t p : {1u, 2u, 4u, 8u}) {
+    std::vector<Counters> first;
+    for (int run = 0; run < 10; ++run) {
+      DevicePool<double> pool(p, {.m = 16, .latency = 3});
+      PoolExecutor<double> exec(pool);
+      const auto got = mlp.forward(exec, batch.view(), {.affinity = true},
+                                   ExecMode::kEpoch);
+      ASSERT_EQ(got, expect) << "p=" << p << " run=" << run;
+      auto snap = snapshot(pool);
+      if (run == 0) {
+        first = std::move(snap);
+      } else {
+        expect_snapshots_bitwise(snap, first, "Mlp p=" + std::to_string(p));
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------- epoch/barrier
+
+TEST(EpochVsBarrier, ClosureAndGaussAggregatesIdentical) {
+  // Closure and GE charge their epoch-mode glue through the same counted
+  // kernels as the barrier path, so the aggregates match in every field
+  // — only the split across units moves.
+  auto adj = tcu::graph::random_digraph(30, 0.15, 830);
+  for (std::size_t p : {2u, 4u}) {
+    tcu::graph::AdjMatrix d_epoch = adj, d_barrier = adj;
+    DevicePool<Vert> pe(p, {.m = 64, .latency = 7});
+    DevicePool<Vert> pb(p, {.m = 64, .latency = 7});
+    tcu::graph::closure_tcu(pe, d_epoch.view(), ExecMode::kEpoch);
+    tcu::graph::closure_tcu(pb, d_barrier.view(), ExecMode::kBarrier);
+    EXPECT_EQ(d_epoch, d_barrier) << "p=" << p;
+    expect_counters_bitwise(pe.aggregate(), pb.aggregate(),
+                            "closure p=" + std::to_string(p));
+  }
+
+  auto x = random_matrix(24, 24, 831);
+  for (std::size_t p : {2u, 4u}) {
+    Matrix<double> x_epoch = x, x_barrier = x;
+    DevicePool<double> pe(p, {.m = 16, .latency = 5});
+    DevicePool<double> pb(p, {.m = 16, .latency = 5});
+    tcu::linalg::ge_forward_tcu_pool(pe, x_epoch.view(), ExecMode::kEpoch);
+    tcu::linalg::ge_forward_tcu_pool(pb, x_barrier.view(),
+                                     ExecMode::kBarrier);
+    EXPECT_EQ(x_epoch, x_barrier) << "p=" << p;
+    expect_counters_bitwise(pe.aggregate(), pb.aggregate(),
+                            "GE p=" + std::to_string(p));
+  }
+}
+
+TEST(EpochVsBarrier, DftAndMlpBitIdenticalAndConserved) {
+  // DFT and Mlp epoch schedules may place chunks on different lanes than
+  // the barrier dealer (deps change the greedy projections), so the
+  // latency split can move between paid and saved — but outputs are
+  // bit-identical and the conservation law pins the totals.
+  const std::uint64_t ell = 11;
+  auto batch = random_cbatch(4, 40, 840);
+  for (std::size_t p : {2u, 4u}) {
+    Matrix<Complex> b_epoch = batch, b_barrier = batch;
+    DevicePool<Complex> pe(p, {.m = 16, .latency = ell});
+    DevicePool<Complex> pb(p, {.m = 16, .latency = ell});
+    PoolExecutor<Complex> ee(pe);
+    PoolExecutor<Complex> eb(pb);
+    tcu::dft::dft_batch_tcu(ee, b_epoch.view(),
+                            {.affinity = true, .mode = ExecMode::kEpoch});
+    tcu::dft::dft_batch_tcu(eb, b_barrier.view(),
+                            {.affinity = true, .mode = ExecMode::kBarrier});
+    EXPECT_EQ(b_epoch, b_barrier) << "p=" << p;
+    expect_counters_conserved(pe.aggregate(), pb.aggregate(), ell);
+  }
+
+  const auto mlp = make_mlp();
+  const auto in = random_matrix(16, 16, 841);
+  for (std::size_t p : {2u, 4u}) {
+    DevicePool<double> pe(p, {.m = 16, .latency = 3});
+    DevicePool<double> pb(p, {.m = 16, .latency = 3});
+    PoolExecutor<double> ee(pe);
+    PoolExecutor<double> eb(pb);
+    const auto got_epoch =
+        mlp.forward(ee, in.view(), {.affinity = true}, ExecMode::kEpoch);
+    const auto got_barrier =
+        mlp.forward(eb, in.view(), {.affinity = true}, ExecMode::kBarrier);
+    EXPECT_EQ(got_epoch, got_barrier) << "p=" << p;
+    expect_counters_conserved(pe.aggregate(), pb.aggregate(), 3);
+  }
+}
+
+TEST(EpochVsBarrier, BarrierFlagReproducesHistoricalSchedule) {
+  // The barrier flag is the pre-epoch runtime verbatim: a 1-unit pool
+  // matches a single device in every counter field (the historical
+  // p = 1 identity), and Mlp's default mode argument *is* the barrier
+  // path — same bits, same per-unit counters.
+  {
+    auto adj = tcu::graph::random_digraph(24, 0.15, 924);
+    tcu::graph::AdjMatrix serial_d = adj, pool_d = adj;
+    Device<Vert> dev({.m = 64, .latency = 7});
+    tcu::graph::closure_tcu(dev, serial_d.view());
+    DevicePool<Vert> pool(1, {.m = 64, .latency = 7});
+    tcu::graph::closure_tcu(pool, pool_d.view(), ExecMode::kBarrier);
+    EXPECT_EQ(pool_d, serial_d);
+    expect_counters_bitwise(pool.aggregate(), dev.counters(), "closure p=1");
+  }
+  {
+    auto x = random_matrix(24, 24, 925);
+    Matrix<double> serial_x = x, pool_x = x;
+    Device<double> dev({.m = 16, .latency = 5});
+    tcu::linalg::ge_forward_tcu(dev, serial_x.view());
+    DevicePool<double> pool(1, {.m = 16, .latency = 5});
+    tcu::linalg::ge_forward_tcu_pool(pool, pool_x.view(),
+                                     ExecMode::kBarrier);
+    EXPECT_EQ(pool_x, serial_x);
+    expect_counters_bitwise(pool.aggregate(), dev.counters(), "GE p=1");
+  }
+  {
+    auto batch = random_cbatch(3, 24, 926);
+    Matrix<Complex> serial_b = batch, pool_b = batch;
+    Device<Complex> dev({.m = 16, .latency = 11});
+    tcu::dft::dft_batch_tcu(dev, serial_b.view(), {.affinity = true});
+    DevicePool<Complex> pool(1, {.m = 16, .latency = 11});
+    PoolExecutor<Complex> exec(pool);
+    tcu::dft::dft_batch_tcu(exec, pool_b.view(),
+                            {.affinity = true, .mode = ExecMode::kBarrier});
+    EXPECT_EQ(pool_b, serial_b);
+    expect_counters_bitwise(pool.aggregate(), dev.counters(), "DFT p=1");
+  }
+  {
+    const auto mlp = make_mlp();
+    const auto in = random_matrix(16, 16, 927);
+    DevicePool<double> pd(4, {.m = 16, .latency = 3});
+    DevicePool<double> pf(4, {.m = 16, .latency = 3});
+    PoolExecutor<double> ed(pd);
+    PoolExecutor<double> ef(pf);
+    const auto got_default = mlp.forward(ed, in.view());
+    const auto got_flag =
+        mlp.forward(ef, in.view(), {.affinity = true}, ExecMode::kBarrier);
+    EXPECT_EQ(got_default, got_flag);
+    expect_snapshots_bitwise(snapshot(pf), snapshot(pd), "Mlp barrier flag");
+  }
+}
+
+// ----------------------------------------------------------------- checker
+
+TEST(EpochCheck, AllWorkloadsPassWithCheckerAttached) {
+  // The join_epoch markers compare each lane's dealer mirror to the
+  // unit's live resident set at every virtual barrier; any divergence
+  // throws out of the worker and surfaces at the strict join.
+  {
+    DevicePool<Vert> pool(4, {.m = 64, .latency = 7});
+    tcu::check::ScopedCheck<Vert> check(pool);
+    auto adj = tcu::graph::random_digraph(24, 0.15, 1024);
+    tcu::graph::AdjMatrix serial_d = adj;
+    Device<Vert> dev({.m = 64, .latency = 7});
+    tcu::graph::closure_tcu(dev, serial_d.view());
+    tcu::graph::closure_tcu(pool, adj.view(), ExecMode::kEpoch);
+    EXPECT_EQ(adj, serial_d);
+    check.verify();
+  }
+  {
+    DevicePool<double> pool(4, {.m = 16, .latency = 5});
+    tcu::check::ScopedCheck<double> check(pool);
+    PoolExecutor<double> exec(pool);
+    auto x = random_matrix(24, 24, 1025);
+    Matrix<double> serial_x = x;
+    Device<double> dev({.m = 16, .latency = 5});
+    tcu::linalg::ge_forward_tcu(dev, serial_x.view());
+    tcu::linalg::ge_forward_tcu_pool(exec, x.view(), ExecMode::kEpoch);
+    EXPECT_EQ(x, serial_x);
+
+    const auto mlp = make_mlp();
+    const auto in = random_matrix(16, 16, 1026);
+    Device<double> mdev({.m = 16, .latency = 5});
+    const auto expect = mlp.forward(mdev, in.view());
+    const auto got =
+        mlp.forward(exec, in.view(), {.affinity = true}, ExecMode::kEpoch);
+    EXPECT_EQ(got, expect);
+    check.verify();
+  }
+  {
+    DevicePool<Complex> pool(4, {.m = 16, .latency = 11});
+    tcu::check::ScopedCheck<Complex> check(pool);
+    PoolExecutor<Complex> exec(pool);
+    auto batch = random_cbatch(3, 24, 1027);
+    Matrix<Complex> serial_b = batch;
+    Device<Complex> dev({.m = 16, .latency = 11});
+    tcu::dft::dft_batch_tcu(dev, serial_b.view(), {.affinity = true});
+    tcu::dft::dft_batch_tcu(exec, batch.view(),
+                            {.affinity = true, .mode = ExecMode::kEpoch});
+    EXPECT_EQ(batch, serial_b);
+    check.verify();
+  }
+}
+
+}  // namespace

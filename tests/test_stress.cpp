@@ -11,6 +11,7 @@
 #include "extmem/extmem.hpp"
 #include "fault/fault.hpp"
 #include "graph/apsd.hpp"
+#include "graph/closure.hpp"
 #include "graph/generators.hpp"
 #include "intmul/mul.hpp"
 #include "linalg/gauss.hpp"
@@ -172,14 +173,19 @@ TEST(Stress, DeviceWithM1IsDegenerateButConsistent) {
 }
 
 TEST(Stress, HundredRoundChaosUnderSeededFaults) {
-  // 100 rounds of every pooled workload (matmul, stencil, GE, conv2d) on
-  // persistent executors with the contract checker attached and a seeded
-  // fault plan injecting a low transient rate plus one mid-run permanent
-  // death. Every round's output must be bit-identical to a fault-free
-  // serial reference, and the checker guarantees no stale resident sets
-  // survive any recovery bracket. Seed overridable via TCU_FAULT_SEED so
-  // the CI fault leg replays the chaos under a pinned-but-different
-  // schedule.
+  // 100 rounds of every pooled workload on persistent executors with the
+  // contract checker attached and a seeded fault plan injecting a low
+  // transient rate plus one mid-run permanent death. The rounds run the
+  // epoch (non-barrier) runtime wherever a workload has one — GE, the
+  // stencil's batched DFT levels, transitive closure, and the Mlp pass
+  // all submit dependent tasks across join_epoch fences, so transients,
+  // the quarantine, and the deferred dep-waits of the recovery path all
+  // land inside open epochs. Every round's output must be bit-identical
+  // to a fault-free serial reference, and the checker guarantees no
+  // stale resident sets survive any recovery bracket (its join_epoch
+  // markers audit every lane mirror at every virtual barrier). Seed
+  // overridable via TCU_FAULT_SEED so the CI fault leg replays the chaos
+  // under a pinned-but-different schedule.
   std::uint64_t seed = 20260808;
   if (const char* env = std::getenv("TCU_FAULT_SEED"); env && *env) {
     seed = std::strtoull(env, nullptr, 10);
@@ -208,6 +214,28 @@ TEST(Stress, HundredRoundChaosUnderSeededFaults) {
       {.transient_rate = 0.004, .max_rate_transients_per_unit = 25});
   tcu::fault::ScopedInjection<Complex> cinject(cpool, cplan);
   tcu::PoolExecutor<Complex> cexec(cpool);
+
+  tcu::DevicePool<tcu::graph::Vert> vpool(4, {.m = 16, .latency = ell});
+  tcu::check::ScopedCheck<tcu::graph::Vert> vcheck(vpool);
+  tcu::fault::FaultPlan vplan(
+      seed + 2,
+      {.transient_rate = 0.004, .max_rate_transients_per_unit = 25});
+  tcu::fault::ScopedInjection<tcu::graph::Vert> vinject(vpool, vplan);
+  tcu::PoolExecutor<tcu::graph::Vert> vexec(vpool);
+
+  tcu::nn::Mlp mlp;
+  {
+    tcu::util::Xoshiro256 rng(7000);
+    for (int l = 0; l < 2; ++l) {
+      Matrix<double> wts(16, 16);
+      for (std::size_t i = 0; i < 16; ++i) {
+        for (std::size_t j = 0; j < 16; ++j) wts(i, j) = rng.uniform(-1, 1);
+      }
+      std::vector<double> bias(16);
+      for (auto& v : bias) v = rng.uniform(-1, 1);
+      mlp.add_layer(tcu::nn::DenseLayer(wts, bias));
+    }
+  }
 
   const auto w = tcu::stencil::heat_kernel(0.1, 0.05);
   for (std::uint64_t round = 0; round < 100; ++round) {
@@ -248,6 +276,23 @@ TEST(Stress, HundredRoundChaosUnderSeededFaults) {
       auto expect = tcu::stencil::stencil_tcu(ref, grid.view(), w, 2);
       ASSERT_EQ(got, expect) << "stencil, round " << round;
     }
+    {  // Mlp epoch pass: per-strip epilogues gated on their own tickets.
+      Matrix<double> batch(8, 16);
+      fill(batch, 7000 + round);
+      auto got = mlp.forward(dexec, batch.view(), {.affinity = true},
+                             tcu::ExecMode::kEpoch);
+      Device<double> ref({.m = 16, .latency = ell});
+      auto expect = mlp.forward(ref, batch.view());
+      ASSERT_EQ(got, expect) << "mlp, round " << round;
+    }
+    {  // transitive closure: the full true-dependence epoch graph.
+      auto adj = tcu::graph::random_digraph(24, 0.12, 8000 + round);
+      tcu::graph::AdjMatrix expect = adj;
+      tcu::graph::closure_tcu(vexec, adj.view(), tcu::ExecMode::kEpoch);
+      Device<tcu::graph::Vert> ref({.m = 16, .latency = ell});
+      tcu::graph::closure_tcu(ref, expect.view());
+      ASSERT_EQ(adj, expect) << "closure, round " << round;
+    }
   }
 
   // The plan actually bit: transients fired on both pools, and unit 2 of
@@ -262,8 +307,11 @@ TEST(Stress, HundredRoundChaosUnderSeededFaults) {
   EXPECT_GT(stats.retried + stats.redealt, 0u);
   EXPECT_EQ(dpool.unit(2).tile_cache().size(), 0u);
   EXPECT_EQ(cexec.healthy_units(), 4u);
+  EXPECT_GT(vplan.transients_injected(), 0u);
+  EXPECT_EQ(vexec.healthy_units(), 4u);
   dcheck.verify();
   ccheck.verify();
+  vcheck.verify();
 }
 
 TEST(Stress, LargeScanAgainstKahanReference) {

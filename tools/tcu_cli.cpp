@@ -20,10 +20,22 @@
 // Exit status is nonzero if the recovered outputs are not bit-identical
 // to the serial reference or recovery was exhausted.
 //
+// The `pool` scenario compares the two pool schedules of a dependent
+// workload — the historical barrier rounds against the epoch (non-
+// barrier) runtime — next to the serial reference:
+//
+//   tcu_cli pool [--mode barrier|epoch] [--workload closure|gauss|dft|mlp]
+//                [--p P] [--m M] [--l L] [--size N] [--seed S]
+//
+// It prints the pool makespan, the sim speedup over serial, and whether
+// the pooled output is bit-identical to the serial device's. Exit status
+// is nonzero on any output mismatch.
+//
 // Examples:
 //   tcu_cli matmul --size 256 --m 1024 --l 100
 //   tcu_cli all --size 128
 //   tcu_cli fault --workload matmul --p 4 --dead 3 --rate-ppm 2000
+//   tcu_cli pool --workload gauss --mode epoch --p 4
 
 #include <cerrno>
 #include <complex>
@@ -75,7 +87,10 @@ struct Options {
          "       tcu_cli fault [--workload matmul|gauss|conv2d|stencil]\n"
          "                     [--p P] [--rounds R] [--dead U] [--die-at C]\n"
          "                     [--rate-ppm F] [--straggle-us S]\n"
-         "                     [--m M] [--l L] [--size N] [--seed S]\n";
+         "                     [--m M] [--l L] [--size N] [--seed S]\n"
+         "       tcu_cli pool  [--mode barrier|epoch]\n"
+         "                     [--workload closure|gauss|dft|mlp]\n"
+         "                     [--p P] [--m M] [--l L] [--size N] [--seed S]\n";
   std::exit(2);
 }
 
@@ -507,12 +522,186 @@ int run_fault(int argc, char** argv) {
   usage();
 }
 
+// -------------------------------------------------------------- pool driver
+
+struct PoolOptions {
+  std::string workload = "closure";
+  tcu::ExecMode mode = tcu::ExecMode::kEpoch;
+  std::size_t p = 4;
+  std::size_t m = 256;
+  std::uint64_t latency = 64;
+  std::size_t size = 96;
+  std::uint64_t seed = 42;
+};
+
+/// One dependent workload, serial vs pooled under the chosen schedule:
+/// `serial` runs on a Device<T>, `pooled` on a DevicePool<T> in
+/// `po.mode`; both must produce the same bits. Returns the process exit
+/// status (nonzero on mismatch).
+template <typename T, typename Serial, typename Pooled>
+int pool_drive(const PoolOptions& po, Serial serial, Pooled pooled) {
+  Device<T> ref({.m = po.m, .latency = po.latency});
+  const auto expect = serial(ref);
+
+  tcu::DevicePool<T> pool(po.p, {.m = po.m, .latency = po.latency});
+  const auto got = pooled(pool);
+  const bool outputs_match = got == expect;
+
+  const auto serial_time = static_cast<double>(ref.counters().time());
+  std::cout << "  serial model time    : " << ref.counters().time() << "\n"
+            << "  pool makespan        : " << pool.makespan()
+            << ", sim speedup "
+            << tcu::util::fmt(
+                   serial_time / static_cast<double>(pool.makespan()), 2)
+            << "\n"
+            << "  outputs bit-identical: "
+            << (outputs_match ? "yes" : "NO") << "\n";
+  return outputs_match ? 0 : 1;
+}
+
+int run_pool(int argc, char** argv) {
+  PoolOptions po;
+  int i = 2;
+  for (; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    const std::string value = argv[i + 1];
+    if (flag == "--workload") {
+      po.workload = value;
+      continue;
+    }
+    if (flag == "--mode") {
+      if (value == "barrier") {
+        po.mode = tcu::ExecMode::kBarrier;
+      } else if (value == "epoch") {
+        po.mode = tcu::ExecMode::kEpoch;
+      } else {
+        std::cerr << "tcu_cli pool: --mode expects barrier|epoch, got '"
+                  << value << "'\n";
+        usage();
+      }
+      continue;
+    }
+    const auto num = parse_num(flag, value);
+    if (flag == "--p") {
+      po.p = num;
+    } else if (flag == "--m") {
+      po.m = num;
+    } else if (flag == "--l") {
+      po.latency = num;
+    } else if (flag == "--size") {
+      po.size = num;
+    } else if (flag == "--seed") {
+      po.seed = num;
+    } else {
+      usage();
+    }
+  }
+  if (i < argc) {
+    std::cerr << "tcu_cli pool: missing value for '" << argv[i] << "'\n";
+    usage();
+  }
+
+  // Round dimensions up so the strip/panel decompositions are exact.
+  const std::size_t s = tcu::exact_sqrt(po.m);
+  const std::size_t d = ((po.size + s - 1) / s) * s;
+
+  std::cout << "pool scenario: workload=" << po.workload << " mode="
+            << (po.mode == tcu::ExecMode::kEpoch ? "epoch" : "barrier")
+            << " p=" << po.p << " m=" << po.m << " l=" << po.latency
+            << " size=" << d << " seed=" << po.seed << "\n";
+
+  if (po.workload == "closure") {
+    const auto adj = tcu::graph::random_digraph(d, 0.05, po.seed);
+    return pool_drive<tcu::graph::Vert>(
+        po,
+        [&](Device<tcu::graph::Vert>& dev) {
+          auto c = adj;
+          tcu::graph::closure_tcu(dev, c.view());
+          return c;
+        },
+        [&](tcu::DevicePool<tcu::graph::Vert>& pool) {
+          auto c = adj;
+          tcu::graph::closure_tcu(pool, c.view(), po.mode);
+          return c;
+        });
+  }
+  if (po.workload == "gauss") {
+    // Diagonally dominant input: the forward elimination stays benign.
+    tcu::util::Xoshiro256 rng(po.seed);
+    Matrix<double> x(d, d, 0.0);
+    for (std::size_t r = 0; r < d; ++r) {
+      double row = 0;
+      for (std::size_t j = 0; j < d; ++j) {
+        x(r, j) = rng.uniform(-1, 1);
+        row += std::abs(x(r, j));
+      }
+      x(r, r) = row + 1.0;
+    }
+    return pool_drive<double>(
+        po,
+        [&](Device<double>& dev) {
+          auto c = x;
+          tcu::linalg::ge_forward_tcu(dev, c.view());
+          return c;
+        },
+        [&](tcu::DevicePool<double>& pool) {
+          auto c = x;
+          tcu::linalg::ge_forward_tcu_pool(pool, c.view(), po.mode);
+          return c;
+        });
+  }
+  if (po.workload == "dft") {
+    tcu::util::Xoshiro256 rng(po.seed);
+    Matrix<Complex> batch(4, d);
+    for (std::size_t r = 0; r < batch.rows(); ++r) {
+      for (std::size_t j = 0; j < d; ++j) {
+        batch(r, j) = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+      }
+    }
+    return pool_drive<Complex>(
+        po,
+        [&](Device<Complex>& dev) {
+          auto b = batch;
+          tcu::dft::dft_batch_tcu(dev, b.view(), {.affinity = true});
+          return b;
+        },
+        [&](tcu::DevicePool<Complex>& pool) {
+          auto b = batch;
+          tcu::PoolExecutor<Complex> exec(pool);
+          tcu::dft::dft_batch_tcu(exec, b.view(),
+                                  {.affinity = true, .mode = po.mode});
+          return b;
+        });
+  }
+  if (po.workload == "mlp") {
+    tcu::util::Xoshiro256 rng(po.seed);
+    tcu::nn::Mlp mlp;
+    for (int l = 0; l < 3; ++l) {
+      auto w = rand_mat(d, d, po.seed + 10 + l);
+      std::vector<double> bias(d);
+      for (auto& v : bias) v = rng.uniform(-1, 1);
+      mlp.add_layer(tcu::nn::DenseLayer(w, bias));
+    }
+    const auto batch = rand_mat(d, d, po.seed + 20);
+    return pool_drive<double>(
+        po,
+        [&](Device<double>& dev) { return mlp.forward(dev, batch.view()); },
+        [&](tcu::DevicePool<double>& pool) {
+          tcu::PoolExecutor<double> exec(pool);
+          return mlp.forward(exec, batch.view(), {.affinity = true},
+                             po.mode);
+        });
+  }
+  usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string command = argv[1];
   if (command == "fault") return run_fault(argc, argv);
+  if (command == "pool") return run_pool(argc, argv);
   Options o;
   for (int i = 2; i + 1 < argc; i += 2) {
     const std::string flag = argv[i];

@@ -28,6 +28,15 @@
 //                    (`make_tile_key` itself is exempt: it is the key
 //                    constructor, not a generation-dependent derivation.)
 //
+//   [epoch-deps]     In a file that uses the epoch runtime (calls
+//                    `join_epoch(`), a `submit_affine(` that passes no
+//                    TaskDeps argument runs as soon as the current fence
+//                    allows — correct only when a fence covers every
+//                    predecessor. Such sites must either declare their
+//                    predecessor set (a TaskDeps argument) or state why
+//                    fencing suffices with
+//                        // tcu-lint: epoch-free-ok(<reason>).
+//
 // Annotations require a non-empty reason — `untagged-ok()` is itself a
 // finding. Usage:
 //
@@ -165,7 +174,8 @@ Annotations collect_annotations(const std::string& path,
       const std::string kind = comment.substr(p, kind_end - p);
       const std::size_t open = kind_end;
       const std::size_t close = comment.find(')', open);
-      const bool known = kind == "untagged-ok" || kind == "anchored-ok";
+      const bool known = kind == "untagged-ok" || kind == "anchored-ok" ||
+                         kind == "epoch-free-ok";
       const bool shaped = known && open < comment.size() &&
                           comment[open] == '(' && close != std::string::npos;
       const std::string reason =
@@ -174,8 +184,8 @@ Annotations collect_annotations(const std::string& path,
         out.malformed.push_back(
             {path, i + 1, "annotation",
              "malformed tcu-lint annotation; expected 'tcu-lint: "
-             "untagged-ok(<reason>)' or 'tcu-lint: anchored-ok(<reason>)' "
-             "with a non-empty reason"});
+             "untagged-ok(<reason>)', 'tcu-lint: anchored-ok(<reason>)', or "
+             "'tcu-lint: epoch-free-ok(<reason>)' with a non-empty reason"});
         pos = p;
         continue;
       }
@@ -287,10 +297,14 @@ std::vector<Finding> scan_source(const std::string& path,
   std::vector<Finding> findings = std::move(ann.malformed);
 
   bool file_has_evict_all = false;
+  bool file_has_join_epoch = false;
   for (const SourceLine& line : lines) {
-    if (!find_calls(line.code, "evict_all").empty()) {
+    if (!file_has_evict_all && !find_calls(line.code, "evict_all").empty()) {
       file_has_evict_all = true;
-      break;
+    }
+    if (!file_has_join_epoch &&
+        !find_calls(line.code, "join_epoch").empty()) {
+      file_has_join_epoch = true;
     }
   }
 
@@ -314,7 +328,7 @@ std::vector<Finding> scan_source(const std::string& path,
            "untagged-ok(<reason>)"});
     }
 
-    // [empty-chain]
+    // [empty-chain] and [epoch-deps]
     for (const std::size_t open : find_calls(code, "submit_affine")) {
       const std::string args = strip_spaces(call_args(lines, i, open));
       if (args.empty()) continue;  // unbalanced within window; skip
@@ -323,6 +337,15 @@ std::vector<Finding> scan_source(const std::string& path,
             {path, i + 1, "empty-chain",
              "submit_affine with an empty chain declares no residency; "
              "use submit for untagged work"});
+      }
+      if (file_has_join_epoch && args.find("TaskDeps") == std::string::npos &&
+          !annotated(ann, i, "epoch-free-ok")) {
+        findings.push_back(
+            {path, i + 1, "epoch-deps",
+             "submit_affine in an epoch-runtime file (this file calls "
+             "join_epoch) declares no predecessor set; pass a TaskDeps "
+             "argument or annotate with // tcu-lint: epoch-free-ok(<reason>) "
+             "stating why fence ordering suffices"});
       }
     }
 
@@ -422,6 +445,33 @@ int self_test() {
       {"derived-key-in-chain",
        "exec.submit_affine(cost, {panel_key(kb, jb)}, task);\n",
        {"missing-anchor"}},
+      {"epoch-file-affine-without-deps",
+       "exec.submit_affine(cost, {key}, task);\n"
+       "exec.join_epoch();\n"
+       "exec.evict_all();\n",
+       {"epoch-deps"}},
+      {"epoch-file-affine-with-deps",
+       "exec.submit_affine(cost, {key}, TaskDeps{{prev.serial}}, task);\n"
+       "exec.join_epoch();\n"
+       "exec.evict_all();\n",
+       {}},
+      {"epoch-file-affine-annotated",
+       "// tcu-lint: epoch-free-ok(fence-ordered: one level per epoch)\n"
+       "exec.submit_affine(cost, {key}, task);\n"
+       "exec.join_epoch();\n"
+       "exec.evict_all();\n",
+       {}},
+      {"barrier-file-affine-exempt",
+       "exec.submit_affine(cost, {key}, task);\n"
+       "exec.join();\n"
+       "exec.evict_all();\n",
+       {}},
+      {"epoch-free-needs-reason",
+       "exec.submit_affine(cost, {key}, task);  "
+       "// tcu-lint: epoch-free-ok()\n"
+       "exec.join_epoch();\n"
+       "exec.evict_all();\n",
+       {"annotation", "epoch-deps"}},
   };
 
   int failures = 0;
