@@ -34,7 +34,8 @@ tcu::bench::PoolBenchJson json_out("pool_algos");
 constexpr std::uint64_t kEll = 256;
 
 void record(benchmark::State& state, const char* name, std::size_t units,
-            std::uint64_t makespan, const tcu::Counters& ref, bool match) {
+            std::uint64_t makespan, const tcu::Counters& ref, bool match,
+            std::uint64_t wall_ns) {
   const double sim_speedup =
       static_cast<double>(ref.time()) / static_cast<double>(makespan);
   state.counters["units"] = static_cast<double>(units);
@@ -46,6 +47,7 @@ void record(benchmark::State& state, const char* name, std::size_t units,
                 .sim_cost = makespan,
                 .sim_speedup = sim_speedup,
                 .counters_match = match,
+                .wall_ns = wall_ns,
                 .extra = {}});
 }
 
@@ -71,7 +73,7 @@ void BM_StrassenPool(benchmark::State& state) {
       got == expect &&
       tcu::bench::counters_match_serial(pool.aggregate(), single.counters());
   record(state, "strassen_pool", units, pool.makespan(), single.counters(),
-         match);
+         match, tcu::bench::pool_wall_ns(pool));
 }
 
 void BM_ClosurePool(benchmark::State& state) {
@@ -96,7 +98,7 @@ void BM_ClosurePool(benchmark::State& state) {
       pool_d == serial_d &&
       tcu::bench::counters_match_serial(pool.aggregate(), single.counters());
   record(state, "closure_pool", units, pool.makespan(), single.counters(),
-         match);
+         match, tcu::bench::pool_wall_ns(pool));
 }
 
 void BM_ApsdPool(benchmark::State& state) {
@@ -132,7 +134,7 @@ void BM_ApsdPool(benchmark::State& state) {
       got == expect &&
       tcu::bench::counters_match_serial(pool.aggregate(), single.counters());
   record(state, "apsd_pool", units, pool.makespan(), single.counters(),
-         match);
+         match, tcu::bench::pool_wall_ns(pool));
 }
 
 void BM_DftPool(benchmark::State& state) {
@@ -173,7 +175,7 @@ void BM_DftPool(benchmark::State& state) {
       agg.latency_time - ref.latency_time ==
           (agg.tensor_calls - ref.tensor_calls) * kEll;
   record(state, "dft_pool", units, pool.makespan(), single.counters(),
-         match);
+         match, tcu::bench::pool_wall_ns(pool));
   state.counters["latency_overhead"] =
       static_cast<double>(agg.latency_time - ref.latency_time);
 }
@@ -196,7 +198,8 @@ bool chunked_counters_match(const tcu::Counters& agg,
 void record_residency(benchmark::State& state, const char* name,
                       std::size_t units, std::size_t cache_capacity,
                       std::uint64_t makespan, const tcu::Counters& agg,
-                      const tcu::Counters& ref, bool match) {
+                      const tcu::Counters& ref, bool match,
+                      std::uint64_t wall_ns) {
   const double sim_speedup =
       static_cast<double>(ref.time()) / static_cast<double>(makespan);
   state.counters["units"] = static_cast<double>(units);
@@ -214,6 +217,7 @@ void record_residency(benchmark::State& state, const char* name,
                 .resident_hits = agg.resident_hits,
                 .latency_saved = agg.latency_saved,
                 .evictions = agg.evictions,
+                .wall_ns = wall_ns,
                 .extra = {}});
 }
 
@@ -241,7 +245,7 @@ void BM_StencilPool(benchmark::State& state) {
                      chunked_counters_match(agg, single.counters()) &&
                      agg.resident_hits > 0;
   record_residency(state, "stencil_pool", units, 1, pool.makespan(), agg,
-                   single.counters(), match);
+                   single.counters(), match, tcu::bench::pool_wall_ns(pool));
 }
 
 void BM_GePool(benchmark::State& state) {
@@ -282,7 +286,7 @@ void BM_GePool(benchmark::State& state) {
                      agg.resident_hits == ref.resident_hits &&
                      agg.latency_saved == ref.latency_saved;
   record_residency(state, "gauss_pool", units, 1, pool.makespan(), agg, ref,
-                   match);
+                   match, tcu::bench::pool_wall_ns(pool));
 }
 
 void BM_Conv2dPool(benchmark::State& state) {
@@ -323,7 +327,7 @@ void BM_Conv2dPool(benchmark::State& state) {
                      agg.resident_hits > 0 &&
                      single.counters().resident_hits > 0;
   record_residency(state, "conv2d_pool", units, cache, pool.makespan(), agg,
-                   single.counters(), match);
+                   single.counters(), match, tcu::bench::pool_wall_ns(pool));
 }
 
 }  // namespace

@@ -16,9 +16,15 @@ checked-in reference copies from <baseline_dir>, then enforces:
     drop means a barrier crept back in;
   * no record anywhere reports counters_match == false.
 
-Exits nonzero with a ::error:: line per violation. The model costs are
-exact integers, so comparisons use a 1e-6 slack only to absorb the
-JSON's decimal formatting.
+Records also carry a measured `wall_ns` (real backend execution time).
+It is machine-dependent by nature and is deliberately NOT gated — the
+simulated costs are the reproducible quantities; wall_ns is reported for
+human comparison only.
+
+Exits nonzero with a ::error:: line per violation, each naming the file
+and record that failed. The model costs are exact integers, so
+comparisons use a 1e-6 slack only to absorb the JSON's decimal
+formatting.
 """
 
 import json
@@ -28,10 +34,41 @@ from pathlib import Path
 SLACK = 1e-6
 GATED_ALGOS = ("closure_pool", "gauss_pool", "dft_pool")
 
+# Fields every record must carry for the gate to reason about it.
+# (wall_ns is intentionally absent: accepted, never required or gated.)
+REQUIRED_FIELDS = ("name", "p", "sim_speedup", "counters_match")
+
 
 def load(path: Path):
     with open(path) as f:
         return json.load(f)
+
+
+def describe(path: Path, rec) -> str:
+    """Human-readable identity of one record for failure messages."""
+    name = rec.get("name", "<unnamed>")
+    p = rec.get("p", "?")
+    return f"{path.name}: record name={name} p={p}"
+
+
+def validated_records(path: Path, failures):
+    """Yield records that carry every gated field; report the rest."""
+    try:
+        records = load(path)
+    except (OSError, json.JSONDecodeError) as err:
+        failures.append(f"{path.name}: unreadable ({err})")
+        return
+    if not isinstance(records, list):
+        failures.append(f"{path.name}: expected a JSON array of records")
+        return
+    for rec in records:
+        missing = [f for f in REQUIRED_FIELDS if f not in rec]
+        if missing:
+            failures.append(
+                f"{describe(path, rec)} is missing required field(s) "
+                f"{', '.join(missing)}")
+            continue
+        yield rec
 
 
 def main() -> int:
@@ -46,22 +83,21 @@ def main() -> int:
         failures.append(f"no BENCH_*.json found in {fresh_dir}")
 
     for path in fresh_files:
-        for rec in load(path):
-            if rec.get("counters_match") is False:
+        for rec in validated_records(path, failures):
+            if rec["counters_match"] is False:
                 failures.append(
-                    f"{path.name}: {rec['name']} p={rec.get('p')} "
-                    "reports counters_match == false")
+                    f"{describe(path, rec)} reports counters_match == false")
 
     # Floor 1: pooled matmul must scale at least linearly in the model.
     scaling = fresh_dir / "BENCH_pool_scaling.json"
     if scaling.exists():
-        for rec in load(scaling):
+        for rec in validated_records(scaling, failures):
             if rec["name"] != "pool_scaling":
                 continue
             if rec["sim_speedup"] < rec["p"] - SLACK:
                 failures.append(
-                    f"pool_scaling p={rec['p']}: sim_speedup "
-                    f"{rec['sim_speedup']} < p")
+                    f"{describe(scaling, rec)}: sim_speedup "
+                    f"{rec['sim_speedup']} < p={rec['p']}")
     else:
         failures.append("BENCH_pool_scaling.json missing from fresh run")
 
@@ -71,18 +107,21 @@ def main() -> int:
     fresh_algos = fresh_dir / "BENCH_pool_algos.json"
     if base_algos.exists() and fresh_algos.exists():
         baseline = {(r["name"], r["p"]): r["sim_speedup"]
-                    for r in load(base_algos) if r["name"] in GATED_ALGOS}
+                    for r in validated_records(base_algos, failures)
+                    if r["name"] in GATED_ALGOS}
         fresh = {(r["name"], r["p"]): r["sim_speedup"]
-                 for r in load(fresh_algos) if r["name"] in GATED_ALGOS}
+                 for r in validated_records(fresh_algos, failures)
+                 if r["name"] in GATED_ALGOS}
         for key, floor in sorted(baseline.items()):
             got = fresh.get(key)
             if got is None:
                 failures.append(
-                    f"{key[0]} p={key[1]}: record missing from fresh run")
+                    f"{fresh_algos.name}: record name={key[0]} p={key[1]} "
+                    "missing from fresh run")
             elif got < floor - SLACK:
                 failures.append(
-                    f"{key[0]} p={key[1]}: sim_speedup {got} regressed "
-                    f"below checked-in {floor}")
+                    f"{fresh_algos.name}: record name={key[0]} p={key[1]}: "
+                    f"sim_speedup {got} regressed below checked-in {floor}")
     else:
         for p in (base_algos, fresh_algos):
             if not p.exists():

@@ -1,0 +1,257 @@
+#pragma once
+// Pluggable numeric GEMM backends beneath the (m, l)-TCU cost model.
+//
+// `Device::issue()` charges simulated time and drives the observer /
+// fault-injection seams; the *numeric* work — C = A * B for an n x s left
+// operand and s x s right operand — is delegated to a `GemmBackend`. Every
+// backend computes the same product through the same accounting path, so
+// the checker, lint, and fault layers are backend-agnostic; only the
+// wall-clock time (Device::wall_ns) and, for non-sim float backends, the
+// floating-point rounding may differ:
+//
+//   * sim   — the reference triple loop, bit-for-bit the historical
+//             engine (the default; every bit-identity test runs on it);
+//   * micro — a cache-blocked register-tiled kernel, with an AVX2 path
+//             for float/double dispatched at runtime. Each output
+//             element's k-summation order equals the reference loop's
+//             and the SIMD path uses separate mul/add (no FMA), so the
+//             results are bit-identical to sim for every T — integral
+//             exactness falls out as a special case;
+//   * blas  — vendor [sd]gemm behind -DTCU_BLAS=ON (float/double only);
+//             reassociates sums, so outputs are bounded-ulp, not
+//             bit-identical.
+//
+// A fourth, internal kind wraps a legacy `Device::Engine` std::function so
+// custom engines (systolic, limited precision) keep working unchanged.
+//
+// Backends must NOT charge model time or mutate counters beyond
+// engine-detail fields (the systolic engine's cycle counts); the device
+// owns the charges.
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+
+#include "core/counters.hpp"
+#include "core/matrix.hpp"
+
+namespace tcu {
+
+/// Numeric engine signature shared by the backend seam and the legacy
+/// `Device::Engine` alias: computes C = A*B (or C += A*B) and may add
+/// engine detail (e.g. systolic cycles) to the counters.
+template <typename T>
+using GemmFn = std::function<void(ConstMatrixView<T>, ConstMatrixView<T>,
+                                  MatrixView<T>, bool, Counters&)>;
+
+enum class BackendKind {
+  kDefault,  ///< resolve via TCU_BACKEND env, falling back to kSim
+  kSim,      ///< reference triple loop (bit-for-bit historical results)
+  kMicro,    ///< blocked register-tiled microkernel (+ runtime AVX2)
+  kBlas,     ///< vendor BLAS, float/double, requires -DTCU_BLAS=ON
+  kEngine,   ///< adapter around a caller-supplied GemmFn
+};
+
+/// "sim" / "micro" / "blas" -> kind; throws std::invalid_argument on
+/// anything else (the CLI and TCU_BACKEND env share this parser).
+BackendKind parse_backend_kind(const std::string& name);
+
+/// Canonical name of a kind ("sim", "micro", "blas", "engine").
+const char* backend_kind_name(BackendKind kind);
+
+/// kDefault resolved: TCU_BACKEND if set (throwing on unparsable or
+/// unavailable values), else kSim. Other kinds pass through.
+BackendKind resolve_backend_kind(BackendKind kind);
+
+/// True when the build can construct this kind for float/double (kBlas is
+/// only compiled in under -DTCU_BLAS=ON).
+bool backend_available(BackendKind kind);
+
+/// True when the running CPU takes the micro backend's AVX2 path.
+bool micro_simd_active();
+
+namespace backend_detail {
+
+// AVX2 float/double kernels (backend_micro.cpp). `lda`/`ldb`/`ldc` are
+// row strides in elements; summation is k-sequential per element with
+// separate mul/add, so results are bit-identical to the reference loop.
+void micro_gemm_avx2(const float* a, std::size_t lda, const float* b,
+                     std::size_t ldb, float* c, std::size_t ldc,
+                     std::size_t n, std::size_t s, bool accumulate);
+void micro_gemm_avx2(const double* a, std::size_t lda, const double* b,
+                     std::size_t ldb, double* c, std::size_t ldc,
+                     std::size_t n, std::size_t s, bool accumulate);
+
+#ifdef TCU_BLAS
+// Row-major [sd]gemm wrappers (backend_blas.cpp): C = A*B or C += A*B.
+void blas_gemm(const float* a, std::size_t lda, const float* b,
+               std::size_t ldb, float* c, std::size_t ldc, std::size_t n,
+               std::size_t s, bool accumulate);
+void blas_gemm(const double* a, std::size_t lda, const double* b,
+               std::size_t ldb, double* c, std::size_t ldc, std::size_t n,
+               std::size_t s, bool accumulate);
+#endif
+
+}  // namespace backend_detail
+
+/// Abstract numeric backend. `run` computes the product; it must not
+/// charge model time (the device does, identically for every backend).
+template <typename T>
+class GemmBackend {
+ public:
+  GemmBackend() = default;
+  GemmBackend(const GemmBackend&) = delete;
+  GemmBackend& operator=(const GemmBackend&) = delete;
+  virtual ~GemmBackend() = default;
+
+  virtual BackendKind kind() const = 0;
+  virtual const char* name() const { return backend_kind_name(kind()); }
+  virtual void run(ConstMatrixView<T> A, ConstMatrixView<T> B,
+                   MatrixView<T> C, bool accumulate, Counters& counters) = 0;
+};
+
+/// The reference loop — bit-for-bit the historical default engine.
+template <typename T>
+class SimBackend final : public GemmBackend<T> {
+ public:
+  BackendKind kind() const override { return BackendKind::kSim; }
+  void run(ConstMatrixView<T> A, ConstMatrixView<T> B, MatrixView<T> C,
+           bool accumulate, Counters&) override {
+    const std::size_t n = A.rows;
+    const std::size_t s = B.rows;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < s; ++j) {
+        T acc = accumulate ? C(i, j) : T{};
+        for (std::size_t k = 0; k < s; ++k) acc += A(i, k) * B(k, j);
+        C(i, j) = acc;
+      }
+    }
+  }
+};
+
+/// Cache-blocked register-tiled kernel. The (i, j) output block keeps
+/// kMR x kNR accumulators in registers while k streams through in the
+/// reference order, so every element's sum order — and therefore its
+/// result, for any T — matches SimBackend exactly; only the wall clock
+/// changes. float/double additionally dispatch to the AVX2 path at
+/// runtime (j-vectorized, mul+add, still bit-identical).
+template <typename T>
+class MicroBackend final : public GemmBackend<T> {
+ public:
+  static constexpr std::size_t kMR = 4;  ///< register block rows
+  static constexpr std::size_t kNR = 8;  ///< register block cols
+
+  BackendKind kind() const override { return BackendKind::kMicro; }
+
+  void run(ConstMatrixView<T> A, ConstMatrixView<T> B, MatrixView<T> C,
+           bool accumulate, Counters&) override {
+    if constexpr (std::is_same_v<T, float> || std::is_same_v<T, double>) {
+      if (micro_simd_active()) {
+        backend_detail::micro_gemm_avx2(A.data, A.stride, B.data, B.stride,
+                                        C.data, C.stride, A.rows, B.rows,
+                                        accumulate);
+        return;
+      }
+    }
+    blocked(A, B, C, accumulate);
+  }
+
+ private:
+  static void blocked(ConstMatrixView<T> A, ConstMatrixView<T> B,
+                      MatrixView<T> C, bool accumulate) {
+    const std::size_t n = A.rows;
+    const std::size_t s = B.rows;
+    T acc[kMR][kNR];
+    for (std::size_t i0 = 0; i0 < n; i0 += kMR) {
+      const std::size_t ib = std::min(kMR, n - i0);
+      for (std::size_t j0 = 0; j0 < s; j0 += kNR) {
+        const std::size_t jb = std::min(kNR, s - j0);
+        for (std::size_t i = 0; i < ib; ++i) {
+          for (std::size_t j = 0; j < jb; ++j) {
+            acc[i][j] = accumulate ? C(i0 + i, j0 + j) : T{};
+          }
+        }
+        for (std::size_t k = 0; k < s; ++k) {
+          const T* brow = &B(k, j0);
+          for (std::size_t i = 0; i < ib; ++i) {
+            const T a = A(i0 + i, k);
+            for (std::size_t j = 0; j < jb; ++j) acc[i][j] += a * brow[j];
+          }
+        }
+        for (std::size_t i = 0; i < ib; ++i) {
+          for (std::size_t j = 0; j < jb; ++j) C(i0 + i, j0 + j) = acc[i][j];
+        }
+      }
+    }
+  }
+};
+
+#ifdef TCU_BLAS
+/// Vendor BLAS [sd]gemm. Only instantiable for float/double; sums are
+/// reassociated, so outputs are bounded-ulp rather than bit-identical.
+template <typename T>
+class BlasBackend final : public GemmBackend<T> {
+  static_assert(std::is_same_v<T, float> || std::is_same_v<T, double>,
+                "BlasBackend supports float and double only");
+
+ public:
+  BackendKind kind() const override { return BackendKind::kBlas; }
+  void run(ConstMatrixView<T> A, ConstMatrixView<T> B, MatrixView<T> C,
+           bool accumulate, Counters&) override {
+    backend_detail::blas_gemm(A.data, A.stride, B.data, B.stride, C.data,
+                              C.stride, A.rows, B.rows, accumulate);
+  }
+};
+#endif
+
+/// Adapter keeping the legacy `Device(Config, Engine)` constructor (and
+/// with it the systolic and limited-precision engines) on the seam.
+template <typename T>
+class EngineBackend final : public GemmBackend<T> {
+ public:
+  explicit EngineBackend(GemmFn<T> fn) : fn_(std::move(fn)) {
+    if (!fn_) throw std::invalid_argument("Device: null engine");
+  }
+  BackendKind kind() const override { return BackendKind::kEngine; }
+  void run(ConstMatrixView<T> A, ConstMatrixView<T> B, MatrixView<T> C,
+           bool accumulate, Counters& counters) override {
+    fn_(A, B, C, accumulate, counters);
+  }
+
+ private:
+  GemmFn<T> fn_;
+};
+
+/// Construct the backend for `kind` (kDefault resolves via TCU_BACKEND).
+/// Throws std::invalid_argument for kBlas when the build lacks TCU_BLAS
+/// or T is not float/double — missing deps fail loudly, never silently
+/// fall back.
+template <typename T>
+std::shared_ptr<GemmBackend<T>> make_backend(BackendKind kind) {
+  switch (resolve_backend_kind(kind)) {
+    case BackendKind::kSim:
+      return std::make_shared<SimBackend<T>>();
+    case BackendKind::kMicro:
+      return std::make_shared<MicroBackend<T>>();
+    case BackendKind::kBlas:
+#ifdef TCU_BLAS
+      if constexpr (std::is_same_v<T, float> || std::is_same_v<T, double>) {
+        return std::make_shared<BlasBackend<T>>();
+      } else {
+        throw std::invalid_argument(
+            "blas backend supports float/double only");
+      }
+#else
+      throw std::invalid_argument(
+          "blas backend requires building with -DTCU_BLAS=ON");
+#endif
+    default:
+      throw std::invalid_argument("make_backend: unresolvable backend kind");
+  }
+}
+
+}  // namespace tcu

@@ -1,0 +1,59 @@
+// BLAS-backed GEMM wrappers for the blas backend (core/backend.hpp).
+//
+// Compiled to an empty TU unless -DTCU_BLAS=ON links a BLAS; the Fortran
+// [sd]gemm symbols are declared directly, so no cblas header is needed.
+// The row-major product C(n x s) = A(n x s) * B(s x s) is computed as the
+// column-major C^T = B^T * A^T: a row-major matrix with leading dimension
+// ld *is* its transpose in column-major, so no copies are made. beta = 0
+// overwrites (BLAS never reads C then), beta = 1 accumulates.
+
+#include "core/backend.hpp"
+
+#ifdef TCU_BLAS
+
+extern "C" {
+void sgemm_(const char* transa, const char* transb, const int* m,
+            const int* n, const int* k, const float* alpha, const float* a,
+            const int* lda, const float* b, const int* ldb,
+            const float* beta, float* c, const int* ldc);
+void dgemm_(const char* transa, const char* transb, const int* m,
+            const int* n, const int* k, const double* alpha, const double* a,
+            const int* lda, const double* b, const int* ldb,
+            const double* beta, double* c, const int* ldc);
+}
+
+namespace tcu::backend_detail {
+
+void blas_gemm(const double* a, std::size_t lda, const double* b,
+               std::size_t ldb, double* c, std::size_t ldc, std::size_t n,
+               std::size_t s, bool accumulate) {
+  const int m_ = static_cast<int>(s);   // rows of C^T
+  const int n_ = static_cast<int>(n);   // cols of C^T
+  const int k_ = static_cast<int>(s);
+  const int lda_ = static_cast<int>(ldb);  // B^T's leading dimension
+  const int ldb_ = static_cast<int>(lda);  // A^T's leading dimension
+  const int ldc_ = static_cast<int>(ldc);
+  const double alpha = 1.0;
+  const double beta = accumulate ? 1.0 : 0.0;
+  dgemm_("N", "N", &m_, &n_, &k_, &alpha, b, &lda_, a, &ldb_, &beta, c,
+         &ldc_);
+}
+
+void blas_gemm(const float* a, std::size_t lda, const float* b,
+               std::size_t ldb, float* c, std::size_t ldc, std::size_t n,
+               std::size_t s, bool accumulate) {
+  const int m_ = static_cast<int>(s);
+  const int n_ = static_cast<int>(n);
+  const int k_ = static_cast<int>(s);
+  const int lda_ = static_cast<int>(ldb);
+  const int ldb_ = static_cast<int>(lda);
+  const int ldc_ = static_cast<int>(ldc);
+  const float alpha = 1.0F;
+  const float beta = accumulate ? 1.0F : 0.0F;
+  sgemm_("N", "N", &m_, &n_, &k_, &alpha, b, &lda_, a, &ldb_, &beta, c,
+         &ldc_);
+}
+
+}  // namespace tcu::backend_detail
+
+#endif  // TCU_BLAS

@@ -1,0 +1,101 @@
+// AVX2 float/double kernels for the micro backend (core/backend.hpp).
+//
+// Correctness contract: results must be bit-identical to the reference
+// loop for every input. Vector lanes hold *different output columns* of
+// one row, so each element's k-summation stays sequential in the
+// reference order; the kernels use separate multiply and add intrinsics,
+// and the target attribute enables avx2 but NOT fma, so the compiler
+// cannot contract them — there is no FMA rounding to diverge by. The
+// dispatch is runtime (cpuid), compiled only on x86-64 gcc/clang;
+// everywhere else the generic blocked kernel (header) runs.
+
+#include "core/backend.hpp"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define TCU_MICRO_AVX2 1
+#include <immintrin.h>
+#endif
+
+namespace tcu {
+
+bool micro_simd_active() {
+#ifdef TCU_MICRO_AVX2
+  static const bool avx2 = __builtin_cpu_supports("avx2") != 0;
+  return avx2;
+#else
+  return false;
+#endif
+}
+
+namespace backend_detail {
+
+#ifdef TCU_MICRO_AVX2
+
+__attribute__((target("avx2"))) void micro_gemm_avx2(
+    const double* a, std::size_t lda, const double* b, std::size_t ldb,
+    double* c, std::size_t ldc, std::size_t n, std::size_t s,
+    bool accumulate) {
+  const std::size_t jv = s - s % 4;  // vectorized column prefix
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* arow = a + i * lda;
+    double* crow = c + i * ldc;
+    for (std::size_t j = 0; j < jv; j += 4) {
+      __m256d acc = accumulate ? _mm256_loadu_pd(crow + j)
+                               : _mm256_setzero_pd();
+      for (std::size_t k = 0; k < s; ++k) {
+        const __m256d av = _mm256_set1_pd(arow[k]);
+        const __m256d bv = _mm256_loadu_pd(b + k * ldb + j);
+        acc = _mm256_add_pd(acc, _mm256_mul_pd(av, bv));
+      }
+      _mm256_storeu_pd(crow + j, acc);
+    }
+    for (std::size_t j = jv; j < s; ++j) {
+      double acc = accumulate ? crow[j] : 0.0;
+      for (std::size_t k = 0; k < s; ++k) acc += arow[k] * b[k * ldb + j];
+      crow[j] = acc;
+    }
+  }
+}
+
+__attribute__((target("avx2"))) void micro_gemm_avx2(
+    const float* a, std::size_t lda, const float* b, std::size_t ldb,
+    float* c, std::size_t ldc, std::size_t n, std::size_t s,
+    bool accumulate) {
+  const std::size_t jv = s - s % 8;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* arow = a + i * lda;
+    float* crow = c + i * ldc;
+    for (std::size_t j = 0; j < jv; j += 8) {
+      __m256 acc = accumulate ? _mm256_loadu_ps(crow + j)
+                              : _mm256_setzero_ps();
+      for (std::size_t k = 0; k < s; ++k) {
+        const __m256 av = _mm256_set1_ps(arow[k]);
+        const __m256 bv = _mm256_loadu_ps(b + k * ldb + j);
+        acc = _mm256_add_ps(acc, _mm256_mul_ps(av, bv));
+      }
+      _mm256_storeu_ps(crow + j, acc);
+    }
+    for (std::size_t j = jv; j < s; ++j) {
+      float acc = accumulate ? crow[j] : 0.0F;
+      for (std::size_t k = 0; k < s; ++k) acc += arow[k] * b[k * ldb + j];
+      crow[j] = acc;
+    }
+  }
+}
+
+#else  // !TCU_MICRO_AVX2: never called (micro_simd_active() is false).
+
+void micro_gemm_avx2(const double*, std::size_t, const double*, std::size_t,
+                     double*, std::size_t, std::size_t, std::size_t, bool) {
+  throw std::logic_error("micro AVX2 path unavailable on this target");
+}
+
+void micro_gemm_avx2(const float*, std::size_t, const float*, std::size_t,
+                     float*, std::size_t, std::size_t, std::size_t, bool) {
+  throw std::logic_error("micro AVX2 path unavailable on this target");
+}
+
+#endif
+
+}  // namespace backend_detail
+}  // namespace tcu

@@ -18,14 +18,17 @@
 // The device does not model limited numerical precision or multiple
 // parallel units; Section 3.1 of the paper explicitly scopes those out.
 
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "core/backend.hpp"
 #include "core/counters.hpp"
 #include "core/matrix.hpp"
 #include "core/observer.hpp"
@@ -143,9 +146,9 @@ class Device {
   /// Numeric engine signature: computes C = A*B (or C += A*B) for an
   /// n x s left operand and s x s right operand, and may add engine detail
   /// (e.g. systolic cycles) to the counters. It must NOT charge model time;
-  /// the device does that.
-  using Engine = std::function<void(ConstMatrixView<T>, ConstMatrixView<T>,
-                                    MatrixView<T>, bool, Counters&)>;
+  /// the device does that. Engines run on the backend seam through an
+  /// EngineBackend adapter (core/backend.hpp).
+  using Engine = GemmFn<T>;
 
   struct Config {
     std::size_t m = 256;        ///< tile area; sqrt(m) x sqrt(m) right operand
@@ -153,17 +156,29 @@ class Device {
     bool allow_tall = true;     ///< false = weak TCU model (square calls only)
     std::size_t resident_tiles = 1;  ///< LRU capacity c of the tile cache
     std::string name = "tcu";
+    /// Numeric backend executing the charged products (core/backend.hpp);
+    /// kDefault honors the TCU_BACKEND env var and falls back to sim, the
+    /// bit-for-bit historical engine. Model charges are backend-invariant.
+    BackendKind backend = BackendKind::kDefault;
   };
 
-  explicit Device(Config cfg) : Device(std::move(cfg), reference_engine()) {}
+  explicit Device(Config cfg)
+      : Device(std::move(cfg),
+               static_cast<std::shared_ptr<GemmBackend<T>>>(nullptr)) {}
 
   Device(Config cfg, Engine engine)
+      : Device(std::move(cfg),
+               std::make_shared<EngineBackend<T>>(std::move(engine))) {}
+
+  /// All construction funnels here: a null backend means "build from
+  /// cfg.backend" (resolving kDefault via TCU_BACKEND).
+  Device(Config cfg, std::shared_ptr<GemmBackend<T>> backend)
       : cfg_(std::move(cfg)),
-        engine_(std::move(engine)),
+        backend_(std::move(backend)),
         cache_(cfg_.resident_tiles) {
     if (cfg_.m == 0) throw std::invalid_argument("Device: m must be >= 1");
     s_ = exact_sqrt(cfg_.m);
-    if (!engine_) throw std::invalid_argument("Device: null engine");
+    if (!backend_) backend_ = make_backend<T>(cfg_.backend);
 #ifdef TCU_CHECK
     // Debug-mode contract checking: every device is born with a checker
     // shadowing its resident set and counters (src/check/contract.cpp).
@@ -255,8 +270,19 @@ class Device {
     counters_.reset();
     trace_.clear();
     cache_.clear();
+    wall_ns_ = 0;
     if (auto* obs = observer()) obs->on_reset();
   }
+
+  /// Measured wall-clock nanoseconds spent inside the numeric backend
+  /// across this device's calls. Deliberately *not* a Counters field: the
+  /// determinism suites compare counters bitwise across runs, and wall
+  /// time is the one machine-dependent signal. Cleared by reset().
+  std::uint64_t wall_ns() const { return wall_ns_; }
+
+  /// The numeric backend executing this device's products.
+  const GemmBackend<T>& backend() const { return *backend_; }
+  const char* backend_name() const { return backend_->name(); }
 
   /// The observer receiving this device's events: an explicitly attached
   /// one (set_observer) wins over the TCU_CHECK auto-attached checker.
@@ -354,7 +380,12 @@ class Device {
   void issue(ConstMatrixView<T> A, ConstMatrixView<T> B, MatrixView<T> C,
              bool accumulate, std::uint64_t charged_rows, bool hit,
              bool tagged) {
-    engine_(A, B, C, accumulate, counters_);
+    const auto t0 = std::chrono::steady_clock::now();
+    backend_->run(A, B, C, accumulate, counters_);
+    wall_ns_ += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
     if (hit) {
       counters_.charge_resident_hit(charged_rows, s_, cfg_.latency);
     } else {
@@ -371,10 +402,11 @@ class Device {
   }
 
   Config cfg_;
-  Engine engine_;
+  std::shared_ptr<GemmBackend<T>> backend_;
   TileCache cache_;
   std::size_t s_ = 0;
   Counters counters_;
+  std::uint64_t wall_ns_ = 0;  ///< backend wall time; outside Counters
   Trace trace_;
   bool tracing_ = false;
   check::UnitObserver* observer_ = nullptr;  ///< explicit, non-owning

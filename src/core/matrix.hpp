@@ -9,6 +9,7 @@
 
 #include <cassert>
 #include <cstddef>
+#include <cstdint>
 #include <stdexcept>
 #include <vector>
 
@@ -152,6 +153,123 @@ class Matrix {
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+/// Owning tile-major matrix: storage is partitioned into s x s tiles
+/// (s = the device's sqrt(m)), each tile a contiguous row-major block, and
+/// tiles are laid out strip-major — all tiles of tile-column 0 first (top
+/// to bottom), then tile-column 1, and so on. One layout therefore gives
+/// *both* contiguous shapes the TCU call needs: `tile_view(ti, tj)` is a
+/// contiguous s x s right operand, and `strip_view(tj)`, the vertical
+/// concatenation of tile-column tj, is a contiguous padded_rows x s tall
+/// left operand. Logical dimensions are zero-padded up to tile multiples
+/// (the paper's divisibility assumption, materialized in storage); the
+/// padding rows/columns are exact zeros, so products over the padded
+/// shapes agree with the logical product on the logical region.
+template <typename T>
+class TiledMatrix {
+ public:
+  TiledMatrix() = default;
+  TiledMatrix(std::size_t rows, std::size_t cols, std::size_t tile_dim)
+      : rows_(rows), cols_(cols), s_(tile_dim) {
+    if (tile_dim == 0) {
+      throw std::invalid_argument("TiledMatrix: tile_dim must be >= 1");
+    }
+    tile_rows_ = (rows + s_ - 1) / s_;
+    tile_cols_ = (cols + s_ - 1) / s_;
+    data_.assign(tile_rows_ * tile_cols_ * s_ * s_, T{});
+  }
+
+  /// Pack a row-major view into tile-major storage (the row-major ->
+  /// tile-major packer; padding stays zero).
+  static TiledMatrix pack(ConstMatrixView<T> src, std::size_t tile_dim) {
+    TiledMatrix out(src.rows, src.cols, tile_dim);
+    for (std::size_t i = 0; i < src.rows; ++i) {
+      for (std::size_t j = 0; j < src.cols; ++j) out.at(i, j) = src(i, j);
+    }
+    return out;
+  }
+
+  std::size_t rows() const { return rows_; }  ///< logical rows
+  std::size_t cols() const { return cols_; }  ///< logical cols
+  std::size_t tile_dim() const { return s_; }
+  std::size_t tile_rows() const { return tile_rows_; }  ///< tiles per column
+  std::size_t tile_cols() const { return tile_cols_; }  ///< tiles per row
+  std::size_t padded_rows() const { return tile_rows_ * s_; }
+  std::size_t padded_cols() const { return tile_cols_ * s_; }
+  bool empty() const { return data_.empty(); }
+
+  /// Elements a pack/unpack touches (the honest CPU charge for a repack).
+  std::uint64_t pack_cost() const {
+    return static_cast<std::uint64_t>(rows_) * cols_;
+  }
+
+  /// Tile (ti, tj) as a contiguous s x s view (stride == s).
+  MatrixView<T> tile_view(std::size_t ti, std::size_t tj) {
+    return MatrixView<T>(tile_ptr(ti, tj), s_, s_, s_);
+  }
+  ConstMatrixView<T> tile_view(std::size_t ti, std::size_t tj) const {
+    return ConstMatrixView<T>(tile_ptr(ti, tj), s_, s_, s_);
+  }
+
+  /// Tile-column tj — all row tiles stacked — as one contiguous
+  /// padded_rows x s view (stride == s): a tall TCU left operand.
+  MatrixView<T> strip_view(std::size_t tj) {
+    return MatrixView<T>(tile_ptr(0, tj), padded_rows(), s_, s_);
+  }
+  ConstMatrixView<T> strip_view(std::size_t tj) const {
+    return ConstMatrixView<T>(tile_ptr(0, tj), padded_rows(), s_, s_);
+  }
+
+  /// Address of tile (ti, tj)'s first element: a stable residency key for
+  /// as long as this TiledMatrix lives (the same identity contract as
+  /// row-major `&B(kb, jb)` keys).
+  const T* tile_data(std::size_t ti, std::size_t tj) const {
+    return tile_ptr(ti, tj);
+  }
+
+  /// Logical element access (pack/unpack convenience; not a hot path).
+  T& at(std::size_t i, std::size_t j) {
+    assert(i < rows_ && j < cols_);
+    return tile_ptr(i / s_, j / s_)[(i % s_) * s_ + j % s_];
+  }
+  const T& at(std::size_t i, std::size_t j) const {
+    assert(i < rows_ && j < cols_);
+    return tile_ptr(i / s_, j / s_)[(i % s_) * s_ + j % s_];
+  }
+
+  /// Unpack the logical region into a row-major destination.
+  void unpack_into(MatrixView<T> dst) const {
+    if (dst.rows != rows_ || dst.cols != cols_) {
+      throw std::invalid_argument("TiledMatrix::unpack_into: shape mismatch");
+    }
+    for (std::size_t i = 0; i < rows_; ++i) {
+      for (std::size_t j = 0; j < cols_; ++j) dst(i, j) = at(i, j);
+    }
+  }
+
+  /// The logical region as a fresh row-major matrix (tile-major ->
+  /// row-major packer).
+  Matrix<T> unpack() const {
+    Matrix<T> out(rows_, cols_);
+    unpack_into(out.view());
+    return out;
+  }
+
+ private:
+  T* tile_ptr(std::size_t ti, std::size_t tj) {
+    assert(ti < tile_rows_ && tj < tile_cols_);
+    return data_.data() + (tj * tile_rows_ + ti) * s_ * s_;
+  }
+  const T* tile_ptr(std::size_t ti, std::size_t tj) const {
+    assert(ti < tile_rows_ && tj < tile_cols_);
+    return data_.data() + (tj * tile_rows_ + ti) * s_ * s_;
+  }
+
+  std::size_t rows_ = 0, cols_ = 0;  ///< logical shape
+  std::size_t s_ = 0;                ///< tile dimension (sqrt m)
+  std::size_t tile_rows_ = 0, tile_cols_ = 0;
   std::vector<T> data_;
 };
 

@@ -285,6 +285,66 @@ std::vector<std::vector<std::uint64_t>> strip_chains(
   return chains;
 }
 
+/// Per-strip B-tile chains of a tile-major right operand (empty chains
+/// when `affinity` is off), keyed by detail::tiled_b_key.
+template <typename T>
+std::vector<std::vector<std::uint64_t>> tiled_strip_chains(
+    const TiledMatrix<T>& B, bool affinity, const TileKeyFn& tile_key) {
+  std::vector<std::vector<std::uint64_t>> chains(B.tile_cols());
+  if (!affinity) return chains;
+  for (std::size_t jt = 0; jt < B.tile_cols(); ++jt) {
+    std::vector<std::uint64_t>& chain = chains[jt];
+    chain.reserve(B.tile_rows());
+    for (std::size_t kt = 0; kt < B.tile_rows(); ++kt) {
+      chain.push_back(tiled_b_key(B, kt, jt, tile_key));
+    }
+  }
+  return chains;
+}
+
+/// One output-strip task over a tile-major B (row-major A/C): every right
+/// operand the worker hands the device is a contiguous tile. Shared by
+/// the joining and the ticket-returning dealers below.
+template <typename T>
+auto tiled_strip_task(ConstMatrixView<T> A, const TiledMatrix<T>* B,
+                      MatrixView<T> C, std::size_t jt,
+                      std::vector<std::uint64_t> keys) {
+  return [A, B, C, jt, keys = std::move(keys)](Device<T>& unit) {
+    const std::size_t s = B->tile_dim();
+    for (std::size_t kt = 0; kt < B->tile_rows(); ++kt) {
+      ConstMatrixView<T> a = A.subview(0, kt * s, A.rows, s);
+      MatrixView<T> c = C.subview(0, jt * s, A.rows, s);
+      if (!keys.empty()) {
+        unit.gemm_resident(keys[kt], a, B->tile_view(kt, jt), c,
+                           /*accumulate=*/kt != 0);
+      } else {
+        // tcu-lint: untagged-ok(untagged dealing mode; task came via plain submit)
+        unit.gemm(a, B->tile_view(kt, jt), c, /*accumulate=*/kt != 0);
+      }
+    }
+  };
+}
+
+/// Fully tile-major strip task: the dealt A strip, the resident B tile,
+/// and the written C strip are all contiguous blocks.
+template <typename T>
+auto tiled_strip_task(const TiledMatrix<T>* A, const TiledMatrix<T>* B,
+                      TiledMatrix<T>* C, std::size_t jt,
+                      std::vector<std::uint64_t> keys) {
+  return [A, B, C, jt, keys = std::move(keys)](Device<T>& unit) {
+    for (std::size_t kt = 0; kt < B->tile_rows(); ++kt) {
+      if (!keys.empty()) {
+        unit.gemm_resident(keys[kt], A->strip_view(kt), B->tile_view(kt, jt),
+                           C->strip_view(jt), /*accumulate=*/kt != 0);
+      } else {
+        // tcu-lint: untagged-ok(untagged dealing mode; task came via plain submit)
+        unit.gemm(A->strip_view(kt), B->tile_view(kt, jt), C->strip_view(jt),
+                  /*accumulate=*/kt != 0);
+      }
+    }
+  };
+}
+
 }  // namespace detail
 
 /// C = A * B dealt across the executor's units, one task per output column
@@ -437,6 +497,135 @@ Matrix<T> matmul_tcu_pool(DevicePool<T>& pool,
   Matrix<T> C(A.rows, B.cols, T{});
   matmul_tcu_pool_into(pool, A, B, C.view(), opts);
   return C;
+}
+
+// ------------------------------------------------------------- tile-major
+// The tile-major dealers: same greedy projected-cost scheduling as the
+// row-major paths, but every right operand reaching a worker's device is
+// a contiguous tile (and, in the all-tile-major overload, the dealt A
+// strips and written C strips are contiguous too). One task per output
+// strip — row_chunks and split_chains do not apply here; callers needing
+// those schedules keep the row-major dealer.
+
+namespace detail {
+
+/// Shared validation + submit loop for the tile-major dealers. `make_task`
+/// builds the strip-jt task; returns the tickets without joining.
+template <typename T, typename MakeTask>
+std::vector<TaskTicket> deal_tiled_strips(PoolExecutor<T>& exec,
+                                          const TiledMatrix<T>& B,
+                                          std::uint64_t left_rows,
+                                          const PoolMatmulOptions& opts,
+                                          MakeTask&& make_task) {
+  const Device<T>& unit0 = exec.pool().unit(0);
+  if (B.tile_dim() != unit0.tile_dim()) {
+    throw std::invalid_argument(
+        "matmul_tcu_pool tiled: B tile_dim must equal the units' sqrt(m)");
+  }
+  const std::uint64_t strip_cost =
+      B.tile_rows() * strip_tile_cost(unit0, left_rows, opts.affinity);
+  const std::vector<std::vector<std::uint64_t>> chains =
+      tiled_strip_chains(B, opts.affinity, opts.tile_key);
+  std::vector<TaskTicket> tickets;
+  tickets.reserve(B.tile_cols());
+  for (std::size_t jt = 0; jt < B.tile_cols(); ++jt) {
+    auto task = make_task(jt, chains[jt]);
+    if (opts.affinity) {
+      tickets.push_back(exec.submit_affine(strip_cost, chains[jt], TaskDeps{},
+                                           std::move(task)));
+    } else {
+      tickets.push_back(exec.submit(strip_cost, TaskDeps{}, std::move(task)));
+    }
+  }
+  return tickets;
+}
+
+}  // namespace detail
+
+/// C = A * B with a tile-major B dealt across the executor's units; A and
+/// C stay row-major. B's logical shape must be tile-aligned (its padding
+/// is storage-internal); keys default to tile addresses, and a TileKeyFn
+/// (element origins) can pin them to other storage — DenseLayer keys its
+/// packed tiles by the original weights so every path shares one
+/// identity. Joins before returning.
+template <typename T>
+void matmul_tcu_pool_into(PoolExecutor<T>& exec,
+                          std::type_identity_t<ConstMatrixView<T>> A,
+                          const TiledMatrix<T>& B,
+                          std::type_identity_t<MatrixView<T>> C,
+                          PoolMatmulOptions opts = {}) {
+  const std::size_t s = B.tile_dim();
+  if (B.rows() % s || B.cols() % s) {
+    throw std::invalid_argument(
+        "matmul_tcu_pool tiled: B logical shape must be tile-aligned");
+  }
+  if (A.cols != B.rows() || C.rows != A.rows || C.cols != B.cols()) {
+    throw std::invalid_argument("matmul_tcu_pool tiled: shape mismatch");
+  }
+  const TiledMatrix<T>* b = &B;
+  detail::deal_tiled_strips(
+      exec, B, A.rows, opts,
+      [&](std::size_t jt, const std::vector<std::uint64_t>& chain) {
+        return detail::tiled_strip_task(
+            A, b, C, jt,
+            opts.affinity ? chain : std::vector<std::uint64_t>{});
+      });
+  exec.join();
+}
+
+/// Ticket-returning no-join variant (epoch pipelines): strip jt's ticket
+/// retires exactly when C's columns [jt*s, jt*s+s) are final. The caller
+/// owes a join()/join_epoch() before reading C and keeps A, B, C alive
+/// until then.
+template <typename T>
+std::vector<TaskTicket> matmul_tcu_pool_strips(
+    PoolExecutor<T>& exec, std::type_identity_t<ConstMatrixView<T>> A,
+    const TiledMatrix<T>& B, std::type_identity_t<MatrixView<T>> C,
+    PoolMatmulOptions opts = {}) {
+  const std::size_t s = B.tile_dim();
+  if (B.rows() % s || B.cols() % s) {
+    throw std::invalid_argument(
+        "matmul_tcu_pool tiled: B logical shape must be tile-aligned");
+  }
+  if (A.cols != B.rows() || C.rows != A.rows || C.cols != B.cols()) {
+    throw std::invalid_argument("matmul_tcu_pool tiled: shape mismatch");
+  }
+  const TiledMatrix<T>* b = &B;
+  return detail::deal_tiled_strips(
+      exec, B, A.rows, opts,
+      [&](std::size_t jt, const std::vector<std::uint64_t>& chain) {
+        return detail::tiled_strip_task(
+            A, b, C, jt,
+            opts.affinity ? chain : std::vector<std::uint64_t>{});
+      });
+}
+
+/// Fully tile-major pooled product: dealt A strips, resident B tiles, and
+/// written C strips are all contiguous. Any logical shapes — the padding
+/// lives in the containers, so no ragged scratch path runs on workers.
+/// Joins before returning.
+template <typename T>
+void matmul_tcu_pool_into(PoolExecutor<T>& exec, const TiledMatrix<T>& A,
+                          const TiledMatrix<T>& B, TiledMatrix<T>& C,
+                          PoolMatmulOptions opts = {}) {
+  if (A.tile_dim() != B.tile_dim() || C.tile_dim() != B.tile_dim()) {
+    throw std::invalid_argument(
+        "matmul_tcu_pool tiled: operand tile_dim mismatch");
+  }
+  if (A.cols() != B.rows() || C.rows() != A.rows() || C.cols() != B.cols()) {
+    throw std::invalid_argument("matmul_tcu_pool tiled: shape mismatch");
+  }
+  const TiledMatrix<T>* a = &A;
+  const TiledMatrix<T>* b = &B;
+  TiledMatrix<T>* c = &C;
+  detail::deal_tiled_strips(
+      exec, B, A.padded_rows(), opts,
+      [&](std::size_t jt, const std::vector<std::uint64_t>& chain) {
+        return detail::tiled_strip_task(
+            a, b, c, jt,
+            opts.affinity ? chain : std::vector<std::uint64_t>{});
+      });
+  exec.join();
 }
 
 }  // namespace tcu::linalg

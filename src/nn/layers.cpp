@@ -1,6 +1,7 @@
 #include "nn/layers.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <memory>
 #include <stdexcept>
 
@@ -32,6 +33,24 @@ DenseLayer::DenseLayer(Matrix<double> weights, std::vector<double> bias)
   }
 }
 
+const TiledMatrix<double>& DenseLayer::tiled_weights(std::size_t s) const {
+  // One-time layout preprocessing per tile dimension (the tile dim is a
+  // device property, unknown at construction); not charged as model CPU
+  // work, like the weights' own initialization. Rebuilt only if the same
+  // layer later serves a device with a different m.
+  if (packed_.tile_dim() != s || packed_.empty()) {
+    packed_ = TiledMatrix<double>::pack(weights_.view(), s);
+  }
+  return packed_;
+}
+
+linalg::TileKeyFn DenseLayer::weights_key() const {
+  return [this](std::size_t kb, std::size_t jb) -> std::uint64_t {
+    return static_cast<std::uint64_t>(
+        reinterpret_cast<std::uintptr_t>(&weights_(kb, jb)));
+  };
+}
+
 Matrix<double> DenseLayer::forward(Device<double>& dev,
                                    ConstMatrixView<double> activations,
                                    bool relu) const {
@@ -39,12 +58,22 @@ Matrix<double> DenseLayer::forward(Device<double>& dev,
     throw std::invalid_argument("DenseLayer: activation width mismatch");
   }
   // The weights are the layer's long-lived resident operand, so their
-  // tiles carry identity keys (storage addresses): repeated forwards on
-  // a device whose cache covers the weight tiles skip the re-load
-  // latency, the same contract the executor path realizes per lane. A
-  // single forward's charges are unchanged.
-  Matrix<double> out =
-      linalg::matmul_tcu_resident(dev, activations, weights_.view());
+  // tiles carry identity keys (row-major storage addresses on every
+  // path): repeated forwards on a device whose cache covers the weight
+  // tiles skip the re-load latency, the same contract the executor path
+  // realizes per lane. Aligned shapes stream the cached tile-major
+  // weights — each resident tile is a contiguous block — with call
+  // structure and charges identical to the row-major fast path; ragged
+  // shapes keep the scratch path's accounting.
+  Matrix<double> out(activations.rows, weights_.cols(), 0.0);
+  if (tile_aligned(dev.tile_dim(), activations.rows)) {
+    linalg::matmul_tcu_resident_into(dev, activations,
+                                     tiled_weights(dev.tile_dim()),
+                                     out.view(), weights_key());
+  } else {
+    linalg::matmul_tcu_resident_into(dev, activations, weights_.view(),
+                                     out.view(), weights_key());
+  }
   apply_epilogue(out, bias_, relu);
   dev.charge_cpu(out.rows() * out.cols() * (relu ? 2 : 1));
   return out;
@@ -65,8 +94,21 @@ Matrix<double> DenseLayer::forward(PoolExecutor<double>& exec,
   if (activations.cols != weights_.rows()) {
     throw std::invalid_argument("DenseLayer: activation width mismatch");
   }
-  Matrix<double> out =
-      linalg::matmul_tcu_pool(exec, activations, weights_.view(), opts);
+  const std::size_t s = exec.pool().unit(0).tile_dim();
+  Matrix<double> out(activations.rows, weights_.cols(), 0.0);
+  // Aligned plain-strip deals stream the cached tile-major weights
+  // (contiguous resident tiles) under the same keys and charges; the
+  // chunked/split/ragged schedules keep the row-major dealer.
+  if (tile_aligned(s, activations.rows) && !opts.split_chains &&
+      opts.row_chunks <= 1) {
+    linalg::PoolMatmulOptions tiled_opts = opts;
+    if (!tiled_opts.tile_key) tiled_opts.tile_key = weights_key();
+    linalg::matmul_tcu_pool_into(exec, activations, tiled_weights(s),
+                                 out.view(), tiled_opts);
+  } else {
+    linalg::matmul_tcu_pool_into(exec, activations, weights_.view(),
+                                 out.view(), opts);
+  }
   apply_epilogue(out, bias_, relu);
   exec.pool().charge_cpu(out.rows() * out.cols() * (relu ? 2 : 1));
   return out;
@@ -82,8 +124,17 @@ void DenseLayer::forward_epoch(PoolExecutor<double>& exec,
   if (out.rows != activations.rows || out.cols != weights_.cols()) {
     throw std::invalid_argument("DenseLayer: output shape mismatch");
   }
-  const std::vector<TaskTicket> tickets = linalg::matmul_tcu_pool_strips(
-      exec, activations, weights_.view(), out, opts);
+  const std::size_t tile = exec.pool().unit(0).tile_dim();
+  std::vector<TaskTicket> tickets;
+  if (tile_aligned(tile, activations.rows) && !opts.split_chains) {
+    linalg::PoolMatmulOptions tiled_opts = opts;
+    if (!tiled_opts.tile_key) tiled_opts.tile_key = weights_key();
+    tickets = linalg::matmul_tcu_pool_strips(
+        exec, activations, tiled_weights(tile), out, tiled_opts);
+  } else {
+    tickets = linalg::matmul_tcu_pool_strips(exec, activations,
+                                             weights_.view(), out, opts);
+  }
 
   // One epilogue task per output strip, gated on exactly that strip's
   // product: columns [jb, jb+jw) of `out` are final once the ticket

@@ -77,9 +77,31 @@ class DenseLayer {
                      const linalg::PoolMatmulOptions& opts = {
                          .affinity = true}) const;
 
+  /// The weights packed tile-major for tile dimension `s` (sqrt of the
+  /// device's m), built lazily on first use and cached — packed tile
+  /// addresses are stable across forwards, and the resident keys stay the
+  /// row-major weight addresses either way, so residency identity is
+  /// path-invariant. Call from the submit thread only (same discipline as
+  /// forward itself).
+  const TiledMatrix<double>& tiled_weights(std::size_t s) const;
+
  private:
+  /// Resident-tile identity of weight tile origin (kb, jb): the row-major
+  /// weights storage address, shared by the row-major and tile-major
+  /// paths so hits survive path changes.
+  linalg::TileKeyFn weights_key() const;
+
+  /// True when every forward dimension is tile-aligned for `s`, i.e. the
+  /// tile-major fast path charges exactly what the row-major fast path
+  /// does (the ragged scratch path keeps its own accounting).
+  bool tile_aligned(std::size_t s, std::size_t batch_rows) const {
+    return batch_rows % s == 0 && weights_.rows() % s == 0 &&
+           weights_.cols() % s == 0;
+  }
+
   Matrix<double> weights_;
   std::vector<double> bias_;
+  mutable TiledMatrix<double> packed_;  ///< tile-major weights cache
 };
 
 /// A sequential multilayer perceptron.
@@ -106,20 +128,22 @@ class Mlp {
   /// weight tiles stays resident on its lane across requests. `opts` is
   /// forwarded to every layer's strip dealing (see DenseLayer::forward).
   ///
-  /// `mode` selects the pass schedule. `kBarrier` (default, the
-  /// historical schedule): each layer strict-joins and runs its epilogue
-  /// on the shared CPU. `kEpoch`: layers run as one non-barrier round —
-  /// per-strip epilogue tasks depend on their own strip's ticket,
-  /// consecutive layers are separated by virtual barriers (join_epoch),
-  /// and one strict join closes the pass. Outputs are bit-identical and
-  /// aggregate counters equal in both modes; per-unit cpu_ops differ
-  /// (epoch charges epilogues to the executing units), which is what
-  /// un-bounds multi-unit speedup from the serial epilogue.
+  /// `mode` selects the pass schedule. `kEpoch` (default since the
+  /// bench_residency records were re-anchored under the epoch dealer):
+  /// layers run as one non-barrier round — per-strip epilogue tasks
+  /// depend on their own strip's ticket, consecutive layers are
+  /// separated by virtual barriers (join_epoch), and one strict join
+  /// closes the pass. `kBarrier` (the historical schedule, still fully
+  /// supported and tested): each layer strict-joins and runs its
+  /// epilogue on the shared CPU. Outputs are bit-identical and aggregate
+  /// counters equal in both modes; per-unit cpu_ops differ (epoch
+  /// charges epilogues to the executing units), which is what un-bounds
+  /// multi-unit speedup from the serial epilogue.
   Matrix<double> forward(PoolExecutor<double>& exec,
                          ConstMatrixView<double> batch,
                          const linalg::PoolMatmulOptions& opts = {
                              .affinity = true},
-                         ExecMode mode = ExecMode::kBarrier) const;
+                         ExecMode mode = ExecMode::kEpoch) const;
 
  private:
   std::vector<DenseLayer> layers_;

@@ -1,0 +1,231 @@
+// Backend equivalence: the GemmBackend seam must be invisible to the
+// model. Every backend runs beneath the same Device::issue() accounting,
+// so swapping sim -> micro (-> blas when compiled in) changes only the
+// wall clock: integral and — because the micro kernel keeps the
+// reference k-summation order with no FMA — floating outputs are
+// bit-identical, and every Counters field matches exactly. BLAS
+// reassociates, so its float/double outputs are bounded-ulp instead.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "check/contract.hpp"
+#include "core/backend.hpp"
+#include "core/device.hpp"
+#include "core/pool.hpp"
+#include "linalg/dense.hpp"
+#include "linalg/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using tcu::BackendKind;
+using tcu::Counters;
+using tcu::Device;
+using tcu::DevicePool;
+using tcu::Matrix;
+using tcu::PoolExecutor;
+
+Matrix<double> random_matrix(std::size_t r, std::size_t c,
+                             std::uint64_t seed) {
+  tcu::util::Xoshiro256 rng(seed);
+  Matrix<double> m(r, c);
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < c; ++j) m(i, j) = rng.uniform(-1, 1);
+  }
+  return m;
+}
+
+Matrix<std::int64_t> random_int_matrix(std::size_t r, std::size_t c,
+                                       std::uint64_t seed) {
+  tcu::util::Xoshiro256 rng(seed);
+  Matrix<std::int64_t> m(r, c);
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < c; ++j) m(i, j) = rng.uniform_int(-9, 9);
+  }
+  return m;
+}
+
+void expect_counters_equal(const Counters& got, const Counters& want,
+                           const std::string& what) {
+  EXPECT_EQ(got.tensor_calls, want.tensor_calls) << what;
+  EXPECT_EQ(got.tensor_rows, want.tensor_rows) << what;
+  EXPECT_EQ(got.tensor_time, want.tensor_time) << what;
+  EXPECT_EQ(got.tensor_macs, want.tensor_macs) << what;
+  EXPECT_EQ(got.latency_time, want.latency_time) << what;
+  EXPECT_EQ(got.cpu_ops, want.cpu_ops) << what;
+  EXPECT_EQ(got.resident_hits, want.resident_hits) << what;
+  EXPECT_EQ(got.latency_saved, want.latency_saved) << what;
+  EXPECT_EQ(got.evictions, want.evictions) << what;
+  EXPECT_EQ(got.tagged_calls, want.tagged_calls) << what;
+}
+
+// ------------------------------------------------------------- selection
+
+TEST(BackendSelect, ParserAndNamesRoundTrip) {
+  EXPECT_EQ(tcu::parse_backend_kind("sim"), BackendKind::kSim);
+  EXPECT_EQ(tcu::parse_backend_kind("micro"), BackendKind::kMicro);
+  EXPECT_EQ(tcu::parse_backend_kind("blas"), BackendKind::kBlas);
+  EXPECT_THROW(tcu::parse_backend_kind("cuda"), std::invalid_argument);
+  EXPECT_THROW(tcu::parse_backend_kind(""), std::invalid_argument);
+  EXPECT_STREQ(tcu::backend_kind_name(BackendKind::kSim), "sim");
+  EXPECT_STREQ(tcu::backend_kind_name(BackendKind::kMicro), "micro");
+  EXPECT_STREQ(tcu::backend_kind_name(BackendKind::kBlas), "blas");
+}
+
+TEST(BackendSelect, DefaultIsSimAndEnvOverrides) {
+  unsetenv("TCU_BACKEND");
+  {
+    Device<double> dev({.m = 16});
+    EXPECT_STREQ(dev.backend_name(), "sim");
+  }
+  setenv("TCU_BACKEND", "micro", 1);
+  {
+    Device<double> dev({.m = 16});
+    EXPECT_STREQ(dev.backend_name(), "micro");
+  }
+  // An explicit kind wins over the env.
+  {
+    Device<double> dev({.m = 16, .backend = BackendKind::kSim});
+    EXPECT_STREQ(dev.backend_name(), "sim");
+  }
+  setenv("TCU_BACKEND", "warp9", 1);
+  EXPECT_THROW(Device<double>({.m = 16}), std::invalid_argument);
+  unsetenv("TCU_BACKEND");
+}
+
+TEST(BackendSelect, UnavailableBlasFailsLoudly) {
+  if (tcu::backend_available(BackendKind::kBlas)) {
+    GTEST_SKIP() << "built with TCU_BLAS; unavailability path not reachable";
+  }
+  EXPECT_THROW(Device<double>({.m = 16, .backend = BackendKind::kBlas}),
+               std::invalid_argument);
+}
+
+TEST(BackendSelect, EngineCtorStaysOnTheSeam) {
+  Device<double> dev({.m = 16}, tcu::Device<double>::reference_engine());
+  EXPECT_STREQ(dev.backend_name(), "engine");
+  EXPECT_THROW(Device<double>({.m = 16}, tcu::Device<double>::Engine{}),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------- serial bit-identity
+
+template <typename T>
+void serial_identity_case(const Matrix<T>& a, const Matrix<T>& b) {
+  Device<T> sim({.m = 64, .latency = 5, .backend = BackendKind::kSim});
+  Device<T> micro({.m = 64, .latency = 5, .backend = BackendKind::kMicro});
+  auto c_sim = tcu::linalg::matmul_tcu_resident(sim, a.view(), b.view());
+  auto c_micro = tcu::linalg::matmul_tcu_resident(micro, a.view(), b.view());
+  EXPECT_EQ(c_sim, c_micro);  // bitwise: micro keeps the k order, no FMA
+  expect_counters_equal(micro.counters(), sim.counters(), "serial micro");
+}
+
+TEST(BackendEquivalence, MicroMatchesSimSerial) {
+  // Aligned and ragged shapes: the ragged path exercises the micro
+  // kernel's partial register blocks (n, s not multiples of kMR/kNR).
+  serial_identity_case(random_matrix(32, 32, 501), random_matrix(32, 32, 502));
+  serial_identity_case(random_matrix(40, 24, 503), random_matrix(24, 40, 504));
+  serial_identity_case(random_int_matrix(32, 32, 505),
+                       random_int_matrix(32, 32, 506));
+  serial_identity_case(random_int_matrix(27, 19, 507),
+                       random_int_matrix(19, 33, 508));
+}
+
+TEST(BackendEquivalence, MicroKernelTailsMatchReference) {
+  // Drive the raw kernels at shapes that stress every tail: n and s off
+  // the 4x8 register grid and off the AVX2 vector width.
+  for (const auto [n, s] : {std::pair<std::size_t, std::size_t>{4, 4},
+                            {13, 8},
+                            {32, 16},
+                            {37, 25}}) {
+    auto a = random_matrix(n, s, 600 + n);
+    auto b = random_matrix(s, s, 700 + s);
+    Matrix<double> c_sim(n, s, 1.5), c_micro(n, s, 1.5);
+    Counters unused;
+    tcu::SimBackend<double> sim;
+    tcu::MicroBackend<double> micro;
+    for (const bool accumulate : {false, true}) {
+      sim.run(a.view(), b.view(), c_sim.view(), accumulate, unused);
+      micro.run(a.view(), b.view(), c_micro.view(), accumulate, unused);
+      EXPECT_EQ(c_sim, c_micro) << "n=" << n << " s=" << s
+                                << " accumulate=" << accumulate;
+    }
+  }
+}
+
+// --------------------------------------------------- pooled bit-identity
+
+TEST(BackendEquivalence, MicroMatchesSimAcrossPoolSizes) {
+  const auto a = random_matrix(64, 64, 801);
+  const auto b = random_matrix(64, 64, 802);
+  Device<double> serial({.m = 64, .latency = 7, .backend = BackendKind::kSim});
+  // Untagged serial schedule: the pool's default dealing is untagged too,
+  // so every Counters field (residency included) must match bitwise.
+  const auto expect = tcu::linalg::matmul_tcu(serial, a.view(), b.view());
+
+  for (const std::size_t p : {1u, 2u, 4u, 8u}) {
+    DevicePool<double> pool(
+        p, {.m = 64, .latency = 7, .backend = BackendKind::kMicro});
+    tcu::check::ScopedCheck<double> check(pool);
+    PoolExecutor<double> exec(pool);
+    const auto got = tcu::linalg::matmul_tcu_pool(exec, a.view(), b.view());
+    EXPECT_EQ(got, expect) << "p=" << p;
+    expect_counters_equal(pool.aggregate(), serial.counters(),
+                          "micro pool p=" + std::to_string(p));
+    check.verify();
+  }
+}
+
+// ------------------------------------------------------------------ blas
+
+#ifdef TCU_BLAS
+TEST(BackendEquivalence, BlasBoundedUlpWithIdenticalCounters) {
+  const auto a = random_matrix(48, 48, 901);
+  const auto b = random_matrix(48, 48, 902);
+  Device<double> sim({.m = 64, .latency = 5, .backend = BackendKind::kSim});
+  Device<double> blas({.m = 64, .latency = 5, .backend = BackendKind::kBlas});
+  const auto c_sim = tcu::linalg::matmul_tcu_resident(sim, a.view(), b.view());
+  const auto c_blas =
+      tcu::linalg::matmul_tcu_resident(blas, a.view(), b.view());
+  ASSERT_EQ(c_sim.rows(), c_blas.rows());
+  ASSERT_EQ(c_sim.cols(), c_blas.cols());
+  for (std::size_t i = 0; i < c_sim.rows(); ++i) {
+    for (std::size_t j = 0; j < c_sim.cols(); ++j) {
+      // Reassociated dot products of length 48 over values in [-1, 1]:
+      // a few ulps of 48; 1e-12 absolute is orders of magnitude of slack.
+      EXPECT_NEAR(c_sim(i, j), c_blas(i, j), 1e-12) << i << "," << j;
+    }
+  }
+  expect_counters_equal(blas.counters(), sim.counters(), "serial blas");
+}
+
+TEST(BackendEquivalence, BlasPoolCountersMatchAcrossP) {
+  const auto a = random_matrix(64, 64, 903);
+  const auto b = random_matrix(64, 64, 904);
+  Device<double> serial({.m = 64, .latency = 7, .backend = BackendKind::kSim});
+  const auto expect = tcu::linalg::matmul_tcu(serial, a.view(), b.view());
+  for (const std::size_t p : {1u, 2u, 4u, 8u}) {
+    DevicePool<double> pool(
+        p, {.m = 64, .latency = 7, .backend = BackendKind::kBlas});
+    tcu::check::ScopedCheck<double> check(pool);
+    PoolExecutor<double> exec(pool);
+    const auto got = tcu::linalg::matmul_tcu_pool(exec, a.view(), b.view());
+    ASSERT_EQ(got.rows(), expect.rows());
+    for (std::size_t i = 0; i < got.rows(); ++i) {
+      for (std::size_t j = 0; j < got.cols(); ++j) {
+        EXPECT_NEAR(got(i, j), expect(i, j), 1e-12);
+      }
+    }
+    expect_counters_equal(pool.aggregate(), serial.counters(),
+                          "blas pool p=" + std::to_string(p));
+    check.verify();
+  }
+}
+#endif  // TCU_BLAS
+
+}  // namespace

@@ -387,8 +387,8 @@ TEST(EpochVsBarrier, DftAndMlpBitIdenticalAndConserved) {
 TEST(EpochVsBarrier, BarrierFlagReproducesHistoricalSchedule) {
   // The barrier flag is the pre-epoch runtime verbatim: a 1-unit pool
   // matches a single device in every counter field (the historical
-  // p = 1 identity), and Mlp's default mode argument *is* the barrier
-  // path — same bits, same per-unit counters.
+  // p = 1 identity). Mlp's default mode argument is checked separately
+  // below — it is the epoch path, bitwise.
   {
     auto adj = tcu::graph::random_digraph(24, 0.15, 924);
     tcu::graph::AdjMatrix serial_d = adj, pool_d = adj;
@@ -423,17 +423,28 @@ TEST(EpochVsBarrier, BarrierFlagReproducesHistoricalSchedule) {
     expect_counters_bitwise(pool.aggregate(), dev.counters(), "DFT p=1");
   }
   {
+    // Mlp's default mode argument is now the epoch path (flipped when the
+    // bench_residency records were re-anchored under the epoch dealer):
+    // the default must be bitwise the explicit kEpoch flag, and the
+    // barrier flag — the historical schedule — must still produce the
+    // same bits with its aggregate counters conserved against epoch's.
     const auto mlp = make_mlp();
     const auto in = random_matrix(16, 16, 927);
     DevicePool<double> pd(4, {.m = 16, .latency = 3});
-    DevicePool<double> pf(4, {.m = 16, .latency = 3});
+    DevicePool<double> pe(4, {.m = 16, .latency = 3});
+    DevicePool<double> pb(4, {.m = 16, .latency = 3});
     PoolExecutor<double> ed(pd);
-    PoolExecutor<double> ef(pf);
+    PoolExecutor<double> ee(pe);
+    PoolExecutor<double> eb(pb);
     const auto got_default = mlp.forward(ed, in.view());
-    const auto got_flag =
-        mlp.forward(ef, in.view(), {.affinity = true}, ExecMode::kBarrier);
-    EXPECT_EQ(got_default, got_flag);
-    expect_snapshots_bitwise(snapshot(pf), snapshot(pd), "Mlp barrier flag");
+    const auto got_epoch =
+        mlp.forward(ee, in.view(), {.affinity = true}, ExecMode::kEpoch);
+    const auto got_barrier =
+        mlp.forward(eb, in.view(), {.affinity = true}, ExecMode::kBarrier);
+    EXPECT_EQ(got_default, got_epoch);
+    EXPECT_EQ(got_default, got_barrier);
+    expect_snapshots_bitwise(snapshot(pe), snapshot(pd), "Mlp epoch default");
+    expect_counters_conserved(pb.aggregate(), pe.aggregate(), 3);
   }
 }
 

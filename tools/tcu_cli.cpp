@@ -25,6 +25,7 @@
 // barrier) runtime — next to the serial reference:
 //
 //   tcu_cli pool [--mode barrier|epoch] [--workload closure|gauss|dft|mlp]
+//                [--backend sim|micro|blas]
 //                [--p P] [--m M] [--l L] [--size N] [--seed S]
 //
 // It prints the pool makespan, the sim speedup over serial, and whether
@@ -90,6 +91,7 @@ struct Options {
          "                     [--m M] [--l L] [--size N] [--seed S]\n"
          "       tcu_cli pool  [--mode barrier|epoch]\n"
          "                     [--workload closure|gauss|dft|mlp]\n"
+         "                     [--backend sim|micro|blas]\n"
          "                     [--p P] [--m M] [--l L] [--size N] [--seed S]\n";
   std::exit(2);
 }
@@ -527,6 +529,7 @@ int run_fault(int argc, char** argv) {
 struct PoolOptions {
   std::string workload = "closure";
   tcu::ExecMode mode = tcu::ExecMode::kEpoch;
+  tcu::BackendKind backend = tcu::BackendKind::kDefault;
   std::size_t p = 4;
   std::size_t m = 256;
   std::uint64_t latency = 64;
@@ -540,20 +543,27 @@ struct PoolOptions {
 /// status (nonzero on mismatch).
 template <typename T, typename Serial, typename Pooled>
 int pool_drive(const PoolOptions& po, Serial serial, Pooled pooled) {
-  Device<T> ref({.m = po.m, .latency = po.latency});
+  Device<T> ref({.m = po.m, .latency = po.latency, .backend = po.backend});
   const auto expect = serial(ref);
 
-  tcu::DevicePool<T> pool(po.p, {.m = po.m, .latency = po.latency});
+  tcu::DevicePool<T> pool(
+      po.p, {.m = po.m, .latency = po.latency, .backend = po.backend});
   const auto got = pooled(pool);
   const bool outputs_match = got == expect;
 
+  std::uint64_t pool_wall = 0;
+  for (std::size_t u = 0; u < pool.size(); ++u) {
+    pool_wall += pool.unit(u).wall_ns();
+  }
   const auto serial_time = static_cast<double>(ref.counters().time());
-  std::cout << "  serial model time    : " << ref.counters().time() << "\n"
+  std::cout << "  backend              : " << ref.backend_name() << "\n"
+            << "  serial model time    : " << ref.counters().time()
+            << "  (wall " << ref.wall_ns() << " ns)\n"
             << "  pool makespan        : " << pool.makespan()
             << ", sim speedup "
             << tcu::util::fmt(
                    serial_time / static_cast<double>(pool.makespan()), 2)
-            << "\n"
+            << "  (backend wall " << pool_wall << " ns)\n"
             << "  outputs bit-identical: "
             << (outputs_match ? "yes" : "NO") << "\n";
   return outputs_match ? 0 : 1;
@@ -578,6 +588,22 @@ int run_pool(int argc, char** argv) {
         std::cerr << "tcu_cli pool: --mode expects barrier|epoch, got '"
                   << value << "'\n";
         usage();
+      }
+      continue;
+    }
+    if (flag == "--backend") {
+      try {
+        po.backend = tcu::parse_backend_kind(value);
+      } catch (const std::invalid_argument&) {
+        std::cerr << "tcu_cli pool: --backend expects sim|micro|blas, got '"
+                  << value << "'\n";
+        usage();
+      }
+      if (!tcu::backend_available(po.backend)) {
+        std::cerr << "tcu_cli pool: backend '" << value
+                  << "' is not available in this build (blas needs "
+                     "-DTCU_BLAS=ON)\n";
+        return 2;
       }
       continue;
     }
@@ -607,6 +633,8 @@ int run_pool(int argc, char** argv) {
 
   std::cout << "pool scenario: workload=" << po.workload << " mode="
             << (po.mode == tcu::ExecMode::kEpoch ? "epoch" : "barrier")
+            << " backend="
+            << tcu::backend_kind_name(tcu::resolve_backend_kind(po.backend))
             << " p=" << po.p << " m=" << po.m << " l=" << po.latency
             << " size=" << d << " seed=" << po.seed << "\n";
 

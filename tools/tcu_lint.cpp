@@ -28,6 +28,15 @@
 //                    (`make_tile_key` itself is exempt: it is the key
 //                    constructor, not a generation-dependent derivation.)
 //
+//   [raw-backend]    An identifier ending in `backend` (or `backend_`)
+//                    dereferenced with `->` outside core/device.hpp and
+//                    the core/backend* implementation files. The GEMM
+//                    backend seam is accounted for exactly once, inside
+//                    Device::issue(): a direct `backend->run(...)`
+//                    bypasses the cost model AND the wall-clock timer.
+//                    Suppress with // tcu-lint: backend-ok(<reason>)
+//                    (tests driving the raw kernels deliberately, say).
+//
 //   [epoch-deps]     In a file that uses the epoch runtime (calls
 //                    `join_epoch(`), a `submit_affine(` that passes no
 //                    TaskDeps argument runs as soon as the current fence
@@ -175,7 +184,7 @@ Annotations collect_annotations(const std::string& path,
       const std::size_t open = kind_end;
       const std::size_t close = comment.find(')', open);
       const bool known = kind == "untagged-ok" || kind == "anchored-ok" ||
-                         kind == "epoch-free-ok";
+                         kind == "epoch-free-ok" || kind == "backend-ok";
       const bool shaped = known && open < comment.size() &&
                           comment[open] == '(' && close != std::string::npos;
       const std::string reason =
@@ -184,8 +193,9 @@ Annotations collect_annotations(const std::string& path,
         out.malformed.push_back(
             {path, i + 1, "annotation",
              "malformed tcu-lint annotation; expected 'tcu-lint: "
-             "untagged-ok(<reason>)', 'tcu-lint: anchored-ok(<reason>)', or "
-             "'tcu-lint: epoch-free-ok(<reason>)' with a non-empty reason"});
+             "untagged-ok(<reason>)', 'tcu-lint: anchored-ok(<reason>)', "
+             "'tcu-lint: epoch-free-ok(<reason>)', or 'tcu-lint: "
+             "backend-ok(<reason>)' with a non-empty reason"});
         pos = p;
         continue;
       }
@@ -290,6 +300,33 @@ bool derives_key(const std::string& args) {
   return false;
 }
 
+/// Offsets where an identifier ending in `backend` / `backend_` is
+/// dereferenced with `->` on this line's code.
+std::vector<std::size_t> find_backend_derefs(const std::string& code) {
+  std::vector<std::size_t> hits;
+  std::size_t pos = 0;
+  while ((pos = code.find("backend", pos)) != std::string::npos) {
+    std::size_t end = pos + std::string("backend").size();
+    if (end < code.size() && code[end] == '_') ++end;
+    std::size_t arrow = end;
+    while (arrow < code.size() && code[arrow] == ' ') ++arrow;
+    if ((end >= code.size() || !ident_char(code[end])) &&
+        arrow + 1 < code.size() && code[arrow] == '-' &&
+        code[arrow + 1] == '>') {
+      hits.push_back(pos);
+    }
+    pos = end;
+  }
+  return hits;
+}
+
+/// Files allowed to dereference the backend pointer: the accounting choke
+/// point (Device::issue) and the backend implementations themselves.
+bool backend_seam_file(const std::string& path) {
+  return path.find("core/device.hpp") != std::string::npos ||
+         path.find("core/backend") != std::string::npos;
+}
+
 std::vector<Finding> scan_source(const std::string& path,
                                  const std::string& text) {
   const std::vector<SourceLine> lines = lex(text);
@@ -326,6 +363,20 @@ std::vector<Finding> scan_source(const std::string& path,
            "raw untagged gemm call clobbers the resident set; use "
            "gemm_resident or annotate with // tcu-lint: "
            "untagged-ok(<reason>)"});
+    }
+
+    // [raw-backend]: the seam is charged inside Device::issue() only.
+    if (!backend_seam_file(path)) {
+      for (std::size_t hit = 0; hit < find_backend_derefs(code).size();
+           ++hit) {
+        if (annotated(ann, i, "backend-ok")) continue;
+        findings.push_back(
+            {path, i + 1, "raw-backend",
+             "raw backend-> dereference bypasses the Device::issue() "
+             "accounting (model cost and wall clock); route the call "
+             "through the device or annotate with // tcu-lint: "
+             "backend-ok(<reason>)"});
+      }
     }
 
     // [empty-chain] and [epoch-deps]
@@ -465,6 +516,25 @@ int self_test() {
        "exec.submit_affine(cost, {key}, task);\n"
        "exec.join();\n"
        "exec.evict_all();\n",
+       {}},
+      {"raw-backend-flagged",
+       "void f() { backend_->run(a, b, c, false, ctr); }\n",
+       {"raw-backend"}},
+      {"raw-backend-member-flagged",
+       "void f(Unit& u) { u.gemm_backend->run(a, b, c, false, ctr); }\n",
+       {"raw-backend"}},
+      {"raw-backend-annotated",
+       "// tcu-lint: backend-ok(test drives the raw kernel deliberately)\n"
+       "backend_->run(a, b, c, false, ctr);\n",
+       {}},
+      {"raw-backend-longer-identifier-clean",
+       "void f() { backend_name(); backend_kind = x; }\n",
+       {}},
+      {"src/core/device.hpp",  // the accounting choke point is exempt
+       "void issue() { backend_->run(A, B, C, accumulate, counters_); }\n",
+       {}},
+      {"src/core/backend_micro.cpp",  // as are the implementations
+       "void warm() { backend_->run(a, b, c, false, ctr); }\n",
        {}},
       {"epoch-free-needs-reason",
        "exec.submit_affine(cost, {key}, task);  "
