@@ -1,0 +1,243 @@
+#include "lexer.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace tcu_analyze {
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool has_code(const std::string& code) {
+  return std::any_of(code.begin(), code.end(),
+                     [](unsigned char c) { return !std::isspace(c); });
+}
+
+namespace {
+
+/// True if the code accumulated so far ends in a raw-string encoding
+/// prefix (`R`, `uR`, `u8R`, `UR`, `LR`) that is its own token — i.e. the
+/// upcoming `"` opens a raw string literal.
+bool raw_prefix(const std::string& code) {
+  const std::size_t n = code.size();
+  if (n == 0 || code[n - 1] != 'R') return false;
+  std::size_t start = n - 1;  // first char of the candidate prefix
+  if (start > 0) {
+    const char p = code[start - 1];
+    if (p == 'u' || p == 'U' || p == 'L') {
+      --start;
+    } else if (p == '8' && start > 1 && code[start - 2] == 'u') {
+      start -= 2;
+    }
+  }
+  return start == 0 || !ident_char(code[start - 1]);
+}
+
+}  // namespace
+
+std::vector<SourceLine> lex(const std::string& text) {
+  std::vector<SourceLine> lines;
+  SourceLine current;
+  enum class State {
+    kCode,
+    kString,
+    kChar,
+    kRawString,
+    kLineComment,
+    kBlockComment
+  };
+  State state = State::kCode;
+  // `)` + raw_delim + `"` terminates the current raw string.
+  std::string raw_delim;
+  // A `\` immediately before the newline splices the next physical line:
+  // whatever state we are in (line comment, string, char) continues.
+  bool spliced = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    if (c == '\n') {
+      if (!spliced) {
+        if (state == State::kLineComment) state = State::kCode;
+        // Unterminated ordinary string/char at end of line: recover (a
+        // legal literal only crosses lines via a splice, handled above).
+        if (state == State::kString || state == State::kChar) {
+          state = State::kCode;
+        }
+      }
+      const bool continue_directive = spliced && current.directive;
+      spliced = false;
+      lines.push_back(std::move(current));
+      current = SourceLine{};
+      current.directive = continue_directive;
+      continue;
+    }
+    spliced = false;
+    switch (state) {
+      case State::kCode:
+        if (c == '\\' && next == '\n') {
+          spliced = true;
+        } else if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          ++i;
+        } else if (c == '"' && raw_prefix(current.code)) {
+          current.code += '"';
+          state = State::kRawString;
+          // Collect the delimiter: everything up to the opening '('.
+          raw_delim.clear();
+          while (i + 1 < text.size() && text[i + 1] != '(' &&
+                 text[i + 1] != '\n' && raw_delim.size() < 16) {
+            raw_delim += text[++i];
+          }
+          if (i + 1 < text.size() && text[i + 1] == '(') ++i;
+        } else if (c == '"') {
+          current.code += '"';
+          state = State::kString;
+        } else if (c == '\'') {
+          current.code += '\'';
+          state = State::kChar;
+        } else {
+          if (c == '#' && !has_code(current.code)) current.directive = true;
+          current.code += c;
+        }
+        break;
+      case State::kString:
+      case State::kChar:
+        if (c == '\\') {
+          if (next == '\n') {
+            spliced = true;  // spliced literal: stays open on the next line
+          } else {
+            ++i;  // skip the escaped character
+          }
+        } else if (c == '"' && state == State::kString) {
+          current.code += '"';
+          state = State::kCode;
+        } else if (c == '\'' && state == State::kChar) {
+          current.code += '\'';
+          state = State::kCode;
+        }
+        break;
+      case State::kRawString:
+        // No escapes inside a raw literal; only `)` delim `"` closes it.
+        if (c == ')' && text.compare(i + 1, raw_delim.size(), raw_delim) == 0 &&
+            i + 1 + raw_delim.size() < text.size() &&
+            text[i + 1 + raw_delim.size()] == '"') {
+          i += raw_delim.size() + 1;
+          current.code += '"';
+          state = State::kCode;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\\' && next == '\n') {
+          spliced = true;  // comment continues on the spliced line
+        } else {
+          current.comment += c;
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          ++i;
+        } else {
+          current.comment += c;
+        }
+        break;
+    }
+  }
+  lines.push_back(std::move(current));
+  return lines;
+}
+
+namespace {
+
+bool is_two_char_op(char a, char b) {
+  switch (a) {
+    case '-':
+      return b == '>' || b == '=' || b == '-';
+    case ':':
+      return b == ':';
+    case '=':
+    case '!':
+    case '*':
+    case '/':
+    case '%':
+    case '^':
+      return b == '=';
+    case '<':
+      return b == '=' || b == '<';
+    case '>':
+      return b == '=' || b == '>';
+    case '+':
+      return b == '=' || b == '+';
+    case '&':
+      return b == '&' || b == '=';
+    case '|':
+      return b == '|' || b == '=';
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::vector<Token> tokenize(const std::vector<SourceLine>& lines) {
+  std::vector<Token> toks;
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    if (lines[li].directive) continue;
+    const std::string& code = lines[li].code;
+    std::size_t i = 0;
+    while (i < code.size()) {
+      const char c = code[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      Token tok;
+      tok.line = li;
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        std::size_t j = i;
+        while (j < code.size() && ident_char(code[j])) ++j;
+        tok.kind = Token::Kind::kIdent;
+        tok.text = code.substr(i, j - i);
+        i = j;
+      } else if (std::isdigit(static_cast<unsigned char>(c))) {
+        std::size_t j = i;
+        while (j < code.size() &&
+               (ident_char(code[j]) || code[j] == '.' ||
+                ((code[j] == '+' || code[j] == '-') && j > i &&
+                 (code[j - 1] == 'e' || code[j - 1] == 'E')))) {
+          ++j;
+        }
+        tok.kind = Token::Kind::kNumber;
+        tok.text = code.substr(i, j - i);
+        i = j;
+      } else if (c == '"') {
+        // The lexer blanked the contents; literals appear as `"` pairs,
+        // possibly split across lines — collapse what is on this line.
+        tok.kind = Token::Kind::kString;
+        tok.text = "\"\"";
+        i += (i + 1 < code.size() && code[i + 1] == '"') ? 2 : 1;
+      } else if (c == '\'') {
+        tok.kind = Token::Kind::kChar;
+        tok.text = "''";
+        i += (i + 1 < code.size() && code[i + 1] == '\'') ? 2 : 1;
+      } else {
+        tok.kind = Token::Kind::kPunct;
+        if (i + 1 < code.size() && is_two_char_op(c, code[i + 1])) {
+          tok.text = code.substr(i, 2);
+          i += 2;
+        } else {
+          tok.text = std::string(1, c);
+          ++i;
+        }
+      }
+      toks.push_back(std::move(tok));
+    }
+  }
+  return toks;
+}
+
+}  // namespace tcu_analyze

@@ -1,0 +1,693 @@
+#include "rules.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <cstdlib>
+
+namespace tcu_analyze {
+
+const std::vector<RuleInfo>& rule_catalog() {
+  static const std::vector<RuleInfo> catalog = {
+      {"annotation", "malformed tcu-lint annotation"},
+      {"untagged-gemm",
+       "raw untagged gemm call clobbers the resident set"},
+      {"empty-chain", "submit_affine with an empty chain declares nothing"},
+      {"missing-anchor",
+       "derived-key tagged call in a file that never re-anchors"},
+      {"raw-backend",
+       "backend-> dereference bypasses Device::issue() accounting"},
+      {"epoch-deps",
+       "submit_affine without TaskDeps in an epoch-runtime file"},
+      {"stale-ticket",
+       "ticket assigned before a join_epoch() fence used as a dep after"},
+      {"dead-ticket", "ticket captured from submit* but never consumed"},
+      {"ticket-before-def",
+       "ticket used before any submit assigns it"},
+      {"chain-thrash",
+       "declared chain longer than the static resident_tiles capacity"},
+      {"uncharged-compute",
+       "arithmetic loop over tile data the cost model never charges"},
+  };
+  return catalog;
+}
+
+namespace {
+
+// ------------------------------------------------------- line-rule helpers
+// Ported from the PR 6 single-file tool; these scan the blanked code
+// channel, so strings and comments never match.
+
+std::vector<std::size_t> find_calls(const std::string& code,
+                                    const std::string& name) {
+  std::vector<std::size_t> opens;
+  std::size_t pos = 0;
+  while ((pos = code.find(name, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !ident_char(code[pos - 1]);
+    std::size_t after = pos + name.size();
+    const bool right_ident = after < code.size() && ident_char(code[after]);
+    while (after < code.size() && code[after] == ' ') ++after;
+    if (left_ok && !right_ident && after < code.size() &&
+        code[after] == '(') {
+      opens.push_back(after);
+    }
+    pos += name.size();
+  }
+  return opens;
+}
+
+std::string call_args(const std::vector<SourceLine>& lines, std::size_t start,
+                      std::size_t open, std::size_t max_lines = 40) {
+  std::string args;
+  int depth = 0;
+  for (std::size_t li = start; li < lines.size() && li < start + max_lines;
+       ++li) {
+    const std::string& code = lines[li].code;
+    for (std::size_t ci = li == start ? open : 0; ci < code.size(); ++ci) {
+      const char c = code[ci];
+      if (c == '(') {
+        ++depth;
+        if (depth == 1) continue;
+      } else if (c == ')') {
+        --depth;
+        if (depth == 0) return args;
+      }
+      if (depth >= 1) args += c;
+    }
+    args += ' ';
+  }
+  return std::string();
+}
+
+std::string strip_spaces(const std::string& text) {
+  std::string out;
+  for (const char c : text) {
+    if (!std::isspace(static_cast<unsigned char>(c))) out += c;
+  }
+  return out;
+}
+
+bool derives_key(const std::string& args) {
+  std::size_t pos = 0;
+  while ((pos = args.find("_key", pos)) != std::string::npos) {
+    std::size_t begin = pos;
+    while (begin > 0 && ident_char(args[begin - 1])) --begin;
+    std::size_t after = pos + 4;
+    const bool right_ident = after < args.size() && ident_char(args[after]);
+    std::size_t paren = after;
+    while (paren < args.size() && args[paren] == ' ') ++paren;
+    if (!right_ident && paren < args.size() && args[paren] == '(' &&
+        args.substr(begin, after - begin) != "make_tile_key") {
+      return true;
+    }
+    pos = after;
+  }
+  return false;
+}
+
+std::vector<std::size_t> find_backend_derefs(const std::string& code) {
+  std::vector<std::size_t> hits;
+  std::size_t pos = 0;
+  while ((pos = code.find("backend", pos)) != std::string::npos) {
+    std::size_t end = pos + std::string("backend").size();
+    if (end < code.size() && code[end] == '_') ++end;
+    std::size_t arrow = end;
+    while (arrow < code.size() && code[arrow] == ' ') ++arrow;
+    if ((end >= code.size() || !ident_char(code[end])) &&
+        arrow + 1 < code.size() && code[arrow] == '-' &&
+        code[arrow + 1] == '>') {
+      hits.push_back(pos);
+    }
+    pos = end;
+  }
+  return hits;
+}
+
+/// Files allowed to dereference the backend pointer: the accounting choke
+/// point (Device::issue) and the backend implementations themselves.
+bool backend_seam_file(const std::string& path) {
+  return path.find("core/device.hpp") != std::string::npos ||
+         path.find("core/backend") != std::string::npos;
+}
+
+/// Files whose whole purpose is elementwise tile access: the storage
+/// layer and the backend kernels. Compute there is the charged seam.
+bool uncharged_exempt_file(const std::string& path) {
+  return backend_seam_file(path) ||
+         path.find("core/matrix.hpp") != std::string::npos;
+}
+
+// --------------------------------------------------------- token helpers
+
+bool tok_is(const Token& t, Token::Kind kind, const char* text) {
+  return t.kind == kind && t.text == text;
+}
+
+bool is_ident(const Token& t, const char* text) {
+  return tok_is(t, Token::Kind::kIdent, text);
+}
+
+bool is_punct(const Token& t, const char* text) {
+  return tok_is(t, Token::Kind::kPunct, text);
+}
+
+bool stmt_has_ident(const Statement& s, const char* text) {
+  for (const Token& t : s.toks) {
+    if (is_ident(t, text)) return true;
+  }
+  return false;
+}
+
+bool stmt_has_punct(const Statement& s, const char* text) {
+  for (const Token& t : s.toks) {
+    if (is_punct(t, text)) return true;
+  }
+  return false;
+}
+
+/// True if the statement calls `name(` — identifier token followed by an
+/// opening parenthesis.
+bool stmt_calls(const Statement& s, const char* name) {
+  for (std::size_t i = 0; i + 1 < s.toks.size(); ++i) {
+    if (is_ident(s.toks[i], name) && is_punct(s.toks[i + 1], "(")) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool stmt_has_submit(const Statement& s) {
+  for (const Token& t : s.toks) {
+    if (t.kind == Token::Kind::kIdent &&
+        t.text.rfind("submit", 0) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// ------------------------------------------------- per-function dataflow
+
+/// One tracked TaskTicket (or std::vector<TaskTicket>) variable.
+struct TicketVar {
+  std::string name;
+  bool vec = false;
+  std::size_t decl = 0;  ///< position in the function's statement list
+  std::vector<std::size_t> assigns;  ///< statement positions that assign
+  bool submit_assigned = false;      ///< some assignment RHS calls submit*
+  struct Use {
+    std::size_t at;    ///< statement position
+    bool guarded;
+    bool dep;          ///< used in a TaskDeps / .after context
+  };
+  std::vector<Use> uses;
+};
+
+/// Methods on a ticket vector that neither assign nor consume tickets.
+bool neutral_member(const std::string& name) {
+  return name == "reserve" || name == "clear" || name == "resize" ||
+         name == "size" || name == "empty" || name == "capacity" ||
+         name == "shrink_to_fit";
+}
+
+/// Find ticket variables declared in `stmts` (a function's statements,
+/// in textual order, indexed by position).
+std::vector<TicketVar> collect_ticket_vars(
+    const std::vector<const Statement*>& stmts) {
+  std::vector<TicketVar> vars;
+  for (std::size_t pos = 0; pos < stmts.size(); ++pos) {
+    const std::vector<Token>& toks = stmts[pos]->toks;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (!is_ident(toks[i], "TaskTicket")) continue;
+      const bool vec = i > 0 && is_punct(toks[i - 1], "<");
+      std::size_t j = i + 1;
+      if (vec) {
+        // std::vector<TaskTicket> name — skip to past the closing '>'.
+        int angle = 1;
+        while (j < toks.size() && angle > 0) {
+          if (is_punct(toks[j], "<")) ++angle;
+          if (is_punct(toks[j], ">")) --angle;
+          ++j;
+        }
+      }
+      // Skip cv/ref tokens between the type and the declarator.
+      while (j < toks.size() &&
+             (is_punct(toks[j], "&") || is_punct(toks[j], "*") ||
+              is_ident(toks[j], "const"))) {
+        ++j;
+      }
+      // Declarator list: name [init] [, name [init]]*.
+      while (j < toks.size() && toks[j].kind == Token::Kind::kIdent) {
+        const std::string name = toks[j].text;
+        std::size_t k = j + 1;
+        bool assigned = false;
+        // `TaskTicket f(args...)` is a function declaration, not a
+        // variable, unless the vector form's sizing constructor.
+        if (!vec && k < toks.size() && is_punct(toks[k], "(")) break;
+        if (k < toks.size() &&
+            (is_punct(toks[k], "(") || is_punct(toks[k], "{"))) {
+          const bool brace = is_punct(toks[k], "{");
+          int depth = 0;
+          std::size_t body = 0;
+          do {
+            if (is_punct(toks[k], brace ? "{" : "(")) ++depth;
+            if (is_punct(toks[k], brace ? "}" : ")")) --depth;
+            if (depth > 0) ++body;
+            ++k;
+          } while (k < toks.size() && depth > 0);
+          // `TaskTicket t{};` and `vector<TaskTicket> v(n)` stay
+          // default-constructed; `TaskTicket t{serial, unit}` assigns.
+          assigned = brace && body > 1;
+        } else if (k < toks.size() && is_punct(toks[k], "=")) {
+          assigned = true;
+          int depth = 0;
+          while (k < toks.size() &&
+                 !(depth == 0 && is_punct(toks[k], ","))) {
+            if (is_punct(toks[k], "(") || is_punct(toks[k], "{") ||
+                is_punct(toks[k], "[")) {
+              ++depth;
+            }
+            if (is_punct(toks[k], ")") || is_punct(toks[k], "}") ||
+                is_punct(toks[k], "]")) {
+              --depth;
+            }
+            ++k;
+          }
+        }
+        TicketVar var;
+        var.name = name;
+        var.vec = vec;
+        var.decl = pos;
+        if (assigned) {
+          var.assigns.push_back(pos);
+          var.submit_assigned = stmt_has_submit(*stmts[pos]);
+        }
+        vars.push_back(std::move(var));
+        if (k < toks.size() && is_punct(toks[k], ",")) {
+          j = k + 1;
+          continue;
+        }
+        break;
+      }
+      break;  // one declaration per statement is enough
+    }
+  }
+  return vars;
+}
+
+/// Classify every occurrence of `var` in the function's statements as an
+/// assignment, a neutral member call, or a use.
+void classify_occurrences(const std::vector<const Statement*>& stmts,
+                          TicketVar& var) {
+  for (std::size_t pos = 0; pos < stmts.size(); ++pos) {
+    const Statement& s = *stmts[pos];
+    const bool dep_ctx = stmt_has_ident(s, "TaskDeps") ||
+                         stmt_has_ident(s, "after");
+    for (std::size_t i = 0; i < s.toks.size(); ++i) {
+      if (!is_ident(s.toks[i], var.name.c_str())) continue;
+      if (pos == var.decl && i > 0 &&
+          (is_ident(s.toks[i - 1], "TaskTicket") ||
+           is_punct(s.toks[i - 1], ">") || is_punct(s.toks[i - 1], "&") ||
+           is_punct(s.toks[i - 1], "*") || is_punct(s.toks[i - 1], ",") ||
+           is_ident(s.toks[i - 1], "const"))) {
+        // The declarator itself, including later names in a
+        // multi-declarator list; initializers are handled at collection.
+        continue;
+      }
+      std::size_t j = i + 1;
+      if (j < s.toks.size() && is_punct(s.toks[j], "[")) {
+        int depth = 1;
+        ++j;
+        while (j < s.toks.size() && depth > 0) {
+          if (is_punct(s.toks[j], "[")) ++depth;
+          if (is_punct(s.toks[j], "]")) --depth;
+          ++j;
+        }
+      }
+      if (j < s.toks.size() && is_punct(s.toks[j], "=")) {
+        var.assigns.push_back(pos);
+        var.submit_assigned |= stmt_has_submit(s);
+        continue;
+      }
+      if (j < s.toks.size() && is_punct(s.toks[j], ".") &&
+          j + 1 < s.toks.size() &&
+          s.toks[j + 1].kind == Token::Kind::kIdent) {
+        const std::string& member = s.toks[j + 1].text;
+        if (member == "push_back" || member == "emplace_back") {
+          var.assigns.push_back(pos);
+          var.submit_assigned |= stmt_has_submit(s);
+          continue;
+        }
+        if (neutral_member(member)) continue;
+      }
+      var.uses.push_back({pos, s.guarded, dep_ctx});
+    }
+  }
+  std::sort(var.assigns.begin(), var.assigns.end());
+}
+
+/// Parse a submit_affine call in `s` and return the element count of its
+/// chain argument when it is a brace literal, or npos when unknown.
+std::size_t static_chain_length(const Statement& s) {
+  for (std::size_t i = 0; i + 1 < s.toks.size(); ++i) {
+    if (!is_ident(s.toks[i], "submit_affine") ||
+        !is_punct(s.toks[i + 1], "(")) {
+      continue;
+    }
+    // Walk the argument list at depth 1, splitting on top-level commas.
+    std::size_t j = i + 2;
+    int depth = 1;
+    int arg = 0;
+    while (j < s.toks.size() && depth > 0) {
+      const Token& t = s.toks[j];
+      if (is_punct(t, "(") || is_punct(t, "[") || is_punct(t, "{")) {
+        if (depth == 1 && arg == 1 && is_punct(t, "{")) {
+          // Chain argument: count elements of the brace literal.
+          int b = 1;
+          std::size_t elems = 0;
+          bool any = false;
+          std::size_t k = j + 1;
+          while (k < s.toks.size() && b > 0) {
+            const Token& u = s.toks[k];
+            if (is_punct(u, "{") || is_punct(u, "(") || is_punct(u, "[")) {
+              ++b;
+            } else if (is_punct(u, "}") || is_punct(u, ")") ||
+                       is_punct(u, "]")) {
+              --b;
+            } else if (b == 1 && is_punct(u, ",")) {
+              ++elems;
+            } else if (b >= 1) {
+              any = true;
+            }
+            ++k;
+          }
+          return any ? elems + 1 : 0;
+        }
+        ++depth;
+      } else if (is_punct(t, ")") || is_punct(t, "]") ||
+                 is_punct(t, "}")) {
+        --depth;
+      } else if (depth == 1 && is_punct(t, ",")) {
+        ++arg;
+      }
+      ++j;
+    }
+    return npos;
+  }
+  return npos;
+}
+
+/// Statically-known Config::resident_tiles in this function: the number
+/// literal assigned to a `resident_tiles` field, or npos.
+std::size_t static_resident_tiles(
+    const std::vector<const Statement*>& stmts) {
+  for (const Statement* s : stmts) {
+    for (std::size_t i = 0; i + 2 < s->toks.size(); ++i) {
+      if (is_ident(s->toks[i], "resident_tiles") &&
+          is_punct(s->toks[i + 1], "=") &&
+          s->toks[i + 2].kind == Token::Kind::kNumber) {
+        return static_cast<std::size_t>(
+            std::strtoull(s->toks[i + 2].text.c_str(), nullptr, 10));
+      }
+    }
+  }
+  return npos;
+}
+
+bool stmt_arithmetic(const Statement& s) {
+  if (stmt_has_punct(s, "+=") || stmt_has_punct(s, "-=") ||
+      stmt_has_punct(s, "*=") || stmt_has_punct(s, "/=")) {
+    return true;
+  }
+  return stmt_has_punct(s, "=") &&
+         (stmt_has_punct(s, "*") || stmt_has_punct(s, "+"));
+}
+
+/// Run the dataflow rules over one function's statements.
+void dataflow_rules(const FileModel& model,
+                    const std::vector<const Statement*>& stmts,
+                    std::vector<Finding>& out) {
+  std::vector<std::size_t> fences;  // positions of join_epoch() calls
+  bool has_split_chains = false;
+  bool charges = false;
+  for (std::size_t pos = 0; pos < stmts.size(); ++pos) {
+    if (stmt_calls(*stmts[pos], "join_epoch")) fences.push_back(pos);
+    has_split_chains |= stmt_has_ident(*stmts[pos], "split_chains");
+    charges |= stmt_calls(*stmts[pos], "charge_cpu") ||
+               stmt_calls(*stmts[pos], "charge");
+  }
+
+  std::vector<TicketVar> vars = collect_ticket_vars(stmts);
+  for (TicketVar& var : vars) {
+    classify_occurrences(stmts, var);
+    const std::size_t first_assign =
+        var.assigns.empty() ? npos : var.assigns.front();
+
+    // [ticket-before-def]
+    for (const TicketVar::Use& use : var.uses) {
+      if (use.guarded) continue;
+      if (first_assign != npos && use.at >= first_assign) continue;
+      const std::size_t line = stmts[use.at]->first_line;
+      if (model.blessed(line, "ticket-before-def-ok")) continue;
+      out.push_back(
+          {model.path, line + 1, "ticket-before-def",
+           "ticket '" + var.name +
+               "' is used before any submit assigns it; a "
+               "default-constructed ticket's serial 0 is always ready, so "
+               "this declares no ordering (guard the use or assign first; "
+               "annotate with // tcu-lint: ticket-before-def-ok(<reason>) "
+               "if the always-ready dep is intended)"});
+      break;  // one finding per variable is enough
+    }
+
+    // [stale-ticket]
+    for (const TicketVar::Use& use : var.uses) {
+      if (!use.dep) continue;
+      std::size_t last_assign = npos;
+      for (const std::size_t a : var.assigns) {
+        if (a < use.at) last_assign = a;
+      }
+      if (last_assign == npos) continue;
+      bool fenced = false;
+      for (const std::size_t f : fences) {
+        fenced |= last_assign < f && f < use.at;
+      }
+      if (!fenced) continue;
+      const std::size_t line = stmts[use.at]->first_line;
+      if (model.blessed(line, "stale-ticket-ok")) continue;
+      out.push_back(
+          {model.path, line + 1, "stale-ticket",
+           "ticket '" + var.name +
+               "' was assigned before a join_epoch() fence and is passed "
+               "as a dependency after it; the fence already orders that "
+               "work, so the serial is stale — depend on a post-fence "
+               "ticket or drop the dep (annotate with // tcu-lint: "
+               "stale-ticket-ok(<reason>) if the redundancy is "
+               "deliberate)"});
+      break;
+    }
+
+    // [dead-ticket]
+    if (var.submit_assigned && var.uses.empty()) {
+      const std::size_t pos = var.assigns.front();
+      const std::size_t line = stmts[pos]->first_line;
+      if (!model.blessed(line, "dead-ticket-ok")) {
+        out.push_back(
+            {model.path, line + 1, "dead-ticket",
+             "ticket '" + var.name +
+                 "' captures a submit result but is never consumed before "
+                 "the strict join; the overlap it could declare is lost — "
+                 "drop the capture or wire it into a TaskDeps (annotate "
+                 "with // tcu-lint: dead-ticket-ok(<reason>) if "
+                 "deliberate)"});
+      }
+    }
+  }
+
+  // [chain-thrash]
+  const std::size_t capacity = static_resident_tiles(stmts);
+  if (capacity != npos && !has_split_chains) {
+    for (const Statement* s : stmts) {
+      const std::size_t len = static_chain_length(*s);
+      if (len == npos || len <= capacity) continue;
+      const std::size_t line = s->first_line;
+      if (model.blessed(line, "chain-thrash-ok")) continue;
+      out.push_back(
+          {model.path, line + 1, "chain-thrash",
+           "declared chain has " + std::to_string(len) +
+               " tiles but resident_tiles is " + std::to_string(capacity) +
+               " at this call site; every pass over the chain reloads "
+               "every tile (use split_chains or raise the capacity; "
+               "annotate with // tcu-lint: chain-thrash-ok(<reason>) if "
+               "thrash is the point)"});
+    }
+  }
+
+  // [uncharged-compute]
+  if (!uncharged_exempt_file(model.path) && !charges) {
+    for (const Statement* s : stmts) {
+      if (!s->looped || !stmt_arithmetic(*s)) continue;
+      if (!stmt_calls(*s, "tile_view") && !stmt_calls(*s, "strip_view") &&
+          !stmt_calls(*s, "tile_data")) {
+        continue;
+      }
+      if (stmt_has_submit(*s) || stmt_has_ident(*s, "gemm") ||
+          stmt_has_ident(*s, "gemm_resident") ||
+          stmt_has_ident(*s, "pack") || stmt_has_ident(*s, "unpack")) {
+        continue;
+      }
+      const std::size_t line = s->first_line;
+      if (model.blessed(line, "uncharged-ok")) continue;
+      out.push_back(
+          {model.path, line + 1, "uncharged-compute",
+           "arithmetic loop over tile_view/strip_view data outside "
+           "submit_cpu and the backend seam; this work never reaches the "
+           "cost model — move it into submit_cpu (or charge_cpu the "
+           "flops) or annotate with // tcu-lint: uncharged-ok(<reason>)"});
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> scan_source(const std::string& path,
+                                 const std::string& text) {
+  const FileModel model = build_model(path, text);
+  const std::vector<SourceLine>& lines = model.lines;
+  std::vector<Finding> findings;
+
+  // ---- malformed annotations (kept first within a line) ----------------
+  for (const std::size_t line : model.malformed) {
+    findings.push_back(
+        {path, line + 1, "annotation",
+         "malformed tcu-lint annotation; expected 'tcu-lint: "
+         "<kind>(<reason>)' with a non-empty reason, where <kind> is one "
+         "of: untagged-ok, anchored-ok, epoch-free-ok, backend-ok, "
+         "stale-ticket-ok, dead-ticket-ok, ticket-before-def-ok, "
+         "chain-thrash-ok, uncharged-ok"});
+  }
+
+  // ---- line rules (PR 6 behavior, statement-anchored annotations) ------
+  bool file_has_evict_all = false;
+  bool file_has_join_epoch = false;
+  for (const SourceLine& line : lines) {
+    if (!file_has_evict_all && !find_calls(line.code, "evict_all").empty()) {
+      file_has_evict_all = true;
+    }
+    if (!file_has_join_epoch &&
+        !find_calls(line.code, "join_epoch").empty()) {
+      file_has_join_epoch = true;
+    }
+  }
+
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& code = lines[i].code;
+
+    // [untagged-gemm]: member calls `.gemm(` / `->gemm(` only — the
+    // checker's own definitions and free helpers don't clobber anything.
+    for (const std::size_t open : find_calls(code, "gemm")) {
+      std::size_t name_pos = code.rfind("gemm", open);
+      const bool member =
+          name_pos > 0 && (code[name_pos - 1] == '.' ||
+                           (code[name_pos - 1] == '>' && name_pos > 1 &&
+                            code[name_pos - 2] == '-'));
+      if (!member) continue;
+      if (model.blessed(i, "untagged-ok")) continue;
+      findings.push_back(
+          {path, i + 1, "untagged-gemm",
+           "raw untagged gemm call clobbers the resident set; use "
+           "gemm_resident or annotate with // tcu-lint: "
+           "untagged-ok(<reason>)"});
+    }
+
+    // [raw-backend]: the seam is charged inside Device::issue() only.
+    if (!backend_seam_file(path)) {
+      for (std::size_t hit = 0; hit < find_backend_derefs(code).size();
+           ++hit) {
+        if (model.blessed(i, "backend-ok")) continue;
+        findings.push_back(
+            {path, i + 1, "raw-backend",
+             "raw backend-> dereference bypasses the Device::issue() "
+             "accounting (model cost and wall clock); route the call "
+             "through the device or annotate with // tcu-lint: "
+             "backend-ok(<reason>)"});
+      }
+    }
+
+    // [empty-chain] and [epoch-deps]
+    for (const std::size_t open : find_calls(code, "submit_affine")) {
+      const std::string args = strip_spaces(call_args(lines, i, open));
+      if (args.empty()) continue;  // unbalanced within window; skip
+      if (args.find(",{},") != std::string::npos) {
+        findings.push_back(
+            {path, i + 1, "empty-chain",
+             "submit_affine with an empty chain declares no residency; "
+             "use submit for untagged work"});
+      }
+      if (file_has_join_epoch && args.find("TaskDeps") == std::string::npos &&
+          !model.blessed(i, "epoch-free-ok")) {
+        findings.push_back(
+            {path, i + 1, "epoch-deps",
+             "submit_affine in an epoch-runtime file (this file calls "
+             "join_epoch) declares no predecessor set; pass a TaskDeps "
+             "argument or annotate with // tcu-lint: epoch-free-ok(<reason>) "
+             "stating why fence ordering suffices"});
+      }
+    }
+
+    // [missing-anchor]
+    for (const char* callee : {"gemm_resident", "submit_affine"}) {
+      for (const std::size_t open : find_calls(code, callee)) {
+        const std::string args = call_args(lines, i, open);
+        if (!derives_key(args)) continue;
+        if (file_has_evict_all) continue;
+        if (model.blessed(i, "anchored-ok")) continue;
+        findings.push_back(
+            {path, i + 1, "missing-anchor",
+             std::string(callee) +
+                 " derives a generation-dependent key at the call site "
+                 "but this file never re-anchors with evict_all; stale "
+                 "keys would alias fresh content (annotate with // "
+                 "tcu-lint: anchored-ok(<reason>) if anchoring happens "
+                 "elsewhere)"});
+      }
+    }
+  }
+
+  // ---- dataflow rules, per function ------------------------------------
+  std::vector<Finding> flow;
+  for (const Function& fn : model.functions) {
+    std::vector<const Statement*> stmts;
+    stmts.reserve(fn.stmts.size());
+    for (const std::size_t si : fn.stmts) {
+      stmts.push_back(&model.statements[si]);
+    }
+    dataflow_rules(model, stmts, flow);
+  }
+  // Statements outside any function (fixture snippets, file-scope code)
+  // form an implicit function so self-test sources need no wrappers.
+  {
+    std::vector<const Statement*> stmts;
+    for (const Statement& s : model.statements) {
+      if (s.func == npos && !s.func_header) stmts.push_back(&s);
+    }
+    if (!stmts.empty()) dataflow_rules(model, stmts, flow);
+  }
+  std::sort(flow.begin(), flow.end(), [](const Finding& a, const Finding& b) {
+    return a.line < b.line;
+  });
+  findings.insert(findings.end(), flow.begin(), flow.end());
+
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     return a.line < b.line;
+                   });
+  for (Finding& f : findings) {
+    if (f.line >= 1 && f.line <= lines.size()) {
+      f.context = strip_spaces(lines[f.line - 1].code);
+    }
+  }
+  return findings;
+}
+
+}  // namespace tcu_analyze
